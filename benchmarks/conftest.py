@@ -1,0 +1,99 @@
+"""Shared infrastructure for the experiment-regeneration benchmarks.
+
+Every file in this directory regenerates one table or figure from the
+paper (see DESIGN.md's experiment index).  Numbers print to stdout (run
+with ``-s`` to watch) and are attached to ``benchmark.extra_info`` so they
+appear in pytest-benchmark's JSON output.
+
+Budgets are laptop-scale by default; set ``REPRO_BENCH_SCALE=2`` (or more)
+to run closer to the paper's budgets.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutotuningTask,
+    BOCATuner,
+    Citroen,
+    EnsembleTuner,
+    GATuner,
+    RandomSearchTuner,
+    cbench_program,
+    spec_program,
+)
+from repro.core.result import TuningResult
+from repro.workloads import cbench_names, spec_names
+
+
+def scale() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def make_task(
+    program_name: str, platform: str = "arm-a57", seed: int = 0, seq_length: int = 24
+) -> AutotuningTask:
+    prog = (
+        cbench_program(program_name)
+        if program_name in cbench_names()
+        else spec_program(program_name)
+    )
+    return AutotuningTask(prog, platform=platform, seed=seed, seq_length=seq_length)
+
+
+TUNERS: Dict[str, Callable] = {
+    "citroen": lambda task, seed: Citroen(task, seed=seed),
+    "random": lambda task, seed: RandomSearchTuner(task, seed=seed),
+    "ga": lambda task, seed: GATuner(task, seed=seed),
+    "ensemble": lambda task, seed: EnsembleTuner(task, seed=seed),
+    "boca": lambda task, seed: BOCATuner(task, seed=seed),
+    # "standard BO": CITROEN machinery, raw sequence features, random
+    # candidates, vanilla UCB (§5.4.4's generic BO baseline)
+    "bo-seq": lambda task, seed: Citroen(
+        task, seed=seed, feature_mode="seq", generators=("random",), use_coverage=False
+    ),
+}
+
+
+def run_tuner(
+    tuner_name: str,
+    program_name: str,
+    budget: int,
+    seed: int = 1,
+    platform: str = "arm-a57",
+    tuner_factory: Optional[Callable] = None,
+) -> TuningResult:
+    task = make_task(program_name, platform=platform, seed=100 + seed)
+    factory = tuner_factory if tuner_factory is not None else TUNERS[tuner_name]
+    return factory(task, seed).tune(budget)
+
+
+def mean_speedups(
+    results: Sequence[TuningResult], at: Optional[int] = None
+) -> float:
+    return float(np.mean([r.speedup_over_o3(at=at) for r in results]))
+
+
+def print_table(title: str, header: List[str], rows: List[List[str]]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(r[i])) for r in [header] + rows) + 2 for i in range(len(header))]
+    print("".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print("-" * sum(widths))
+    for row in rows:
+        print("".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    _run.benchmark = benchmark
+    return _run

@@ -1,0 +1,78 @@
+"""Fig 4.3: AF-based vs random vs optimal selection among AF-maximiser
+candidates (the Chapter 4 motivation experiment).
+
+Standard BO with random AF-maximiser initialisation on high-dimensional
+Ackley.  At every iteration the maximiser produces a pool of candidates;
+we compare three selection rules over the *same* pools:
+
+* AF-based (native BO)   — pick the candidate with the highest AF value;
+* random selection       — pick uniformly;
+* optimal selection      — evaluate the true objective on every candidate
+  and pick the best (oracle, costs extra evaluations that are not charged).
+
+Paper's shape: AF-based ~= optimal > random, i.e. the AF itself is fine —
+the candidate pool is the bottleneck.  Run at 20D here: at the paper's
+100D our laptop budgets leave the GP uninformative, making every pool
+candidate an interchangeable prior-flat point and the comparison pure
+noise; at 20D the model has signal and the ordering is reproducible.
+"""
+
+import numpy as np
+
+from repro.bo.acquisition import make_acquisition
+from repro.bo.gp import GaussianProcess
+from repro.bo.maximizer import gradient_maximize
+from repro.synthetic import make_task
+
+from benchmarks.conftest import print_table, scale
+
+
+def _one_run(rule, seed, dim, budget, n_init=20, pool_size=10):
+    task = make_task("ackley", dim)
+    r = np.random.default_rng(seed)
+    X = list(r.random((n_init, dim)))
+    y = [task(x) for x in X]
+    gp = GaussianProcess(dim, seed=1)
+    it = 0
+    while len(y) < budget:
+        gp.fit(np.asarray(X), np.asarray(y), optimize_hypers=(it % 5 == 0), max_iter=25)
+        af = make_acquisition("ucb", gp)
+        starts = r.random((pool_size, dim))
+        pool, pool_af = [], []
+        for s in starts:
+            x, v = gradient_maximize(af, s, max_iter=15)
+            pool.append(x)
+            pool_af.append(v)
+        if rule == "af":
+            pick = int(np.argmax(pool_af))
+        elif rule == "random":
+            pick = int(r.integers(0, len(pool)))
+        else:  # oracle: peek at the objective (not charged, as in Fig 4.3)
+            pick = int(np.argmin([task(p) for p in pool]))
+        X.append(pool[pick])
+        y.append(task(pool[pick]))
+        it += 1
+    return float(np.min(y))
+
+
+def _run():
+    dim = 20
+    budget = 200 * scale()
+    seeds = (7, 8, 9)
+    results = {}
+    for rule in ("af", "random", "optimal"):
+        results[rule] = float(np.mean([_one_run(rule, s, dim, budget) for s in seeds]))
+    return results
+
+
+def test_fig_4_3(once):
+    results = once(_run)
+    print_table(
+        "Fig 4.3: selection rule over AF-maximiser candidate pools (Ackley 20D)",
+        ["selection", "best value found"],
+        [[k, f"{v:.3f}"] for k, v in results.items()],
+    )
+    once.benchmark.extra_info["results"] = results
+    # AF-based selection is close to the oracle and beats random selection
+    assert results["af"] <= results["random"] + 0.25
+    assert results["af"] <= results["optimal"] + 1.5

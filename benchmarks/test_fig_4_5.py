@@ -1,0 +1,60 @@
+"""Fig 4.5: AIBO vs baselines on the synthetic benchmark functions.
+
+Paper's shape (20/100/300D): AIBO consistently improves BO-grad, with the
+gap growing with dimensionality; AIBO also beats the pure heuristics
+(CMA-ES, GA) and the high-dimensional BO methods (TuRBO, HeSBO) in most
+cases.  Scaled-down here to 20D and 60D Ackley + Rastrigin.
+"""
+
+import numpy as np
+
+from repro.bo import AIBO, BOGrad, HeSBO, TuRBO
+from repro.heuristics import CMAES, ContinuousGA
+from repro.synthetic import make_task
+
+from benchmarks.conftest import print_table, scale
+
+
+def _run_heuristic(opt, task, budget, batch=10):
+    for _ in range(budget // batch):
+        X = opt.ask(batch)
+        opt.tell(X, np.array([task(x) for x in X]))
+    return opt.best_y
+
+
+def _run():
+    budget = 250 * scale()
+    settings = [("ackley", 20), ("ackley", 60), ("rastrigin", 20)]
+    kw = dict(n_init=30, refit_every=4, batch_size=10)
+    out = {}
+    for fname, dim in settings:
+        task = make_task(fname, dim)
+        out[(fname, dim, "aibo")] = AIBO(dim, seed=0, k=60, **kw).minimize(task, budget).best_y
+        out[(fname, dim, "bo-grad")] = BOGrad(dim, seed=0, k=400, n_top=5, **kw).minimize(task, budget).best_y
+        out[(fname, dim, "cmaes")] = _run_heuristic(CMAES(dim, seed=0), task, budget)
+        out[(fname, dim, "ga")] = _run_heuristic(ContinuousGA(dim, seed=0), task, budget)
+        out[(fname, dim, "turbo")] = TuRBO(dim, seed=0, n_init=30).minimize(task, budget).best_y
+        out[(fname, dim, "hesbo")] = HeSBO(dim, low_dim=10, seed=0, n_init=20, refit_every=4,
+                                           batch_size=10).minimize(task, budget).best_y
+    return settings, out
+
+
+def test_fig_4_5(once):
+    settings, out = once(_run)
+    methods = ["aibo", "bo-grad", "cmaes", "ga", "turbo", "hesbo"]
+    rows = []
+    for fname, dim in settings:
+        rows.append([f"{fname}{dim}"] + [f"{out[(fname, dim, m)]:.2f}" for m in methods])
+    print_table(
+        f"Fig 4.5: best value found (budget {250 * scale()}, lower is better)",
+        ["task"] + methods,
+        rows,
+    )
+    once.benchmark.extra_info["results"] = {f"{f}{d}/{m}": out[(f, d, m)]
+                                            for f, d in settings for m in methods}
+    # headline shape: AIBO beats BO-grad on the 60D task
+    assert out[("ackley", 60, "aibo")] <= out[("ackley", 60, "bo-grad")] * 1.05
+    # and is competitive with the best method on every task
+    for fname, dim in settings:
+        best = min(out[(fname, dim, m)] for m in methods)
+        assert out[(fname, dim, "aibo")] <= max(2.0 * best, best + 3.0)

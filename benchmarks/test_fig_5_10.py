@@ -1,0 +1,50 @@
+"""Fig 5.10: behaviour under an older compiler (LLVM-10-like pass set).
+
+The paper re-runs CITROEN vs an Autophase-feature baseline with LLVM 10 to
+show the method is not tied to one compiler version.  Here the "older
+compiler" is the reduced ``LLVM10_PASSES`` alphabet (fewer passes, no
+vector-combine / unswitch / bdce / ...).  Expected shape: CITROEN[stats]
+still >= CITROEN[autophase], and both still find speedups >= 1.
+"""
+
+import numpy as np
+
+from repro import AutotuningTask, Citroen, cbench_program
+from repro.compiler.pipelines import LLVM10_PASSES
+
+from benchmarks.conftest import print_table, scale
+
+PROGRAMS = ["telecom_gsm", "consumer_jpeg_c"]
+
+
+def _run():
+    budget = 40 * scale()
+    table = {}
+    for mode in ("stats", "autophase"):
+        sps = []
+        for prog in PROGRAMS:
+            for s in range(1, 2 + scale()):
+                task = AutotuningTask(
+                    cbench_program(prog),
+                    platform="arm-a57",
+                    seed=100 + s,
+                    seq_length=24,
+                    passes=LLVM10_PASSES,
+                )
+                res = Citroen(task, seed=s, feature_mode=mode).tune(budget)
+                sps.append(res.speedup_over_o3())
+        table[mode] = float(np.mean(sps))
+    return table
+
+
+def test_fig_5_10(once):
+    table = once(_run)
+    print_table(
+        f"Fig 5.10: reduced (LLVM-10-like) pass set, {len(LLVM10_PASSES)} passes",
+        ["features", "speedup over -O3"],
+        [[k, f"{v:.3f}x"] for k, v in table.items()],
+    )
+    once.benchmark.extra_info["table"] = table
+    once.benchmark.extra_info["n_passes"] = len(LLVM10_PASSES)
+    assert table["stats"] >= 1.0
+    assert table["stats"] >= table["autophase"] * 0.96

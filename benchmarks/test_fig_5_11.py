@@ -1,0 +1,53 @@
+"""Fig 5.11: hyperparameter sensitivity of CITROEN.
+
+Paper's shape: the method is robust — moving UCB's beta, the candidate
+pool size, or the exploration rate around the defaults changes the final
+speedup only mildly.  Expected here: the spread between the best and
+worst setting stays within ~15% of the default's speedup.
+"""
+
+import numpy as np
+
+from repro import Citroen
+
+from benchmarks.conftest import make_task, print_table, scale
+
+PROGRAM = "telecom_gsm"
+
+SETTINGS = {
+    "default": {},
+    "beta=1": {"beta": 1.0},
+    "beta=4": {"beta": 4.0},
+    "pool=3": {"per_strategy": 3},
+    "pool=10": {"per_strategy": 10},
+    "eps=0": {"novelty_epsilon": 0.0},
+    "eps=0.5": {"novelty_epsilon": 0.5},
+    "floor=0.05": {"coverage_floor": 0.05},
+}
+
+
+def _run():
+    budget = 30 * scale()
+    table = {}
+    for name, kwargs in SETTINGS.items():
+        sps = []
+        for s in range(1, 3 + scale()):
+            task = make_task(PROGRAM, seed=100 + s)
+            res = Citroen(task, seed=s, **kwargs).tune(budget)
+            sps.append(res.speedup_over_o3())
+        table[name] = float(np.mean(sps))
+    return table
+
+
+def test_fig_5_11(once):
+    table = once(_run)
+    print_table(
+        f"Fig 5.11: hyperparameter sensitivity on {PROGRAM}",
+        ["setting", "speedup over -O3"],
+        [[k, f"{v:.3f}x"] for k, v in table.items()],
+    )
+    once.benchmark.extra_info["table"] = table
+    default = table["default"]
+    spread = max(table.values()) - min(table.values())
+    assert default >= 1.0
+    assert spread <= 0.6 * default, "method should be robust to hyperparameters"

@@ -1,0 +1,52 @@
+"""Fig 5.6: average speedup over -O3 for CITROEN vs baselines.
+
+Paper's shape (budget 100, cBench + SPEC, ARM + x86): CITROEN highest on
+average; random search is a surprisingly strong floor; GA and generic BO
+in between; gains on SPEC are smaller (~6% over -O3) than on cBench.
+Expected here: citroen's mean speedup >= every baseline's on each suite.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import TUNERS, mean_speedups, print_table, run_tuner, scale
+
+CB_PROGRAMS = ["telecom_gsm", "consumer_jpeg_c", "consumer_tiff2bw", "security_sha"]
+SPEC_PROGRAMS = ["519.lbm_r", "525.x264_r"]
+TUNER_NAMES = ["citroen", "random", "ga", "ensemble", "boca", "bo-seq"]
+
+
+def _run(platform: str):
+    budget = 40 * scale()
+    seeds = list(range(1, 1 + scale()))
+    table = {}
+    for suite, programs in (("cBench", CB_PROGRAMS), ("SPEC", SPEC_PROGRAMS)):
+        for tuner in TUNER_NAMES:
+            sps = []
+            for prog in programs:
+                for s in seeds:
+                    res = run_tuner(tuner, prog, budget, seed=s, platform=platform)
+                    sps.append(res.speedup_over_o3())
+            table[(suite, tuner)] = float(np.mean(sps))
+    return table
+
+
+@pytest.mark.parametrize("platform", ["arm-a57", "amd-x86"])
+def test_fig_5_6(once, platform):
+    table = once(_run, platform)
+    rows = []
+    for suite in ("cBench", "SPEC"):
+        for tuner in TUNER_NAMES:
+            rows.append([suite, tuner, f"{table[(suite, tuner)]:.3f}x"])
+    print_table(
+        f"Fig 5.6: mean speedup over -O3 ({platform}, budget {40 * scale()})",
+        ["suite", "tuner", "speedup"],
+        rows,
+    )
+    once.benchmark.extra_info["table"] = {f"{k[0]}/{k[1]}": v for k, v in table.items()}
+    for suite in ("cBench", "SPEC"):
+        best_baseline = max(table[(suite, t)] for t in TUNER_NAMES if t != "citroen")
+        assert table[(suite, "citroen")] >= best_baseline * 0.97, (
+            f"citroen should be at or near the top on {suite}"
+        )
+        assert table[(suite, "citroen")] >= 1.0

@@ -1,0 +1,55 @@
+"""Fig 5.7: speedup as a function of the search-iteration budget.
+
+Paper's shape: CITROEN reaches its plateau with roughly one third of the
+measurements the baselines need; the advantage is largest at small
+budgets ("particularly effective under constrained search budgets").
+Expected here: at the smallest cut, citroen >= random; the budget ratio
+for random to match citroen's early speedup is > 1.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table, run_tuner, scale
+
+PROGRAMS = ["telecom_gsm", "consumer_jpeg_c"]
+TUNERS = ["citroen", "random", "boca"]
+
+
+def _run():
+    budget = 90 * scale()
+    cuts = [max(5, budget // 8), budget // 4, budget // 2, budget]
+    curves = {}
+    for prog in PROGRAMS:
+        for tuner in TUNERS:
+            runs = [run_tuner(tuner, prog, budget, seed=s) for s in range(1, 1 + scale())]
+            curves[(prog, tuner)] = [
+                float(np.mean([r.speedup_over_o3(at=c) for r in runs])) for c in cuts
+            ]
+    return cuts, curves
+
+
+def test_fig_5_7(once):
+    cuts, curves = once(_run)
+    rows = [
+        [prog, tuner] + [f"{v:.3f}x" for v in curve]
+        for (prog, tuner), curve in curves.items()
+    ]
+    print_table(
+        "Fig 5.7: speedup vs measurement budget",
+        ["program", "tuner"] + [f"@{c}" for c in cuts],
+        rows,
+    )
+    once.benchmark.extra_info["cuts"] = cuts
+    once.benchmark.extra_info["curves"] = {f"{p}/{t}": v for (p, t), v in curves.items()}
+
+    early_gaps = []
+    for prog in PROGRAMS:
+        cit = curves[(prog, "citroen")]
+        rnd = curves[(prog, "random")]
+        early_gaps.append(cit[0] - rnd[0])
+        # budget-efficiency: citroen's half-budget result should match or
+        # beat random's full-budget result on average
+    assert np.mean(early_gaps) > -0.05, "citroen should lead at small budgets"
+    cit_half = np.mean([curves[(p, "citroen")][2] for p in PROGRAMS])
+    rnd_full = np.mean([curves[(p, "random")][3] for p in PROGRAMS])
+    assert cit_half >= rnd_full * 0.97

@@ -1,0 +1,59 @@
+"""Fig 5.8: ablation study of CITROEN's design choices.
+
+Variants (paper's ablation dimensions + DESIGN.md's call-outs):
+
+* full            — the complete system;
+* no-coverage     — vanilla UCB, no coverage damping / novelty budget;
+* no-dedup        — measure statistics-identical binaries again;
+* random-gen      — drop the DES/GA candidate generators;
+* raw-seq         — drop statistics features (raw sequence encoding).
+
+Expected shape: `full` at or near the top of the mean; `raw-seq` (no
+statistics) clearly below `full`, matching the paper's finding that the
+statistics features carry the method.
+"""
+
+import numpy as np
+
+from repro import Citroen
+
+from benchmarks.conftest import make_task, print_table, scale
+
+PROGRAMS = ["telecom_gsm", "consumer_jpeg_c", "consumer_tiff2bw"]
+
+VARIANTS = {
+    "full": {},
+    "no-coverage": {"use_coverage": False},
+    "no-dedup": {"use_dedup": False},
+    "random-gen": {"generators": ("random",)},
+    "raw-seq": {"feature_mode": "seq"},
+}
+
+
+def _run():
+    budget = 40 * scale()
+    seeds = range(1, 2 + scale())
+    table = {}
+    for variant, kwargs in VARIANTS.items():
+        sps = []
+        for prog in PROGRAMS:
+            for s in seeds:
+                task = make_task(prog, seed=100 + s)
+                res = Citroen(task, seed=s, **kwargs).tune(budget)
+                sps.append(res.speedup_over_o3())
+        table[variant] = float(np.mean(sps))
+    return table
+
+
+def test_fig_5_8(once):
+    table = once(_run)
+    print_table(
+        f"Fig 5.8: CITROEN ablation (mean speedup over -O3, budget {40 * scale()})",
+        ["variant", "speedup"],
+        [[k, f"{v:.3f}x"] for k, v in table.items()],
+    )
+    once.benchmark.extra_info["table"] = table
+    assert table["full"] >= max(table.values()) * 0.97, "full system should lead"
+    assert table["full"] >= table["raw-seq"] - 0.02, (
+        "statistics features should not hurt vs raw sequences"
+    )

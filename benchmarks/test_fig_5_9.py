@@ -1,0 +1,45 @@
+"""Fig 5.9: alternative feature-extraction methods for the cost model.
+
+Same search machinery, different features: compilation statistics
+(CITROEN), Autophase-style IR counters, raw pass sequences, and
+DeepTune-style token bigrams.  Paper's shape: statistics > autophase >
+sequence/tokens, because only statistics expose what each pass *did*
+(e.g. function-attrs is invisible to the others, §3.4).
+"""
+
+import numpy as np
+
+from repro import Citroen
+
+from benchmarks.conftest import make_task, print_table, scale
+
+PROGRAMS = ["telecom_gsm", "consumer_tiff2bw"]
+MODES = ["stats", "autophase", "seq", "tokens"]
+
+
+def _run():
+    budget = 40 * scale()
+    seeds = range(1, 2 + scale())
+    table = {}
+    for mode in MODES:
+        sps = []
+        for prog in PROGRAMS:
+            for s in seeds:
+                task = make_task(prog, seed=100 + s)
+                res = Citroen(task, seed=s, feature_mode=mode).tune(budget)
+                sps.append(res.speedup_over_o3())
+        table[mode] = float(np.mean(sps))
+    return table
+
+
+def test_fig_5_9(once):
+    table = once(_run)
+    print_table(
+        "Fig 5.9: feature extraction comparison (mean speedup over -O3)",
+        ["features", "speedup"],
+        [[k, f"{v:.3f}x"] for k, v in table.items()],
+    )
+    once.benchmark.extra_info["table"] = table
+    assert table["stats"] >= max(table.values()) * 0.96, (
+        "compilation statistics should be the strongest feature space"
+    )

@@ -1,0 +1,49 @@
+"""Library micro-benchmarks (not a paper artefact).
+
+Throughput of the substrate itself — compile pipeline, interpreter, GP
+fitting — so performance regressions in the infrastructure are visible in
+the benchmark history alongside the experiment regenerators.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cbench_program, pipeline, run_opt
+from repro.bo.gp import GaussianProcess
+from repro.machine.interp import run_program
+
+
+@pytest.fixture(scope="module")
+def gsm():
+    return cbench_program("telecom_gsm")
+
+
+def test_compile_o3_throughput(benchmark, gsm):
+    mod = gsm.get_module("long_term")
+    result = benchmark(lambda: run_opt(mod, pipeline("-O3")))
+    assert result.module.num_instrs() > 0
+
+
+def test_interpreter_throughput(benchmark, gsm):
+    result = benchmark(lambda: run_program(gsm.modules, fuel=gsm.fuel))
+    assert result.steps > 1000
+
+
+def test_gp_fit_100x60(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.random((100, 60))
+    y = np.sin(3 * X[:, 0]) + X[:, 1]
+    gp = GaussianProcess(60, seed=0)
+    benchmark.pedantic(lambda: gp.fit(X, y, max_iter=25), rounds=3, iterations=1)
+    mu, _ = gp.predict(X[:5])
+    assert np.isfinite(mu).all()
+
+
+def test_gp_predict_batch(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.random((200, 30))
+    y = (X**2).sum(1)
+    gp = GaussianProcess(30, seed=0).fit(X, y)
+    Q = rng.random((500, 30))
+    mu, sigma = benchmark(lambda: gp.predict(Q))
+    assert len(mu) == 500 and (sigma > 0).all()

@@ -1,0 +1,87 @@
+"""§1.3 / §5.3: adaptive multi-module budget allocation vs round-robin.
+
+The paper reports up to 2.5x faster convergence from letting the model
+allocate measurements across source files.  Metric here: the number of
+measurements each policy needs to reach 95% of the round-robin policy's
+final speedup, averaged over SPEC-like multi-module programs.
+
+Expected shape: convergence ratio (round-robin / adaptive) >= 1.
+"""
+
+import numpy as np
+
+from repro import Citroen
+
+from benchmarks.conftest import make_task, print_table, scale
+
+PROGRAMS = ["519.lbm_r", "525.x264_r", "557.xz_r"]
+
+
+def _measurements_to_reach(result, target):
+    for i in range(1, len(result.measurements) + 1):
+        if result.speedup_over_o3(at=i) >= target:
+            return i
+    return len(result.measurements)
+
+
+def _run():
+    budget = 60 * scale()
+    rows = []
+    ratios = []
+    for prog in PROGRAMS:
+        per_policy = {}
+        for policy in ("adaptive", "round-robin"):
+            runs = []
+            for s in range(1, 3 + scale()):
+                task = make_task(prog, seed=200 + s)
+                runs.append(
+                    Citroen(task, seed=s, module_policy=policy).tune(budget)
+                )
+            per_policy[policy] = runs
+        # target just below the convergence knee of the *slower* policy so
+        # the measurement counts discriminate
+        final_rr = float(np.mean([r.speedup_over_o3() for r in per_policy["round-robin"]]))
+        final_ad = float(np.mean([r.speedup_over_o3() for r in per_policy["adaptive"]]))
+        target = 0.97 * min(final_rr, final_ad)
+        n_ad = float(np.mean([_measurements_to_reach(r, target) for r in per_policy["adaptive"]]))
+        n_rr = float(np.mean([_measurements_to_reach(r, target) for r in per_policy["round-robin"]]))
+        ratio = n_rr / max(n_ad, 1.0)
+        ratios.append(ratio)
+        rows.append(
+            {
+                "program": prog,
+                "target": target,
+                "adaptive": n_ad,
+                "round_robin": n_rr,
+                "ratio": ratio,
+                "sp_adaptive": final_ad,
+                "sp_rr": final_rr,
+            }
+        )
+    return rows, float(np.mean(ratios))
+
+
+def test_multimodule_budget(once):
+    rows, mean_ratio = once(_run)
+    print_table(
+        "Adaptive vs round-robin budget allocation (measurements to target)",
+        ["program", "target", "adaptive", "round-robin", "convergence ratio", "sp(ad)", "sp(rr)"],
+        [
+            [
+                r["program"],
+                f"{r['target']:.3f}x",
+                f"{r['adaptive']:.1f}",
+                f"{r['round_robin']:.1f}",
+                f"{r['ratio']:.2f}x",
+                f"{r['sp_adaptive']:.3f}x",
+                f"{r['sp_rr']:.3f}x",
+            ]
+            for r in rows
+        ],
+    )
+    once.benchmark.extra_info["rows"] = rows
+    once.benchmark.extra_info["mean_ratio"] = mean_ratio
+    assert mean_ratio >= 0.9, "adaptive allocation should not converge slower"
+    sp_ad = np.mean([r["sp_adaptive"] for r in rows])
+    sp_rr = np.mean([r["sp_rr"] for r in rows])
+    assert sp_ad >= sp_rr * 0.97

@@ -1,0 +1,79 @@
+"""Table 5.1 / Fig 5.1: pass-related statistics vs speedup on telecom_gsm.
+
+Paper's rows (LLVM 17, ARM A57):
+
+    mem2reg slp-vectorizer              SLP.NVI=14  speedup 1.13x
+    slp-vectorizer mem2reg              SLP.NVI=0   speedup 0.85x
+    inst-combine mem2reg slp-vectorizer SLP.NVI=0   speedup 0.85x
+    mem2reg inst-combine slp-vectorizer SLP.NVI=0   speedup 0.86x
+    mem2reg slp-vectorizer instcombine  SLP.NVI=14  speedup 1.14x
+
+Expected shape here: rows 1 and 5 vectorise (NVI > 0) and beat the others;
+rows 2-4 fail to vectorise; the instcombine-before-slp rows report
+``instcombine.NumWidened > 0`` (the Fig 5.1c transform).
+"""
+
+from repro import cbench_program, pipeline
+from repro.machine import Profiler, get_platform
+from repro.machine.interp import run_program
+
+from benchmarks.conftest import print_table
+
+SEQUENCES = [
+    ["mem2reg", "slp-vectorizer"],
+    ["slp-vectorizer", "mem2reg"],
+    ["instcombine", "mem2reg", "slp-vectorizer"],
+    ["mem2reg", "instcombine", "slp-vectorizer"],
+    ["mem2reg", "slp-vectorizer", "instcombine"],
+]
+
+
+def _run_rows():
+    program = cbench_program("telecom_gsm")
+    platform = get_platform("arm-a57")
+    profiler = Profiler(platform, seed=0)
+    target = platform.target_info()
+    ref = program.reference_output().output_signature()
+    o3_linked, _ = program.compile(
+        {m.name: pipeline("-O3") for m in program.modules}, target
+    )
+    o3 = profiler.measure(o3_linked).seconds
+    rows = []
+    for seq in SEQUENCES:
+        config = {m.name: pipeline("-O3") for m in program.modules}
+        config["long_term"] = seq
+        linked, results = program.compile(config, target)
+        assert run_program(linked, fuel=program.fuel).output_signature() == ref
+        t = profiler.measure(linked).seconds
+        st = results["long_term"].stats_json()
+        rows.append(
+            {
+                "sequence": " ".join(seq),
+                "nvi": st.get("slp-vectorizer.NumVectorInstructions", 0),
+                "widened": st.get("instcombine.NumWidened", 0),
+                "promoted": st.get("mem2reg.NumPromoted", 0),
+                "speedup": o3 / t,
+            }
+        )
+    return rows
+
+
+def test_table_5_1(once):
+    rows = _run_rows()
+    print_table(
+        "Table 5.1: statistics vs speedup (telecom_gsm long_term)",
+        ["sequence", "SLP.NVI", "ic.NumWidened", "m2r.NumPromoted", "speedup/-O3"],
+        [
+            [r["sequence"], r["nvi"], r["widened"], r["promoted"], f"{r['speedup']:.2f}x"]
+            for r in rows
+        ],
+    )
+    once(lambda: _run_rows())
+    # shape assertions: who vectorises, who wins
+    assert rows[0]["nvi"] > 0 and rows[4]["nvi"] > 0
+    assert rows[1]["nvi"] == rows[2]["nvi"] == rows[3]["nvi"] == 0
+    assert rows[2]["widened"] > 0 and rows[3]["widened"] > 0
+    good = min(rows[0]["speedup"], rows[4]["speedup"])
+    bad = max(rows[1]["speedup"], rows[2]["speedup"], rows[3]["speedup"])
+    assert good > bad, "vectorising orders must beat non-vectorising ones"
+    once.benchmark.extra_info["rows"] = rows

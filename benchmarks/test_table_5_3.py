@@ -1,0 +1,66 @@
+"""Table 5.3: the optimisation passes considered in evaluation.
+
+The paper lists 76 LLVM-17 passes; this build implements a 40-pass
+alphabet covering every family the paper's list spans (memory promotion,
+peephole combining, redundancy elimination, CFG cleanup, the full loop
+pipeline, both vectorisers, and interprocedural optimisation), each a real
+transformation over the mini-IR with its own statistics counters.
+"""
+
+from repro import available_passes, cbench_program, run_opt
+from repro.compiler.pipelines import O3
+
+from benchmarks.conftest import print_table
+
+
+def _probe_modules():
+    """Diverse modules covering calls, loops, branches, div, dead code."""
+    from repro import spec_program
+
+    mods = []
+    for prog_name in ("telecom_gsm", "telecom_adpcm_c", "automotive_qsort1",
+                      "security_rijndael_d", "consumer_tiff2bw"):
+        mods.extend(cbench_program(prog_name).modules)
+    mods.extend(spec_program("557.xz_r").modules)  # memcpy/memset idioms
+    return mods
+
+#: enabling prefixes that expose each pass family's work
+_PREFIXES = {
+    "default": ["sroa", "function-attrs"],
+    "loops": ["mem2reg", "loop-simplify", "lcssa"],
+    "cleanup": ["mem2reg", "instcombine", "sccp", "inline"],
+}
+
+
+def _run():
+    passes = available_passes()
+    probes = _probe_modules()
+    active = {}
+    for p in passes:
+        total = 0
+        for prefix in _PREFIXES.values():
+            seq = ([p] if p in prefix else prefix + [p])
+            for m in probes:
+                cr = run_opt(m, seq)
+                total += sum(
+                    v for k, v in cr.stats_json().items() if k.startswith(p + ".")
+                )
+        active[p] = total
+    return passes, active
+
+
+def test_table_5_3(once):
+    passes, active = once(_run)
+    rows = [[p, "yes" if p in O3 else "", active.get(p, 0)] for p in passes]
+    print_table(
+        f"Table 5.3: pass alphabet ({len(passes)} passes)",
+        ["pass", "in -O3", "stats emitted on probe suite"],
+        rows,
+    )
+    once.benchmark.extra_info["n_passes"] = len(passes)
+    once.benchmark.extra_info["inactive"] = [p for p, v in active.items() if v == 0]
+    assert len(passes) >= 40
+    # a majority of passes transform some probe module out of the box; the
+    # remainder (pattern-specific passes like jump-threading or argpromotion)
+    # are each proven to fire by their dedicated unit tests in tests/
+    assert sum(1 for v in active.values() if v > 0) >= len(passes) // 2

@@ -1,0 +1,48 @@
+"""Table 5.4: benchmark programs used in evaluation.
+
+Prints the suite inventory with sizes and -O3 headroom, mirroring the
+paper's benchmark table (cBench programs + SPEC CPU 2017 subset).
+"""
+
+from repro import Profiler, cbench_names, cbench_program, get_platform, pipeline, spec_names, spec_program
+
+from benchmarks.conftest import print_table
+
+
+def _run():
+    platform = get_platform("arm-a57")
+    prof = Profiler(platform, seed=0)
+    rows = []
+    for name in cbench_names() + spec_names():
+        p = cbench_program(name) if name in cbench_names() else spec_program(name)
+        o0 = prof.measure(list(p.modules)).seconds
+        linked, _ = p.compile({m.name: pipeline("-O3") for m in p.modules},
+                              platform.target_info())
+        o3 = prof.measure(linked).seconds
+        rows.append(
+            {
+                "program": name,
+                "suite": p.suite,
+                "modules": len(p.modules),
+                "instrs": sum(m.num_instrs() for m in p.modules),
+                "o3_speedup": o0 / o3,
+            }
+        )
+    return rows
+
+
+def test_table_5_4(once):
+    rows = once(_run)
+    print_table(
+        "Table 5.4: benchmark inventory",
+        ["program", "suite", "#modules", "#instrs", "-O3 vs -O0"],
+        [
+            [r["program"], r["suite"], r["modules"], r["instrs"], f"{r['o3_speedup']:.2f}x"]
+            for r in rows
+        ],
+    )
+    once.benchmark.extra_info["rows"] = rows
+    assert sum(1 for r in rows if r["suite"] == "cbench") >= 10
+    assert sum(1 for r in rows if r["suite"] == "spec") >= 4
+    assert all(r["o3_speedup"] > 1.2 for r in rows), "-O3 must be a real baseline"
+    assert all(r["modules"] >= 3 for r in rows if r["suite"] == "spec")

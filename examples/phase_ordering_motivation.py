@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The paper's motivating example (Fig 5.1 / Table 5.1), end to end.
+
+Compiles the telecom_gsm ``long_term`` dot-product kernel with five pass
+sequences and prints, for each, the pass-related compilation statistics and
+the measured speedup over -O3 — reproducing the order-sensitivity that
+motivates statistics-guided search:
+
+* ``mem2reg slp-vectorizer``       -> vectorises, fast;
+* ``slp-vectorizer mem2reg``       -> wrong order, nothing happens;
+* ``mem2reg instcombine slp-...``  -> instcombine widens the arithmetic to
+  i64 first, SLP profitability fails, slow;
+* ``mem2reg slp-... instcombine``  -> vectorise *then* combine: fast again.
+"""
+
+from repro import cbench_program, pipeline, run_opt
+from repro.machine import Profiler, get_platform
+from repro.machine.interp import run_program
+
+SEQUENCES = [
+    ["mem2reg", "slp-vectorizer"],
+    ["slp-vectorizer", "mem2reg"],
+    ["instcombine", "mem2reg", "slp-vectorizer"],
+    ["mem2reg", "instcombine", "slp-vectorizer"],
+    ["mem2reg", "slp-vectorizer", "instcombine"],
+]
+
+STAT_COLUMNS = [
+    ("slp-vectorizer.NumVectorInstructions", "SLP.NVI"),
+    ("mem2reg.NumPHIInsert", "m2r.NPI"),
+    ("mem2reg.NumPromoted", "m2r.NP"),
+    ("instcombine.NumCombined", "ic.NC"),
+]
+
+
+def main() -> None:
+    program = cbench_program("telecom_gsm")
+    platform = get_platform("arm-a57")
+    profiler = Profiler(platform, seed=0)
+    target = platform.target_info()
+
+    ref = program.reference_output().output_signature()
+
+    # -O3 baseline for the speedup column
+    o3_linked, _ = program.compile({m.name: pipeline("-O3") for m in program.modules}, target)
+    o3 = profiler.measure(o3_linked).seconds
+
+    header = f"{'No.':4s}{'Pass Sequence':45s}" + "".join(f"{h:>9s}" for _, h in STAT_COLUMNS) + f"{'Speedup':>9s}"
+    print(header)
+    print("-" * len(header))
+    for k, seq in enumerate(SEQUENCES, 1):
+        config = {m.name: pipeline("-O3") for m in program.modules}
+        config["long_term"] = seq  # only the module under study varies
+        linked, results = program.compile(config, target)
+        out = run_program(linked, fuel=program.fuel)
+        assert out.output_signature() == ref, "differential test failed!"
+        t = profiler.measure(linked).seconds
+        stats = results["long_term"].stats_json()
+        cols = "".join(f"{stats.get(key, 0):9d}" for key, _ in STAT_COLUMNS)
+        print(f"{k:<4d}{' '.join(seq):45s}{cols}{o3 / t:8.2f}x")
+
+    print(
+        "\nApplying 'mem2reg,slp-vectorizer' vectorises the kernel; inserting"
+        "\n'instcombine' in between widens the multiply to i64 and profitability"
+        "\nfails — the interaction compilation statistics expose (Table 5.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

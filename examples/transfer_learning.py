@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Cross-program transfer: the thesis' §6.3.2 future-work direction, built.
+
+The best pass *sequence* is program-specific, but whether a pass tends to
+help at all carries across programs.  :class:`PassCorrelationPrior` distils
+that signal from completed tuning runs and biases a new program's candidate
+generation toward historically useful passes — coarse offline knowledge
+feeding the fine-grained online search (§6.3.3).
+
+Usage:  python examples/transfer_learning.py [budget]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import AutotuningTask, Citroen, cbench_program
+from repro.core import PassCorrelationPrior
+
+DONORS = ["telecom_gsm", "consumer_tiff2bw", "automotive_bitcount"]
+TARGET = "consumer_jpeg_c"
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+
+    prior = PassCorrelationPrior()
+    print("training the pass-correlation prior on donor programs:")
+    for name in DONORS:
+        task = AutotuningTask(cbench_program(name), platform="arm-a57", seed=0)
+        result = Citroen(task, seed=1).tune(budget)
+        prior.observe_run(result)
+        print(f"   {name:22s} speedup {result.speedup_over_o3():.3f}x")
+
+    print(f"\nhistorically most helpful passes (across {prior.n_runs} runs):")
+    scores = prior.scores()
+    for p in prior.top_passes(8):
+        print(f"   {p:24s} {scores[p]:+.3f}")
+
+    print(f"\ntuning the unseen target {TARGET}:")
+    sp = {}
+    for label, kwargs in (("cold start", {}), ("with prior", {"pass_prior": prior})):
+        vals = []
+        for s in (1, 2, 3):
+            task = AutotuningTask(cbench_program(TARGET), platform="arm-a57", seed=10 + s)
+            res = Citroen(task, seed=s, **kwargs).tune(budget)
+            vals.append(res.speedup_over_o3())
+        sp[label] = float(np.mean(vals))
+        print(f"   {label:12s} mean speedup {sp[label]:.3f}x")
+
+    print(f"\ntransfer effect: {sp['with prior'] / sp['cold start']:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

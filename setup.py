@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+A classic ``setup.py`` (rather than a PEP 517 ``[build-system]`` table) is
+used deliberately: it lets ``pip install -e .`` work in fully offline
+environments, where PEP 517 build isolation would try to download
+setuptools/wheel from PyPI.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CITROEN: compilation-statistics-guided Bayesian optimisation for "
+        "compiler phase ordering (IPDPS 2025 reproduction)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy", "networkx"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

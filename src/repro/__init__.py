@@ -1,0 +1,55 @@
+"""CITROEN reproduction: compilation-statistics-guided Bayesian
+optimisation for compiler phase ordering.
+
+Reproduces Zhao, Xia & Wang, "Leveraging Compilation Statistics for
+Compiler Phase Ordering" (IPDPS 2025), including its AIBO substrate
+(Zhao et al., TMLR 2024) and the complete compiler/machine stack the
+evaluation needs.
+
+Quickstart
+----------
+>>> from repro import AutotuningTask, Citroen, cbench_program
+>>> task = AutotuningTask(cbench_program("telecom_gsm"), platform="arm-a57", seed=0)
+>>> result = Citroen(task, seed=1).tune(budget=60)
+>>> result.speedup_over_o3() > 1.0
+True
+"""
+
+from repro.core import AutotuningTask, Citroen, CitroenCostModel, TuningResult, differential_test
+from repro.baselines import BOCATuner, EnsembleTuner, GATuner, RandomSearchTuner
+from repro.bo import AIBO, BOGrad, GaussianProcess, HeSBO, TuRBO
+from repro.compiler import available_passes, pipeline, run_opt
+from repro.machine import PLATFORMS, Profiler, get_platform, run_program
+from repro.workloads import Program, cbench_names, cbench_program, random_program, spec_names, spec_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIBO",
+    "AutotuningTask",
+    "BOCATuner",
+    "BOGrad",
+    "Citroen",
+    "CitroenCostModel",
+    "EnsembleTuner",
+    "GATuner",
+    "GaussianProcess",
+    "HeSBO",
+    "PLATFORMS",
+    "Profiler",
+    "Program",
+    "RandomSearchTuner",
+    "TuRBO",
+    "TuningResult",
+    "available_passes",
+    "cbench_names",
+    "cbench_program",
+    "differential_test",
+    "get_platform",
+    "pipeline",
+    "random_program",
+    "run_opt",
+    "run_program",
+    "spec_names",
+    "spec_program",
+]

@@ -1,0 +1,25 @@
+"""Baseline phase-ordering tuners (§5.4.4's competing methods).
+
+* random search — the floor every method must beat;
+* GA — the classic search-based autotuner (Cooper et al.);
+* ensemble — OpenTuner-style bandit over GA / hill climbing / simulated
+  annealing / random;
+* BOCA-like — BO with a random-forest surrogate on raw sequence features;
+* "standard BO" — CITROEN's machinery with raw sequence features, random
+  candidates and a vanilla UCB (configure via
+  ``Citroen(feature_mode="seq", generators=("random",), use_coverage=False)``).
+"""
+
+from repro.baselines.base import BaseTuner
+from repro.baselines.random_tuner import RandomSearchTuner
+from repro.baselines.ga_tuner import GATuner
+from repro.baselines.ensemble import EnsembleTuner
+from repro.baselines.boca import BOCATuner
+
+__all__ = [
+    "BaseTuner",
+    "BOCATuner",
+    "EnsembleTuner",
+    "GATuner",
+    "RandomSearchTuner",
+]

@@ -1,0 +1,77 @@
+"""OpenTuner-style ensemble tuner (§3.1.1, Ansel et al.).
+
+Runs several search techniques per module — GA, hill climbing, simulated
+annealing, random — and allocates each measurement with a UCB1 bandit over
+techniques: techniques that recently produced improvements get a larger
+share of the budget, OpenTuner's defining mechanism.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaseTuner
+from repro.core.task import AutotuningTask
+from repro.heuristics.ga import SequenceGA
+from repro.heuristics.hill_climbing import SequenceHillClimbing
+from repro.heuristics.random_search import RandomSequenceSearch
+from repro.heuristics.simulated_annealing import SequenceSimulatedAnnealing
+from repro.utils.rng import SeedLike, spawn
+
+__all__ = ["EnsembleTuner"]
+
+_TECHNIQUES = ("ga", "hillclimb", "anneal", "random")
+
+
+class EnsembleTuner(BaseTuner):
+    """UCB1 bandit over heterogeneous techniques, round-robin over modules."""
+
+    name = "ensemble"
+
+    def __init__(self, task: AutotuningTask, seed: SeedLike = None) -> None:
+        super().__init__(task, seed)
+        self.techs: Dict[str, Dict[str, object]] = {}
+        for m in task.hot_modules:
+            children = spawn(self.rng, 4)
+            self.techs[m] = {
+                "ga": SequenceGA(task.seq_length, task.alphabet, seed=children[0]),
+                "hillclimb": SequenceHillClimbing(task.seq_length, task.alphabet, seed=children[1]),
+                "anneal": SequenceSimulatedAnnealing(task.seq_length, task.alphabet, seed=children[2]),
+                "random": RandomSequenceSearch(task.seq_length, task.alphabet, seed=children[3]),
+            }
+        self.pulls: Dict[str, int] = {t: 0 for t in _TECHNIQUES}
+        self.wins: Dict[str, float] = {t: 0.0 for t in _TECHNIQUES}
+        self._pending: Dict[Tuple[str, Tuple], str] = {}
+        self._incumbent = float("inf")
+
+    def _pick_technique(self) -> str:
+        total = sum(self.pulls.values()) + 1
+        best_t, best_v = None, -np.inf
+        for t in _TECHNIQUES:
+            n = self.pulls[t]
+            if n == 0:
+                return t
+            v = self.wins[t] / n + math.sqrt(2.0 * math.log(total) / n)
+            if v > best_v:
+                best_t, best_v = t, v
+        return best_t
+
+    def propose(self) -> Tuple[str, np.ndarray]:
+        """Pick a technique by UCB1 and ask it for one sequence."""
+        m = self.next_module()
+        tech = self._pick_technique()
+        seq = self.techs[m][tech].ask(1)[0]
+        self._pending[(m, tuple(int(i) for i in seq))] = tech
+        return m, seq
+
+    def observe(self, module: str, seq: np.ndarray, runtime: float) -> None:
+        tech = self._pending.pop((module, tuple(int(i) for i in seq)), "random")
+        self.pulls[tech] += 1
+        if runtime < self._incumbent:
+            self.wins[tech] += 1.0
+            self._incumbent = runtime
+        for opt in self.techs[module].values():
+            opt.tell(seq[None, :], np.asarray([runtime]))

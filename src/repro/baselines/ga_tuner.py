@@ -1,0 +1,36 @@
+"""Genetic-algorithm phase-ordering tuner (Cooper-style, §3.1.1)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaseTuner
+from repro.core.task import AutotuningTask
+from repro.heuristics.ga import SequenceGA
+from repro.utils.rng import SeedLike, spawn
+
+__all__ = ["GATuner"]
+
+
+class GATuner(BaseTuner):
+    """One SequenceGA per hot module, served round-robin."""
+
+    name = "ga"
+
+    def __init__(self, task: AutotuningTask, seed: SeedLike = None, pop_size: int = 20) -> None:
+        super().__init__(task, seed)
+        children = spawn(self.rng, len(task.hot_modules))
+        self.gas: Dict[str, SequenceGA] = {
+            m: SequenceGA(task.seq_length, task.alphabet, pop_size=pop_size, seed=r)
+            for m, r in zip(task.hot_modules, children)
+        }
+
+    def propose(self) -> Tuple[str, np.ndarray]:
+        """Ask the next module's GA for one child sequence."""
+        m = self.next_module()
+        return m, self.gas[m].ask(1)[0]
+
+    def observe(self, module: str, seq: np.ndarray, runtime: float) -> None:
+        self.gas[module].tell(seq[None, :], np.asarray([runtime]))

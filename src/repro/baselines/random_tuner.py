@@ -1,0 +1,21 @@
+"""Random search over pass sequences — the floor baseline (§5.4.4)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaseTuner
+
+__all__ = ["RandomSearchTuner"]
+
+
+class RandomSearchTuner(BaseTuner):
+    """Uniform random per-module sequences, round-robin across modules."""
+
+    name = "random"
+
+    def propose(self) -> Tuple[str, np.ndarray]:
+        """A random sequence for the next module in rotation."""
+        return self.next_module(), self.random_sequence()

@@ -1,0 +1,50 @@
+"""Bayesian optimisation machinery built from scratch on NumPy/SciPy.
+
+Contents mirror the stack the thesis builds on GPyTorch/BoTorch: exact GP
+regression with ARD Matérn-5/2 / RBF kernels and Yeo-Johnson output
+transforms, analytic and Monte-Carlo acquisition functions, a multi-start
+gradient AF maximiser, the AIBO framework (Ch. 4), and simplified TuRBO /
+HeSBO references for the high-dimensional BO comparisons.
+"""
+
+from repro.bo.kernels import Matern52, RBF, Kernel
+from repro.bo.transforms import Standardizer, YeoJohnson
+from repro.bo.gp import GaussianProcess
+from repro.bo.acquisition import (
+    AcquisitionFunction,
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+    make_acquisition,
+    mc_qei,
+    mc_qucb,
+)
+from repro.bo.maximizer import gradient_maximize, multi_start_maximize
+from repro.bo.aibo import AIBO, BOGrad, AIBOResult
+from repro.bo.turbo import TuRBO
+from repro.bo.hesbo import HeSBO
+from repro.bo.random_forest import RandomForestRegressor
+
+__all__ = [
+    "AIBO",
+    "AIBOResult",
+    "AcquisitionFunction",
+    "BOGrad",
+    "ExpectedImprovement",
+    "GaussianProcess",
+    "HeSBO",
+    "Kernel",
+    "Matern52",
+    "ProbabilityOfImprovement",
+    "RBF",
+    "RandomForestRegressor",
+    "Standardizer",
+    "TuRBO",
+    "UpperConfidenceBound",
+    "YeoJohnson",
+    "gradient_maximize",
+    "make_acquisition",
+    "mc_qei",
+    "mc_qucb",
+    "multi_start_maximize",
+]

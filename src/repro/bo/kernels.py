@@ -1,0 +1,149 @@
+"""Stationary covariance kernels with ARD length scales.
+
+Each kernel supplies the three derivative families exact GP regression and
+gradient-based AF maximisation need:
+
+* ``K(X, Z)`` — the covariance matrix;
+* ``grad_hyper`` — dK/d(log lengthscale_i), dK/d(log signal variance) for
+  marginal-likelihood fitting;
+* ``grad_x`` — dk(x, Z)/dx for posterior-gradient computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = ["Kernel", "RBF", "Matern52"]
+
+_SQRT5 = np.sqrt(5.0)
+
+
+class Kernel:
+    """Base: ARD kernel parameterised by log length-scales + log variance."""
+
+    def __init__(self, dim: int, lengthscale: float = 0.5, variance: float = 1.0) -> None:
+        self.dim = dim
+        self.log_ls = np.full(dim, np.log(lengthscale))
+        self.log_var = float(np.log(variance))
+
+    # -- hyperparameter vector plumbing -------------------------------------
+    def get_params(self) -> np.ndarray:
+        """Hyperparameter vector (log length-scales + log variance)."""
+        return np.concatenate([self.log_ls, [self.log_var]])
+
+    def set_params(self, theta: np.ndarray) -> None:
+        """Load a hyperparameter vector produced by :meth:`get_params`."""
+        self.log_ls = np.asarray(theta[: self.dim], dtype=float).copy()
+        self.log_var = float(theta[self.dim])
+
+    def n_params(self) -> int:
+        """Number of kernel hyperparameters."""
+        return self.dim + 1
+
+    def param_bounds(
+        self, ls_bounds: Tuple[float, float] = (5e-3, 20.0), var_bounds: Tuple[float, float] = (0.05, 20.0)
+    ) -> List[Tuple[float, float]]:
+        """Box bounds for the log-hyperparameters (paper §4.3.2)."""
+        lb = [(np.log(ls_bounds[0]), np.log(ls_bounds[1]))] * self.dim
+        lb.append((np.log(var_bounds[0]), np.log(var_bounds[1])))
+        return lb
+
+    @property
+    def lengthscales(self) -> np.ndarray:
+        return np.exp(self.log_ls)
+
+    @property
+    def variance(self) -> float:
+        return float(np.exp(self.log_var))
+
+    # -- geometry helpers -----------------------------------------------------
+    def _scaled_sq_dists(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        ls = self.lengthscales
+        Xs = X / ls
+        Zs = Z / ls
+        d2 = (
+            (Xs**2).sum(1)[:, None]
+            + (Zs**2).sum(1)[None, :]
+            - 2.0 * Xs @ Zs.T
+        )
+        return np.maximum(d2, 0.0)
+
+    # -- interface ---------------------------------------------------------------
+    def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """Diagonal of ``K(X, X)`` (prior variance at each point)."""
+        return np.full(len(X), self.variance)
+
+    def grad_hyper(self, X: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(param_index, dK/dtheta_index)`` over all hyperparams."""
+        raise NotImplementedError
+
+    def grad_x(self, x: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        """``d k(x, Z) / dx`` with shape ``(len(Z), dim)``."""
+        raise NotImplementedError
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel (eq 2.3, anisotropic)."""
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        return self.variance * np.exp(-0.5 * self._scaled_sq_dists(X, Z))
+
+    def grad_hyper(self, X: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
+        K = self(X, X)
+        ls = self.lengthscales
+        for i in range(self.dim):
+            di = (X[:, i : i + 1] - X[:, i : i + 1].T) / ls[i]
+            # d/d(log ls_i) of exp(-0.5 d_i^2/ls_i^2 ...) = K * d_i^2/ls_i^2
+            yield i, K * (di**2)
+        yield self.dim, K.copy()  # d/d(log var) = K
+
+    def grad_x(self, x: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(x)
+        k = self(x, Z)[0]  # (m,)
+        ls2 = self.lengthscales**2
+        diff = x[0][None, :] - Z  # (m, d)
+        return -k[:, None] * diff / ls2[None, :]
+
+
+class Matern52(Kernel):
+    """Matérn-5/2 ARD kernel (eq 2.2 with nu = 5/2), the thesis default."""
+
+    def _r(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        return np.sqrt(self._scaled_sq_dists(X, Z) + 1e-300)
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        r = self._r(X, Z)
+        s5r = _SQRT5 * r
+        return self.variance * (1.0 + s5r + (5.0 / 3.0) * r**2) * np.exp(-s5r)
+
+    @staticmethod
+    def _dk_dr_over_r(r: np.ndarray, var: float) -> np.ndarray:
+        """``(dk/dr)/r`` — finite at r=0, avoiding the 0/0 in chain rules."""
+        return -var * (5.0 / 3.0) * (1.0 + _SQRT5 * r) * np.exp(-_SQRT5 * r)
+
+    def grad_hyper(self, X: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
+        r = self._r(X, X)
+        var = self.variance
+        dk_r = self._dk_dr_over_r(r, var)  # (n, n)
+        ls = self.lengthscales
+        for i in range(self.dim):
+            di2 = ((X[:, i : i + 1] - X[:, i : i + 1].T) / ls[i]) ** 2
+            # dr/d(log ls_i) = -d_i^2 / (ls_i^2 r) * ls_i ... collapsing:
+            # dK/d(log ls_i) = (dk/dr) * (-di2 / r) = -dk_r * di2
+            yield i, -dk_r * di2
+        K = var * (1.0 + _SQRT5 * r + (5.0 / 3.0) * r**2) * np.exp(-_SQRT5 * r)
+        yield self.dim, K
+
+    def grad_x(self, x: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(x)
+        r = self._r(x, Z)[0]  # (m,)
+        dk_r = self._dk_dr_over_r(r, self.variance)  # (m,)
+        ls2 = self.lengthscales**2
+        diff = x[0][None, :] - Z
+        # dk/dx = (dk/dr) * dr/dx ; dr/dx_j = diff_j / (ls_j^2 r)
+        return dk_r[:, None] * diff / ls2[None, :]

@@ -1,0 +1,55 @@
+"""Acquisition-function maximisation.
+
+``multi_start_maximize`` is the "multi-start gradient-based AF maximiser"
+of §4.2/§4.3: from a set of initial points (however produced — that is
+AIBO's whole point) it runs bounded L-BFGS-B ascents using the analytic AF
+gradients and returns the best point found.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.bo.acquisition import AcquisitionFunction
+
+__all__ = ["gradient_maximize", "multi_start_maximize"]
+
+
+def gradient_maximize(
+    af: AcquisitionFunction,
+    x0: np.ndarray,
+    max_iter: int = 30,
+) -> Tuple[np.ndarray, float]:
+    """One bounded gradient ascent of the AF from ``x0``."""
+
+    def neg(x: np.ndarray):
+        v, g = af.value_and_grad(x)
+        return -v, -g
+
+    res = optimize.minimize(
+        neg,
+        np.clip(np.asarray(x0, dtype=float), 0.0, 1.0),
+        jac=True,
+        method="L-BFGS-B",
+        bounds=[(0.0, 1.0)] * len(x0),
+        options={"maxiter": max_iter},
+    )
+    return np.clip(res.x, 0.0, 1.0), float(-res.fun)
+
+
+def multi_start_maximize(
+    af: AcquisitionFunction,
+    starts: np.ndarray,
+    max_iter: int = 30,
+) -> Tuple[np.ndarray, float]:
+    """Gradient ascent from every start; return the best (x, AF value)."""
+    starts = np.atleast_2d(starts)
+    best_x, best_v = None, -np.inf
+    for x0 in starts:
+        x, v = gradient_maximize(af, x0, max_iter=max_iter)
+        if v > best_v:
+            best_x, best_v = x, v
+    return best_x, best_v

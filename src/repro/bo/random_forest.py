@@ -1,0 +1,144 @@
+"""Random-forest regression from scratch (surrogate for the BOCA baseline).
+
+BOCA (Chen et al.) replaces the GP with a random forest whose per-tree
+spread provides the uncertainty estimate; this module supplies that:
+bagged CART regression trees with feature subsampling, ``predict``
+returning mean and across-tree standard deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["RandomForestRegressor"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class _Tree:
+    def __init__(
+        self,
+        max_depth: int,
+        min_samples_leaf: int,
+        max_features: Optional[int],
+        rng: np.random.Generator,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self.root: Optional[_Node] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Fit bagged trees on ``(X, y)``."""
+        self.root = self._build(X, y, depth=0)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf or np.ptp(y) < 1e-12:
+            return node
+        n, d = X.shape
+        feats = (
+            self.rng.choice(d, size=min(self.max_features or d, d), replace=False)
+            if self.max_features
+            else np.arange(d)
+        )
+        best = None  # (score, feat, thr, mask)
+        base_var = y.var() * n
+        for f in feats:
+            xs = X[:, f]
+            order = np.argsort(xs, kind="stable")
+            xs_sorted = xs[order]
+            ys = y[order]
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            total_sum, total_sq = csum[-1], csq[-1]
+            for split in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if xs_sorted[split - 1] == xs_sorted[min(split, n - 1)]:
+                    continue
+                ls, lq = csum[split - 1], csq[split - 1]
+                rs, rq = total_sum - ls, total_sq - lq
+                sse = (lq - ls * ls / split) + (rq - rs * rs / (n - split))
+                if best is None or sse < best[0]:
+                    thr = 0.5 * (xs_sorted[split - 1] + xs_sorted[split])
+                    best = (sse, f, thr)
+        if best is None or best[0] >= base_var - 1e-12:
+            return node
+        _, f, thr = best
+        mask = X[:, f] <= thr
+        if mask.all() or not mask.any():
+            return node
+        node.feature = int(f)
+        node.threshold = float(thr)
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty(len(X))
+        for i, x in enumerate(X):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if x[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+
+class RandomForestRegressor:
+    """Bagged regression trees with mean/std prediction."""
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: int = 10,
+        min_samples_leaf: int = 2,
+        max_features: Optional[str] = "third",
+        seed: SeedLike = None,
+    ) -> None:
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = as_generator(seed)
+        self._trees: List[_Tree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Fit bagged trees on ``(X, y)``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float)
+        n, d = X.shape
+        if self.max_features == "third":
+            mf = max(1, d // 3)
+        elif self.max_features == "sqrt":
+            mf = max(1, int(np.sqrt(d)))
+        else:
+            mf = None
+        self._trees = []
+        for _ in range(self.n_trees):
+            idx = self.rng.integers(0, n, size=n)  # bootstrap
+            tree = _Tree(self.max_depth, self.min_samples_leaf, mf, self.rng)
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean prediction and across-tree standard deviation."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        preds = np.stack([t.predict(X) for t in self._trees])
+        return preds.mean(0), preds.std(0)

@@ -1,0 +1,121 @@
+"""TuRBO-1-style trust-region local Bayesian optimisation (baseline).
+
+Simplified from Eriksson et al.: one trust region centred on the incumbent
+best, side length doubled after ``succ_tol`` consecutive improvements and
+halved after ``fail_tol`` consecutive failures; restarts from scratch when
+the region collapses.  Candidates are scored with a UCB over the local GP
+(standing in for the original's Thompson sampling, which needs scalable
+joint draws).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.bo.aibo import AIBOResult
+from repro.bo.gp import GaussianProcess
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["TuRBO"]
+
+
+class TuRBO:
+    """Single-trust-region local BO over the unit box (minimisation)."""
+
+    def __init__(
+        self,
+        dim: int,
+        seed: SeedLike = None,
+        n_init: int = 20,
+        length_init: float = 0.8,
+        length_min: float = 0.5**7,
+        length_max: float = 1.6,
+        succ_tol: int = 3,
+        fail_tol: Optional[int] = None,
+        n_candidates: int = 512,
+        beta: float = 1.96,
+    ) -> None:
+        self.dim = dim
+        self.rng = as_generator(seed)
+        self.n_init = n_init
+        self.length_init = length_init
+        self.length_min = length_min
+        self.length_max = length_max
+        self.succ_tol = succ_tol
+        self.fail_tol = fail_tol if fail_tol is not None else max(4, dim // 10)
+        self.n_candidates = n_candidates
+        self.beta = beta
+
+    def minimize(self, fn: Callable[[np.ndarray], float], budget: int) -> AIBOResult:
+        """Minimise ``fn`` over the unit box within ``budget`` evaluations."""
+        X: List[np.ndarray] = []
+        y: List[float] = []
+
+        def restart_state():
+            return {
+                "length": self.length_init,
+                "succ": 0,
+                "fail": 0,
+                "X": [],
+                "y": [],
+            }
+
+        state = restart_state()
+        n_init = min(self.n_init, budget)
+        for x in self.rng.random((n_init, self.dim)):
+            v = float(fn(x))
+            X.append(x)
+            y.append(v)
+            state["X"].append(x)
+            state["y"].append(v)
+
+        gp = GaussianProcess(self.dim, seed=self.rng)
+        while len(y) < budget:
+            lx = np.asarray(state["X"])
+            ly = np.asarray(state["y"])
+            gp.fit(lx, ly, optimize_hypers=True)
+            centre = lx[int(np.argmin(ly))]
+            # anisotropic box from ARD length-scales (TuRBO's weighting)
+            ls = gp.kernel.lengthscales
+            w = ls / np.prod(ls) ** (1.0 / self.dim)
+            half = 0.5 * state["length"] * w
+            lo = np.clip(centre - half, 0.0, 1.0)
+            hi = np.clip(centre + half, 0.0, 1.0)
+            cand = lo + (hi - lo) * self.rng.random((self.n_candidates, self.dim))
+            mu, sigma = gp.predict(cand)
+            score = -mu + np.sqrt(self.beta) * sigma
+            x_new = cand[int(np.argmax(score))]
+            v = float(fn(x_new))
+            X.append(x_new)
+            y.append(v)
+            improved = v < ly.min() - 1e-3 * abs(ly.min())
+            state["X"].append(x_new)
+            state["y"].append(v)
+            if improved:
+                state["succ"] += 1
+                state["fail"] = 0
+            else:
+                state["succ"] = 0
+                state["fail"] += 1
+            if state["succ"] >= self.succ_tol:
+                state["length"] = min(self.length_max, 2.0 * state["length"])
+                state["succ"] = 0
+            elif state["fail"] >= self.fail_tol:
+                state["length"] /= 2.0
+                state["fail"] = 0
+            if state["length"] < self.length_min and len(y) < budget:
+                state = restart_state()
+                n0 = min(self.n_init, budget - len(y))
+                for x in self.rng.random((n0, self.dim)):
+                    v = float(fn(x))
+                    X.append(x)
+                    y.append(v)
+                    state["X"].append(x)
+                    state["y"].append(v)
+                if not state["X"]:
+                    break
+
+        y_arr = np.asarray(y)
+        return AIBOResult(np.asarray(X), y_arr, np.minimum.accumulate(y_arr), {})

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tune``       run CITROEN (or a baseline) on a benchmark program
+``programs``   list the available benchmark programs
+``passes``     list the phase-ordering pass alphabet
+``motivate``   print the Table 5.1 motivation rows live
+``compare``    run several tuners on one program and print the leaderboard
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    AutotuningTask,
+    BOCATuner,
+    Citroen,
+    EnsembleTuner,
+    GATuner,
+    RandomSearchTuner,
+    available_passes,
+    cbench_names,
+    cbench_program,
+    spec_names,
+    spec_program,
+)
+
+__all__ = ["main"]
+
+_TUNERS = {
+    "citroen": lambda task, seed: Citroen(task, seed=seed),
+    "random": lambda task, seed: RandomSearchTuner(task, seed=seed),
+    "ga": lambda task, seed: GATuner(task, seed=seed),
+    "ensemble": lambda task, seed: EnsembleTuner(task, seed=seed),
+    "boca": lambda task, seed: BOCATuner(task, seed=seed),
+}
+
+
+def _load_program(name: str):
+    if name in cbench_names():
+        return cbench_program(name)
+    if name in spec_names():
+        return spec_program(name)
+    raise SystemExit(
+        f"unknown program {name!r}; see `python -m repro programs`"
+    )
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    task = AutotuningTask(
+        _load_program(args.program),
+        platform=args.platform,
+        seed=args.seed,
+        seq_length=args.seq_length,
+    )
+    print(f"program      : {args.program}")
+    print(f"platform     : {args.platform}")
+    print(f"hot modules  : {task.hot_modules}")
+    print(f"-O3 runtime  : {task.o3_runtime * 1e6:.2f} us")
+    tuner = _TUNERS[args.tuner](task, args.seed)
+    result = tuner.tune(args.budget)
+    print(f"\nbest runtime : {result.best_runtime * 1e6:.2f} us")
+    print(f"speedup/-O3  : {result.speedup_over_o3():.3f}x")
+    if args.show_sequences:
+        for module, seq in result.best_config.items():
+            print(f"\n[{module}]\n  {' '.join(seq)}")
+    return 0
+
+
+def _cmd_programs(_args: argparse.Namespace) -> int:
+    print("cBench-like:")
+    for n in cbench_names():
+        print(f"   {n}")
+    print("SPEC-like:")
+    for n in spec_names():
+        print(f"   {n}")
+    return 0
+
+
+def _cmd_passes(_args: argparse.Namespace) -> int:
+    for p in available_passes():
+        print(p)
+    return 0
+
+
+def _cmd_motivate(_args: argparse.Namespace) -> int:
+    from repro import pipeline
+    from repro.machine import Profiler, get_platform
+    from repro.machine.interp import run_program
+
+    sequences = [
+        ["mem2reg", "slp-vectorizer"],
+        ["slp-vectorizer", "mem2reg"],
+        ["instcombine", "mem2reg", "slp-vectorizer"],
+        ["mem2reg", "instcombine", "slp-vectorizer"],
+        ["mem2reg", "slp-vectorizer", "instcombine"],
+    ]
+    program = cbench_program("telecom_gsm")
+    platform = get_platform("arm-a57")
+    profiler = Profiler(platform, seed=0)
+    target = platform.target_info()
+    ref = program.reference_output().output_signature()
+    o3_linked, _ = program.compile(
+        {m.name: pipeline("-O3") for m in program.modules}, target
+    )
+    o3 = profiler.measure(o3_linked).seconds
+    print(f"{'pass sequence':45s}{'SLP.NVI':>9s}{'widened':>9s}{'speedup':>9s}")
+    for seq in sequences:
+        config = {m.name: pipeline("-O3") for m in program.modules}
+        config["long_term"] = seq
+        linked, results = program.compile(config, target)
+        assert run_program(linked, fuel=program.fuel).output_signature() == ref
+        t = profiler.measure(linked).seconds
+        st = results["long_term"].stats_json()
+        print(
+            f"{' '.join(seq):45s}"
+            f"{st.get('slp-vectorizer.NumVectorInstructions', 0):9d}"
+            f"{st.get('instcombine.NumWidened', 0):9d}"
+            f"{o3 / t:8.2f}x"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.reporting import ascii_curve, leaderboard
+
+    results = {}
+    for name in args.tuners.split(","):
+        name = name.strip()
+        task = AutotuningTask(
+            _load_program(args.program), platform=args.platform, seed=args.seed
+        )
+        results[name] = _TUNERS[name](task, args.seed).tune(args.budget)
+    print(ascii_curve(results))
+    print()
+    print(leaderboard(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CITROEN compiler phase-ordering autotuner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser("tune", help="tune one program")
+    tune.add_argument("program")
+    tune.add_argument("--tuner", choices=sorted(_TUNERS), default="citroen")
+    tune.add_argument("--budget", type=int, default=100)
+    tune.add_argument("--platform", choices=["arm-a57", "amd-x86"], default="arm-a57")
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--seq-length", type=int, default=32)
+    tune.add_argument("--show-sequences", action="store_true")
+    tune.set_defaults(func=_cmd_tune)
+
+    progs = sub.add_parser("programs", help="list benchmark programs")
+    progs.set_defaults(func=_cmd_programs)
+
+    passes = sub.add_parser("passes", help="list the pass alphabet")
+    passes.set_defaults(func=_cmd_passes)
+
+    motivate = sub.add_parser("motivate", help="print the Table 5.1 motivation")
+    motivate.set_defaults(func=_cmd_motivate)
+
+    compare = sub.add_parser("compare", help="compare tuners on one program")
+    compare.add_argument("program")
+    compare.add_argument("--tuners", default="citroen,random,ga,boca")
+    compare.add_argument("--budget", type=int, default=60)
+    compare.add_argument("--platform", choices=["arm-a57", "amd-x86"], default="arm-a57")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

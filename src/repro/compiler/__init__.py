@@ -1,0 +1,69 @@
+"""The mini-LLVM compiler substrate: IR, analyses, passes, pipelines."""
+
+from repro.compiler.ir import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    PTR,
+    VOID,
+    Block,
+    Const,
+    Function,
+    GlobalVar,
+    Instr,
+    Module,
+    Type,
+    vec,
+)
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.opt_tool import CompileResult, available_passes, run_opt
+from repro.compiler.pass_manager import PassManager, TargetInfo, registry
+from repro.compiler.pipelines import LLVM10_PASSES, O3, PIPELINES, SEARCH_PASSES, pipeline
+from repro.compiler.statistics import StatsCollector
+from repro.compiler.textual import IRParseError, parse_module, print_function, print_module
+from repro.compiler.verify import VerifyError, verify_function, verify_module
+
+__all__ = [
+    "Block",
+    "CompileResult",
+    "Const",
+    "Function",
+    "FunctionBuilder",
+    "GlobalVar",
+    "Instr",
+    "LLVM10_PASSES",
+    "Module",
+    "O3",
+    "PIPELINES",
+    "PassManager",
+    "SEARCH_PASSES",
+    "StatsCollector",
+    "IRParseError",
+    "parse_module",
+    "print_function",
+    "print_module",
+    "TargetInfo",
+    "Type",
+    "VerifyError",
+    "available_passes",
+    "c",
+    "pipeline",
+    "registry",
+    "run_opt",
+    "verify_function",
+    "verify_module",
+    "F32",
+    "F64",
+    "I1",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "PTR",
+    "VOID",
+    "vec",
+]

@@ -1,0 +1,51 @@
+"""``opt``-like driver: apply a pass sequence, collect ``-stats-json``.
+
+This is the programmatic stand-in for shelling out to
+``opt -passes=... -stats -stats-json``: it clones the input module (the
+"source file"), runs the sequence, and returns the optimised module together
+with the statistics dictionary.  Compilation is cheap relative to execution,
+matching the cost asymmetry CITROEN exploits (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler import passes as _passes  # noqa: F401  (registers passes)
+from repro.compiler.ir import Module
+from repro.compiler.pass_manager import PassManager, TargetInfo, registry
+from repro.compiler.statistics import StatsCollector
+
+__all__ = ["CompileResult", "run_opt", "available_passes"]
+
+
+@dataclass
+class CompileResult:
+    """Output of one ``opt`` invocation."""
+
+    module: Module
+    stats: StatsCollector
+    sequence: List[str]
+
+    def stats_json(self) -> Dict[str, int]:
+        """Flat ``{"pass.Counter": value}`` statistics dict."""
+        return self.stats.as_dict()
+
+
+def run_opt(
+    module: Module,
+    sequence: Sequence[str],
+    target: Optional[TargetInfo] = None,
+    verify_each: bool = False,
+) -> CompileResult:
+    """Apply ``sequence`` to a *clone* of ``module``; the input is untouched."""
+    work = module.clone()
+    pm = PassManager(sequence, target=target, verify_each=verify_each)
+    stats = pm.run(work)
+    return CompileResult(work, stats, list(sequence))
+
+
+def available_passes() -> List[str]:
+    """All registered pass names (the phase-ordering alphabet, Table 5.3)."""
+    return sorted(registry.names())

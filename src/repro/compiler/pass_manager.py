@@ -1,0 +1,163 @@
+"""Pass base classes, the pass registry, and the sequencing pass manager.
+
+A *pass sequence* — the genome that CITROEN and every baseline search over —
+is simply a list of registered pass names.  The pass manager applies them in
+order to a module, collecting statistics, exactly like
+``opt -passes=p1,p2,... -stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.compiler.ir import Function, Module
+from repro.compiler.statistics import StatsCollector
+from repro.compiler.verify import verify_module
+
+__all__ = [
+    "Pass",
+    "FunctionPass",
+    "ModulePass",
+    "PassRegistry",
+    "registry",
+    "register",
+    "PassManager",
+    "TargetInfo",
+]
+
+
+class TargetInfo:
+    """Target knobs visible to profitability heuristics inside passes.
+
+    ``vector_bits`` bounds the widest vector the SLP/loop vectorisers may
+    form; ``unroll_threshold`` bounds full unrolling; ``inline_threshold``
+    bounds inlining.  Different platforms expose different values, which is
+    why the best pass sequence is platform-dependent (§5.4.2).
+    """
+
+    def __init__(
+        self,
+        vector_bits: int = 128,
+        unroll_threshold: int = 192,
+        inline_threshold: int = 45,
+        min_vector_lanes: int = 4,
+    ) -> None:
+        self.vector_bits = vector_bits
+        self.unroll_threshold = unroll_threshold
+        self.inline_threshold = inline_threshold
+        self.min_vector_lanes = min_vector_lanes
+
+
+class Pass:
+    """Base class: subclasses set ``name`` and implement ``run_on_module``."""
+
+    name: str = "<abstract>"
+    #: whether the pass only analyses / normalises (listed but cheap)
+    is_analysis: bool = False
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        """Apply the pass to ``module``; returns whether the IR changed."""
+        raise NotImplementedError
+
+
+class FunctionPass(Pass):
+    """A pass applied independently to every function in the module."""
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        changed = False
+        for fn in list(module.functions.values()):
+            if self.run_on_function(fn, module, stats, target):
+                changed = True
+        return changed
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        """Apply the pass to one function; returns whether it changed."""
+        raise NotImplementedError
+
+
+class ModulePass(Pass):
+    """A pass that needs whole-module scope (inlining, IPO)."""
+
+
+class PassRegistry:
+    """Name -> pass factory registry; the search space enumerates its keys."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], Pass]] = {}
+
+    def add(self, name: str, factory: Callable[[], Pass]) -> None:
+        """Register a pass factory under ``name``."""
+        if name in self._factories:
+            raise ValueError(f"pass {name!r} already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str) -> Pass:
+        """Instantiate the pass registered under ``name``."""
+        try:
+            return self._factories[name]()
+        except KeyError:
+            raise KeyError(f"unknown pass {name!r}") from None
+
+    def names(self) -> List[str]:
+        """All registered pass names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+
+registry = PassRegistry()
+
+
+def register(cls):
+    """Class decorator: register a Pass subclass under its ``name``."""
+    registry.add(cls.name, cls)
+    return cls
+
+
+class PassManager:
+    """Applies a named pass sequence to a module.
+
+    Parameters
+    ----------
+    sequence:
+        Pass names, applied in order (repeats allowed — a pass may usefully
+        run many times, §1.1).
+    target:
+        Profitability knobs for the platform being compiled for.
+    verify_each:
+        Run the structural verifier after every pass (used by the test
+        suite; off by default for speed).
+    """
+
+    def __init__(
+        self,
+        sequence: Sequence[str],
+        target: Optional[TargetInfo] = None,
+        verify_each: bool = False,
+    ) -> None:
+        unknown = [n for n in sequence if n not in registry]
+        if unknown:
+            raise KeyError(f"unknown passes: {unknown}")
+        self.sequence = list(sequence)
+        self.target = target if target is not None else TargetInfo()
+        self.verify_each = verify_each
+
+    def run(self, module: Module, stats: Optional[StatsCollector] = None) -> StatsCollector:
+        """Apply the sequence to ``module`` in place; returns the statistics."""
+        if stats is None:
+            stats = StatsCollector()
+        for name in self.sequence:
+            pss = registry.create(name)
+            pss.run_on_module(module, stats, self.target)
+            if self.verify_each:
+                try:
+                    verify_module(module)
+                except AssertionError as exc:  # pragma: no cover - bug trap
+                    raise AssertionError(f"IR invalid after pass {name!r}: {exc}") from exc
+        return stats

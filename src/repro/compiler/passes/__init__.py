@@ -1,0 +1,22 @@
+"""Optimisation passes.
+
+Importing this package registers every pass with
+:data:`repro.compiler.pass_manager.registry`.  The registry's key set is the
+phase-ordering search alphabet (Table 5.3 in the paper).
+"""
+
+from repro.compiler.passes import (  # noqa: F401  (import for registration side effects)
+    dce,
+    gvn,
+    instcombine,
+    ipo,
+    loops,
+    mem2reg,
+    memcpyopt,
+    simplifycfg,
+    vectorize,
+)
+
+from repro.compiler.pass_manager import registry
+
+__all__ = ["registry"]

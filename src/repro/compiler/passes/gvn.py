@@ -1,0 +1,241 @@
+"""Redundancy elimination: ``early-cse``, ``gvn``, ``sccp``.
+
+``early-cse`` is block-local and also performs store-to-load forwarding;
+``gvn`` numbers pure expressions over the dominator tree; ``sccp`` folds
+constants and resolves conditional branches whose condition becomes
+constant.  Calls participate only when ``function-attrs`` has marked the
+callee ``readnone`` — the inter-pass interaction the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compiler.analysis import immediate_dominators, reachable_blocks
+from repro.compiler.ir import (
+    BIN_OPS,
+    Const,
+    Function,
+    Instr,
+    Module,
+    Operand,
+    is_commutative,
+)
+from repro.compiler.pass_manager import FunctionPass, TargetInfo, register
+from repro.compiler.passes.instcombine import _simplify_instr
+from repro.compiler.passes.utils import resolve_chain
+from repro.compiler.statistics import StatsCollector
+
+__all__ = ["EarlyCSE", "GVN", "SCCP"]
+
+
+def _expr_key(inst: Instr, module: Module) -> Optional[Tuple]:
+    """Hashable value-number key for instructions safe to deduplicate."""
+    op = inst.op
+    if op in BIN_OPS and not inst.ty.is_vec:
+        a, b = inst.args
+        ka = a if isinstance(a, str) else ("c", a.value, a.ty)
+        kb = b if isinstance(b, str) else ("c", b.value, b.ty)
+        if is_commutative(op) and repr(ka) > repr(kb):
+            ka, kb = kb, ka
+        # division may trap; only CSE when the divisor is a non-zero const
+        if op in ("sdiv", "srem", "udiv", "urem"):
+            if not (isinstance(b, Const) and b.value != 0):
+                return None
+        return (op, inst.ty, ka, kb)
+    if op in ("sext", "zext", "trunc", "sitofp", "fptosi", "gep", "icmp", "fcmp", "select", "gaddr"):
+        parts: List = [op, inst.ty]
+        for a in inst.args:
+            parts.append(a if isinstance(a, str) else ("c", a.value, a.ty))
+        for k in sorted(inst.attrs):
+            v = inst.attrs[k]
+            parts.append((k, v if isinstance(v, (str, int, float)) else repr(v)))
+        return tuple(parts)
+    if op == "call":
+        callee = module.functions.get(inst.attrs["callee"])
+        if callee is not None and "readnone" in callee.attrs:
+            parts = [op, inst.attrs["callee"]]
+            for a in inst.args:
+                parts.append(a if isinstance(a, str) else ("c", a.value, a.ty))
+            return tuple(parts)
+    return None
+
+
+@register
+class EarlyCSE(FunctionPass):
+    """Block-local common-subexpression and redundant-load elimination."""
+
+    name = "early-cse"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        mapping: Dict[str, Operand] = {}
+        n_cse = n_load = 0
+        for blk in fn.blocks.values():
+            avail: Dict[Tuple, str] = {}
+            known_mem: Dict[str, Operand] = {}  # SSA ptr -> last known value
+            kept: List[Instr] = []
+            for inst in blk.instrs:
+                inst.replace_uses(mapping)
+                op = inst.op
+                if op == "load" and isinstance(inst.args[0], str):
+                    ptr = inst.args[0]
+                    if ptr in known_mem:
+                        mapping[inst.res] = resolve_chain(mapping, known_mem[ptr])
+                        n_load += 1
+                        continue
+                    known_mem[ptr] = inst.res
+                    kept.append(inst)
+                    continue
+                if op == "store":
+                    val, ptr = inst.args
+                    # a store invalidates all other remembered locations
+                    # (conservative aliasing) but makes its own value known
+                    known_mem.clear()
+                    if isinstance(ptr, str):
+                        known_mem[ptr] = val
+                    kept.append(inst)
+                    continue
+                if op in ("call", "memcpy", "memset", "vstore"):
+                    callee = module.functions.get(inst.attrs.get("callee", "")) if op == "call" else None
+                    pure = callee is not None and (
+                        "readnone" in callee.attrs or "readonly" in callee.attrs
+                    )
+                    if not pure:
+                        known_mem.clear()
+                key = _expr_key(inst, module)
+                if key is not None:
+                    prev = avail.get(key)
+                    if prev is not None:
+                        mapping[inst.res] = prev
+                        n_cse += 1
+                        continue
+                    avail[key] = inst.res
+                kept.append(inst)
+            blk.instrs = kept
+        if mapping:
+            fn.replace_all_uses(mapping)
+        stats.bump(self.name, "NumCSE", n_cse)
+        stats.bump(self.name, "NumCSELoad", n_load)
+        return bool(mapping)
+
+
+@register
+class GVN(FunctionPass):
+    """Dominator-scoped global value numbering of pure expressions."""
+
+    name = "gvn"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        idom = immediate_dominators(fn)
+        reach = reachable_blocks(fn)
+        children: Dict[str, List[str]] = {b: [] for b in reach}
+        entry = fn.entry.name
+        for b, d in idom.items():
+            if d is not None and b != entry and b in reach:
+                children[d].append(b)
+
+        mapping: Dict[str, Operand] = {}
+        n_gvn = 0
+        avail: Dict[Tuple, str] = {}
+
+        # iterative preorder walk of the dominator tree with scope unwinding
+        stack: List[Tuple[str, bool]] = [(entry, False)]
+        scope_added: Dict[str, List[Tuple]] = {}
+        while stack:
+            bname, done = stack.pop()
+            if done:
+                for key in scope_added.pop(bname, ()):
+                    avail.pop(key, None)
+                continue
+            added: List[Tuple] = []
+            blk = fn.blocks[bname]
+            kept: List[Instr] = []
+            for inst in blk.instrs:
+                inst.replace_uses(mapping)
+                key = _expr_key(inst, module)
+                if key is not None and inst.res is not None:
+                    prev = avail.get(key)
+                    if prev is not None:
+                        mapping[inst.res] = prev
+                        n_gvn += 1
+                        continue
+                    avail[key] = inst.res
+                    added.append(key)
+                kept.append(inst)
+            blk.instrs = kept
+            scope_added[bname] = added
+            stack.append((bname, True))
+            for child in children.get(bname, ()):
+                stack.append((child, False))
+        if mapping:
+            fn.replace_all_uses(mapping)
+        stats.bump(self.name, "NumGVNInstr", n_gvn)
+        return n_gvn > 0
+
+
+@register
+class SCCP(FunctionPass):
+    """Constant propagation with conditional-branch resolution."""
+
+    name = "sccp"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        changed_any = False
+        for _ in range(4):
+            defs = fn.defs()
+            mapping: Dict[str, Operand] = {}
+            removed = 0
+            for blk in fn.blocks.values():
+                kept: List[Instr] = []
+                for inst in blk.instrs:
+                    inst.replace_uses(mapping)
+                    if inst.op == "br":
+                        cond = inst.args[0]
+                        if isinstance(cond, Const):
+                            target_blk = inst.attrs["targets"][0 if cond.value else 1]
+                            inst.op = "jmp"
+                            inst.args = []
+                            inst.attrs = {"target": target_blk}
+                            removed += 1
+                        kept.append(inst)
+                        continue
+                    simplified = _simplify_instr(inst, defs)
+                    if (
+                        simplified is not None
+                        and isinstance(simplified, Const)
+                        and inst.res is not None
+                    ):
+                        mapping[inst.res] = simplified
+                        removed += 1
+                        continue
+                    kept.append(inst)
+                blk.instrs = kept
+            if mapping:
+                fn.replace_all_uses(mapping)
+            if removed == 0:
+                break
+            stats.bump(self.name, "NumInstRemoved", removed)
+            changed_any = True
+        # folding branches may strand phi edges from now-unreachable preds
+        if changed_any:
+            self._prune_phi_edges(fn)
+        return changed_any
+
+    @staticmethod
+    def _prune_phi_edges(fn: Function) -> None:
+        from repro.compiler.passes.utils import remove_trivial_phis
+
+        preds = fn.predecessors()
+        for bname, blk in fn.blocks.items():
+            actual = set(preds[bname])
+            for inst in blk.phis():
+                inc = [(b, v) for b, v in inst.attrs["incoming"] if b in actual]
+                if len(inc) != len(inst.attrs["incoming"]):
+                    inst.attrs["incoming"] = inc
+        remove_trivial_phis(fn)

@@ -1,0 +1,477 @@
+"""Peephole instruction combining and algebraic simplification passes.
+
+``instcombine`` here implements the subset of LLVM's combiner that drives
+the paper's motivating interaction (Fig 5.1): merging sign-extension chains
+and *widening* ``sext(mul(sext a, sext b))`` into an i64 multiply.  The
+widening is semantics-preserving (an i16×i16 product cannot overflow i32)
+but it changes the element types later vectorisers see, destroying SLP
+profitability — precisely the kind of non-local effect that makes phase
+ordering hard and that compilation statistics expose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.compiler.ir import (
+    BIN_OPS,
+    Const,
+    FLOAT_BIN_OPS,
+    Function,
+    I64,
+    INT_BIN_OPS,
+    Instr,
+    Module,
+    Operand,
+    is_commutative,
+)
+from repro.compiler.pass_manager import FunctionPass, TargetInfo, register
+from repro.compiler.passes.utils import fold_int_binop, resolve_chain
+from repro.compiler.statistics import StatsCollector
+
+__all__ = ["InstCombine", "InstSimplify", "AggressiveInstCombine", "Reassociate", "BDCE", "DivRemPairs"]
+
+_INVERT_PRED = {
+    "eq": "ne",
+    "ne": "eq",
+    "slt": "sge",
+    "sge": "slt",
+    "sgt": "sle",
+    "sle": "sgt",
+    "ult": "uge",
+    "uge": "ult",
+    "ugt": "ule",
+    "ule": "ugt",
+}
+
+
+def _is_const(v: Operand, value=None) -> bool:
+    if not isinstance(v, Const):
+        return False
+    return value is None or v.value == value
+
+
+def _simplify_instr(inst: Instr, defs: Dict[str, Instr]) -> Optional[Operand]:
+    """Return a replacement operand for ``inst`` if it simplifies away."""
+    op = inst.op
+    ty = inst.ty
+    if op in INT_BIN_OPS and not ty.is_vec:
+        a, b = inst.args
+        if isinstance(a, Const) and isinstance(b, Const):
+            folded = fold_int_binop(op, a.value, b.value, ty.bits)
+            if folded is not None:
+                return Const(folded, ty)
+        if op == "add":
+            if _is_const(b, 0):
+                return a
+            if _is_const(a, 0):
+                return b
+        elif op == "sub":
+            if _is_const(b, 0):
+                return a
+            if isinstance(a, str) and a == b:
+                return Const(0, ty)
+        elif op == "mul":
+            if _is_const(b, 1):
+                return a
+            if _is_const(a, 1):
+                return b
+            if _is_const(b, 0) or _is_const(a, 0):
+                return Const(0, ty)
+        elif op == "sdiv":
+            if _is_const(b, 1):
+                return a
+        elif op == "and":
+            if _is_const(b, -1):
+                return a
+            if _is_const(a, -1):
+                return b
+            if _is_const(b, 0) or _is_const(a, 0):
+                return Const(0, ty)
+            if isinstance(a, str) and a == b:
+                return a
+        elif op == "or":
+            if _is_const(b, 0):
+                return a
+            if _is_const(a, 0):
+                return b
+            if isinstance(a, str) and a == b:
+                return a
+        elif op == "xor":
+            if _is_const(b, 0):
+                return a
+            if _is_const(a, 0):
+                return b
+            if isinstance(a, str) and a == b:
+                return Const(0, ty)
+        elif op in ("shl", "ashr", "lshr"):
+            if _is_const(b, 0):
+                return a
+    elif op in FLOAT_BIN_OPS and not ty.is_vec:
+        a, b = inst.args
+        if isinstance(a, Const) and isinstance(b, Const):
+            from repro.machine.interp import InterpError, _float_bin
+
+            try:
+                return Const(_float_bin(op, a.value, b.value), ty)
+            except InterpError:
+                pass
+        if op == "fadd" and _is_const(b, 0.0):
+            return a
+        if op == "fsub" and _is_const(b, 0.0):
+            return a
+        if op == "fmul" and _is_const(b, 1.0):
+            return a
+        if op == "fdiv" and _is_const(b, 1.0):
+            return a
+    elif op == "icmp":
+        a, b = inst.args
+        if isinstance(a, Const) and isinstance(b, Const):
+            from repro.machine.interp import _icmp
+
+            return Const(1 if _icmp(inst.attrs["pred"], a.value, b.value) else 0, inst.ty)
+        if isinstance(a, str) and a == b:
+            return Const(1 if inst.attrs["pred"] in ("eq", "sle", "sge", "ule", "uge") else 0, inst.ty)
+    elif op == "select":
+        cond, x, y = inst.args
+        if isinstance(cond, Const):
+            return x if cond.value else y
+        if isinstance(x, (str,)) and x == y:
+            return x
+        if isinstance(x, Const) and isinstance(y, Const) and x == y:
+            return x
+    elif op == "sext":
+        src = inst.args[0]
+        if isinstance(src, Const):
+            return Const(src.value, ty)
+    elif op == "zext":
+        src = inst.args[0]
+        if isinstance(src, Const) and src.value >= 0:
+            return Const(src.value, ty)
+    elif op == "trunc":
+        src = inst.args[0]
+        if isinstance(src, Const):
+            folded = fold_int_binop("add", src.value, 0, ty.bits)
+            if folded is not None:
+                return Const(folded, ty)
+        if isinstance(src, str):
+            d = defs.get(src)
+            # trunc (sext/zext x) back to the original width -> x
+            if d is not None and d.op in ("sext", "zext"):
+                inner = d.args[0]
+                inner_bits = inner.ty.bits if isinstance(inner, Const) else None
+                if inner_bits is None and isinstance(inner, str):
+                    dd = defs.get(inner)
+                    inner_bits = dd.ty.bits if dd is not None else None
+                if inner_bits == ty.bits:
+                    return inner
+    return None
+
+
+def _sext_source_bits(v: Operand, defs: Dict[str, Instr], params: Dict[str, int]) -> Optional[int]:
+    """If ``v`` is a sign-extension, the bit width of its ultimate source."""
+    if isinstance(v, str):
+        d = defs.get(v)
+        if d is not None and d.op == "sext":
+            src = d.args[0]
+            if isinstance(src, Const):
+                return src.ty.bits
+            dd = defs.get(src)
+            if dd is not None:
+                return dd.ty.bits
+            return params.get(src)
+    return None
+
+
+@register
+class InstCombine(FunctionPass):
+    """Combine and canonicalise instructions (LLVM ``instcombine``)."""
+
+    name = "instcombine"
+    max_iterations = 3
+    #: whether the width-increasing sext(mul/add) combine runs (the
+    #: SLP-hostile transform of Fig 5.1c)
+    widen_arith = True
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        changed_any = False
+        for _ in range(self.max_iterations):
+            if not self._one_round(fn, stats):
+                break
+            changed_any = True
+            stats.bump(self.name, "NumWorklistIterations")
+        return changed_any
+
+    # -- one fixpoint round --------------------------------------------------
+    def _one_round(self, fn: Function, stats: StatsCollector) -> bool:
+        defs = fn.defs()
+        params = {p: t.bits for p, t in fn.params}
+        mapping: Dict[str, Operand] = {}
+        doomed: Set[int] = set()
+        changed = False
+
+        for blk in fn.blocks.values():
+            new_instrs: List[Instr] = []
+            for inst in blk.instrs:
+                inst.replace_uses(mapping)
+                simplified = _simplify_instr(inst, defs)
+                if simplified is not None and inst.res is not None:
+                    mapping[inst.res] = resolve_chain(mapping, simplified)
+                    if isinstance(simplified, Const):
+                        stats.bump(self.name, "NumConstProp")
+                    else:
+                        stats.bump(self.name, "NumCombined")
+                    changed = True
+                    continue  # drop the instruction
+                if self._combine_in_place(fn, inst, defs, params, new_instrs, stats):
+                    changed = True
+                new_instrs.append(inst)
+            blk.instrs = new_instrs
+        if mapping:
+            fn.replace_all_uses(mapping)
+        return changed
+
+    def _combine_in_place(
+        self,
+        fn: Function,
+        inst: Instr,
+        defs: Dict[str, Instr],
+        params: Dict[str, int],
+        out: List[Instr],
+        stats: StatsCollector,
+    ) -> bool:
+        changed = False
+        # canonicalise: constants to the RHS of commutative ops
+        if inst.op in BIN_OPS and is_commutative(inst.op):
+            a, b = inst.args
+            if isinstance(a, Const) and not isinstance(b, Const):
+                inst.args[0], inst.args[1] = b, a
+                stats.bump(self.name, "NumCombined")
+                changed = True
+        # (x op c1) op c2  ->  x op (c1 op c2)  for associative int ops
+        if inst.op in ("add", "mul", "and", "or", "xor") and not inst.ty.is_vec:
+            a, b = inst.args
+            if isinstance(b, Const) and isinstance(a, str):
+                d = defs.get(a)
+                if d is not None and d.op == inst.op and isinstance(d.args[1], Const):
+                    folded = fold_int_binop(inst.op, d.args[1].value, b.value, inst.ty.bits)
+                    if folded is not None:
+                        inst.args[0] = d.args[0]
+                        inst.args[1] = Const(folded, inst.ty)
+                        stats.bump(self.name, "NumCombined")
+                        changed = True
+        # mul x, 2^k -> shl x, k
+        if inst.op == "mul" and not inst.ty.is_vec:
+            b = inst.args[1]
+            if isinstance(b, Const) and b.value > 1 and (b.value & (b.value - 1)) == 0:
+                inst.op = "shl"
+                inst.args[1] = Const(b.value.bit_length() - 1, inst.ty)
+                stats.bump(self.name, "NumCombined")
+                changed = True
+        # sext (sext x) -> single sext
+        if inst.op == "sext":
+            src = inst.args[0]
+            if isinstance(src, str):
+                d = defs.get(src)
+                if d is not None and d.op == "sext":
+                    inst.args[0] = d.args[0]
+                    stats.bump(self.name, "NumCombined")
+                    changed = True
+        # sext (binop (sext a), (sext b)) -> binop (sext a'), (sext b')  [widening]
+        if self.widen_arith and inst.op == "sext" and inst.ty.bits == 64:
+            src = inst.args[0]
+            if isinstance(src, str):
+                d = defs.get(src)
+                if d is not None and d.op in ("mul", "add") and not d.ty.is_vec and d.ty.bits == 32:
+                    bits_a = _sext_source_bits(d.args[0], defs, params)
+                    bits_b = _sext_source_bits(d.args[1], defs, params)
+                    # i16*i16 fits in i32; i16+i16 likewise: widening is exact
+                    if bits_a is not None and bits_b is not None and bits_a <= 16 and bits_b <= 16:
+                        inner_a = defs[d.args[0]].args[0]
+                        inner_b = defs[d.args[1]].args[0]
+                        wa = Instr("sext", fn.fresh("widen"), I64, (inner_a,))
+                        wb = Instr("sext", fn.fresh("widen"), I64, (inner_b,))
+                        out.append(wa)
+                        out.append(wb)
+                        defs[wa.res] = wa
+                        defs[wb.res] = wb
+                        inst.op = d.op
+                        inst.args = [wa.res, wb.res]
+                        stats.bump(self.name, "NumCombined")
+                        stats.bump(self.name, "NumWidened")
+                        changed = True
+        return changed
+
+
+@register
+class InstSimplify(FunctionPass):
+    """Simplification-only subset of instcombine (never creates instructions)."""
+
+    name = "instsimplify"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        defs = fn.defs()
+        mapping: Dict[str, Operand] = {}
+        for blk in fn.blocks.values():
+            kept: List[Instr] = []
+            for inst in blk.instrs:
+                inst.replace_uses(mapping)
+                simplified = _simplify_instr(inst, defs)
+                if simplified is not None and inst.res is not None:
+                    mapping[inst.res] = resolve_chain(mapping, simplified)
+                    stats.bump(self.name, "NumSimplified")
+                    continue
+                kept.append(inst)
+            blk.instrs = kept
+        if mapping:
+            fn.replace_all_uses(mapping)
+        return bool(mapping)
+
+
+@register
+class AggressiveInstCombine(FunctionPass):
+    """Extra pattern combines LLVM keeps out of the main combiner."""
+
+    name = "aggressive-instcombine"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        defs = fn.defs()
+        changed = False
+        for blk in fn.blocks.values():
+            for inst in blk.instrs:
+                # xor (icmp ...), 1 -> inverted icmp
+                if inst.op == "xor" and inst.ty.bits == 1:
+                    a, b = inst.args
+                    if isinstance(b, Const) and b.value == 1 and isinstance(a, str):
+                        d = defs.get(a)
+                        if d is not None and d.op == "icmp":
+                            inst.op = "icmp"
+                            inst.attrs["pred"] = _INVERT_PRED[d.attrs["pred"]]
+                            inst.args = list(d.args)
+                            stats.bump(self.name, "NumExpanded")
+                            changed = True
+                # mul x, -1 -> sub 0, x
+                elif inst.op == "mul" and not inst.ty.is_vec:
+                    b = inst.args[1]
+                    if isinstance(b, Const) and b.value == -1:
+                        inst.op = "sub"
+                        inst.args = [Const(0, inst.ty), inst.args[0]]
+                        stats.bump(self.name, "NumExpanded")
+                        changed = True
+        return changed
+
+
+@register
+class Reassociate(FunctionPass):
+    """Reassociate commutative chains to expose constant folding and CSE."""
+
+    name = "reassociate"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        from repro.compiler.analysis import use_counts
+
+        changed = False
+        uses = use_counts(fn)
+        for blk in fn.blocks.values():
+            pos = {id(i): k for k, i in enumerate(blk.instrs)}
+            by_res = {i.res: i for i in blk.instrs if i.res is not None}
+            for inst in blk.instrs:
+                if inst.op not in ("add", "mul") or inst.ty.is_vec:
+                    continue
+                a, b = inst.args
+                # (x op c) op y  ->  (x op y) op c : migrate constants outward
+                if isinstance(a, str) and isinstance(b, str) and a != b:
+                    d = by_res.get(a)
+                    if (
+                        d is not None
+                        and d.op == inst.op
+                        and isinstance(d.args[1], Const)
+                        and uses.get(a, 0) == 1
+                    ):
+                        # legality: y must already be defined at the inner op's
+                        # position.  A def outside this block dominates the
+                        # whole block (it dominates `inst`, which is later).
+                        bd = by_res.get(b)
+                        y_available = bd is None or pos[id(bd)] < pos[id(d)]
+                        if y_available:
+                            const = d.args[1]
+                            d.args[1] = b
+                            inst.args = [a, const]
+                            stats.bump(self.name, "NumChanged")
+                            changed = True
+        return changed
+
+
+@register
+class BDCE(FunctionPass):
+    """Bit-tracking DCE: removes masking that cannot change any used bit."""
+
+    name = "bdce"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        mapping: Dict[str, Operand] = {}
+        for blk in fn.blocks.values():
+            kept: List[Instr] = []
+            for inst in blk.instrs:
+                inst.replace_uses(mapping)
+                if inst.op == "and" and not inst.ty.is_vec:
+                    b = inst.args[1]
+                    full = (1 << inst.ty.bits) - 1
+                    if isinstance(b, Const) and (b.value & full) == full:
+                        mapping[inst.res] = inst.args[0]
+                        stats.bump(self.name, "NumRemoved")
+                        continue
+                kept.append(inst)
+            blk.instrs = kept
+        if mapping:
+            fn.replace_all_uses(mapping)
+        return bool(mapping)
+
+
+@register
+class DivRemPairs(FunctionPass):
+    """Recompose ``srem`` from an existing ``sdiv`` of the same operands."""
+
+    name = "div-rem-pairs"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        changed = False
+        for blk in fn.blocks.values():
+            divs: Dict[tuple, str] = {}
+            new_instrs: List[Instr] = []
+            for inst in blk.instrs:
+                if inst.op == "sdiv" and not inst.ty.is_vec:
+                    key = (inst.args[0] if isinstance(inst.args[0], str) else inst.args[0],
+                           inst.args[1] if isinstance(inst.args[1], str) else inst.args[1],
+                           inst.ty)
+                    divs[(str(key[0]), str(key[1]), inst.ty)] = inst.res
+                    new_instrs.append(inst)
+                elif inst.op == "srem" and not inst.ty.is_vec:
+                    key = (str(inst.args[0]), str(inst.args[1]), inst.ty)
+                    q = divs.get(key)
+                    if q is not None:
+                        # rem = a - (a/b)*b
+                        m = Instr("mul", fn.fresh("drp"), inst.ty, (q, inst.args[1]))
+                        s = Instr("sub", inst.res, inst.ty, (inst.args[0], m.res))
+                        new_instrs.append(m)
+                        new_instrs.append(s)
+                        stats.bump(self.name, "NumRecomposed")
+                        changed = True
+                    else:
+                        new_instrs.append(inst)
+                else:
+                    new_instrs.append(inst)
+            blk.instrs = new_instrs
+        return changed

@@ -1,0 +1,572 @@
+"""Interprocedural passes.
+
+``inline`` and ``function-attrs`` are the headline interactions here:
+inlining exposes intra-procedural optimisation, while ``function-attrs``
+marks pure callees ``readnone`` — a transformation invisible to IR-feature
+code characterisations (the paper's §3.4 critique) but clearly visible in
+compilation statistics.
+
+Functions carry an ``internal`` attribute (module-private linkage); only
+internal functions may have their signature changed or be deleted, since
+other modules may call exported ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compiler.analysis import function_may_read, function_may_write, use_counts
+from repro.compiler.ir import Block, Const, Function, Instr, Module, Operand
+from repro.compiler.pass_manager import ModulePass, TargetInfo, register
+from repro.compiler.passes.utils import remove_trivial_phis
+from repro.compiler.statistics import StatsCollector
+
+__all__ = [
+    "Inliner",
+    "FunctionAttrs",
+    "IPSCCP",
+    "DeadArgElim",
+    "ArgPromotion",
+    "GlobalOpt",
+    "GlobalDCE",
+    "ConstMerge",
+    "MergeFunc",
+    "TailCallElim",
+]
+
+
+def _may_trap(fn: Function, module: Module, _seen: Optional[Set[str]] = None) -> bool:
+    if _seen is None:
+        _seen = set()
+    if fn.name in _seen:
+        return False
+    _seen.add(fn.name)
+    for inst in fn.instructions():
+        if inst.op in ("sdiv", "srem", "udiv", "urem", "fdiv"):
+            d = inst.args[1]
+            if not (isinstance(d, Const) and d.value != 0):
+                return True
+        if inst.op == "unreachable":
+            return True
+        if inst.op == "call":
+            callee = module.functions.get(inst.attrs["callee"])
+            if callee is None or _may_trap(callee, module, _seen):
+                return True
+    return False
+
+
+@register
+class FunctionAttrs(ModulePass):
+    """Infer ``readnone``/``readonly`` attributes bottom-up."""
+
+    name = "function-attrs"
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        changed = False
+        # iterate to a fixed point so attribute inference flows up call chains
+        for _ in range(3):
+            round_changed = False
+            for fn in module.functions.values():
+                if "readnone" in fn.attrs:
+                    continue
+                writes = function_may_write(fn, module)
+                reads = function_may_read(fn, module)
+                traps = _may_trap(fn, module)
+                if not writes and not reads and not traps:
+                    fn.attrs.add("readnone")
+                    stats.bump(self.name, "NumReadNone")
+                    round_changed = True
+                elif not writes and "readonly" not in fn.attrs:
+                    fn.attrs.add("readonly")
+                    stats.bump(self.name, "NumReadOnly")
+                    round_changed = True
+            if not round_changed:
+                break
+            changed = True
+        return changed
+
+
+@register
+class Inliner(ModulePass):
+    """Inline small same-module callees into their callers."""
+
+    name = "inline"
+    max_inlines = 64
+    max_caller_size = 2000
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        changed = False
+        for _ in range(self.max_inlines):  # budget bounds mutual recursion
+            site = self._find_site(module, target)
+            if site is None:
+                break
+            caller, bname, idx = site
+            self._inline_site(module, caller, bname, idx, stats)
+            changed = True
+        return changed
+
+    def _find_site(self, module: Module, target: TargetInfo):
+        for caller in module.functions.values():
+            if caller.num_instrs() > self.max_caller_size:
+                continue
+            for bname, blk in caller.blocks.items():
+                for idx, inst in enumerate(blk.instrs):
+                    if inst.op != "call":
+                        continue
+                    callee = module.functions.get(inst.attrs["callee"])
+                    if callee is None or callee.name == caller.name:
+                        continue
+                    if "noinline" in callee.attrs:
+                        continue
+                    if self._calls_self(callee):
+                        continue
+                    cost = callee.num_instrs()
+                    if "alwaysinline" in callee.attrs or cost <= target.inline_threshold:
+                        return caller, bname, idx
+        return None
+
+    @staticmethod
+    def _calls_self(fn: Function) -> bool:
+        return any(
+            i.op == "call" and i.attrs["callee"] == fn.name for i in fn.instructions()
+        )
+
+    def _inline_site(
+        self, module: Module, caller: Function, bname: str, idx: int, stats: StatsCollector
+    ) -> None:
+        blk = caller.blocks[bname]
+        call = blk.instrs[idx]
+        callee = module.functions[call.attrs["callee"]]
+
+        # clone callee body into the caller with fresh names
+        bmap = {b: caller.fresh_block_name(f"inl.{callee.name}.{b}") for b in callee.blocks}
+        rmap: Dict[str, Operand] = {}
+        for pname, _ty in callee.params:
+            rmap[pname] = None  # placeholder, filled below
+        for (pname, _ty), arg in zip(callee.params, call.args):
+            rmap[pname] = arg
+        for cblk in callee.blocks.values():
+            for inst in cblk.instrs:
+                if inst.res is not None:
+                    rmap[inst.res] = caller.fresh(f"inl.{inst.res.lstrip('%')}")
+
+        cont_name = caller.fresh_block_name(f"{bname}.cont")
+        ret_edges: List[Tuple[str, Operand]] = []
+        for cb_name, cblk in callee.blocks.items():
+            nblk = caller.add_block(bmap[cb_name])
+            for inst in cblk.instrs:
+                ninst = inst.clone()
+                if ninst.res is not None:
+                    ninst.res = rmap[ninst.res]  # type: ignore[assignment]
+                ninst.replace_uses({k: v for k, v in rmap.items() if v is not None})
+                if ninst.op == "br":
+                    ninst.attrs["targets"] = tuple(bmap[t] for t in ninst.attrs["targets"])
+                elif ninst.op == "jmp":
+                    ninst.attrs["target"] = bmap[ninst.attrs["target"]]
+                elif ninst.op == "phi":
+                    ninst.attrs["incoming"] = [
+                        (bmap[b], v) for b, v in ninst.attrs["incoming"]
+                    ]
+                elif ninst.op == "ret":
+                    val = ninst.args[0] if ninst.args else None
+                    ret_edges.append((bmap[cb_name], val))
+                    ninst = Instr("jmp", None, target=cont_name)
+                nblk.instrs.append(ninst)
+
+        # split the caller block
+        cont = caller.add_block(cont_name)
+        cont.instrs = blk.instrs[idx + 1 :]
+        blk.instrs = blk.instrs[:idx]
+        blk.instrs.append(Instr("jmp", None, target=bmap[callee.entry.name]))
+
+        # successors of the original block now hang off the continuation
+        for sname in cont.successors():
+            if sname in caller.blocks:
+                for phi in caller.blocks[sname].phis():
+                    phi.attrs["incoming"] = [
+                        (cont_name if b == bname else b, v) for b, v in phi.attrs["incoming"]
+                    ]
+
+        # return value plumbing
+        if call.res is not None:
+            vals = [v for _, v in ret_edges]
+            if len(ret_edges) == 1:
+                caller.replace_all_uses({call.res: vals[0]})
+            else:
+                phi = Instr("phi", caller.fresh("inl.ret"), call.ty, (), incoming=ret_edges)
+                cont.instrs.insert(0, phi)
+                caller.replace_all_uses({call.res: phi.res})
+        stats.bump(self.name, "NumInlined")
+        remove_trivial_phis(caller)
+
+
+@register
+class IPSCCP(ModulePass):
+    """Propagate constants through arguments of internal functions."""
+
+    name = "ipsccp"
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        # collect, per function, the set of values each argument position sees
+        seen: Dict[str, List[Set]] = {}
+        for fn in module.functions.values():
+            for inst in fn.instructions():
+                if inst.op != "call":
+                    continue
+                callee = module.functions.get(inst.attrs["callee"])
+                if callee is None or "internal" not in callee.attrs:
+                    continue
+                slots = seen.setdefault(callee.name, [set() for _ in callee.params])
+                for k, arg in enumerate(inst.args):
+                    if isinstance(arg, Const):
+                        slots[k].add((arg.value, arg.ty))
+                    else:
+                        slots[k].add(("<nonconst>",))
+        changed = False
+        for fname, slots in seen.items():
+            fn = module.functions[fname]
+            mapping: Dict[str, Operand] = {}
+            for (pname, pty), values in zip(fn.params, slots):
+                if len(values) == 1:
+                    val = next(iter(values))
+                    if val != ("<nonconst>",):
+                        mapping[pname] = Const(val[0], val[1])
+            if mapping:
+                fn.replace_all_uses(mapping)
+                stats.bump(self.name, "IPNumArgsElimed", len(mapping))
+                changed = True
+        return changed
+
+
+@register
+class DeadArgElim(ModulePass):
+    """Drop unused parameters of internal functions (updating call sites)."""
+
+    name = "deadargelim"
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        changed = False
+        for fn in list(module.functions.values()):
+            if "internal" not in fn.attrs:
+                continue
+            used: Set[str] = set()
+            for inst in fn.instructions():
+                used.update(inst.reg_operands())
+            dead_idx = [k for k, (p, _t) in enumerate(fn.params) if p not in used]
+            if not dead_idx:
+                continue
+            dead_set = set(dead_idx)
+            fn.params = [p for k, p in enumerate(fn.params) if k not in dead_set]
+            for other in module.functions.values():
+                for inst in other.instructions():
+                    if inst.op == "call" and inst.attrs["callee"] == fn.name:
+                        inst.args = [a for k, a in enumerate(inst.args) if k not in dead_set]
+            stats.bump(self.name, "NumArgumentsEliminated", len(dead_idx))
+            changed = True
+        return changed
+
+
+@register
+class ArgPromotion(ModulePass):
+    """Pass the pointee by value when a pointer argument is only loaded once
+    unconditionally at function entry."""
+
+    name = "argpromotion"
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        changed = False
+        for fn in list(module.functions.values()):
+            if "internal" not in fn.attrs:
+                continue
+            for k, (pname, pty) in enumerate(list(fn.params)):
+                if not pty.is_ptr:
+                    continue
+                uses = [
+                    (bname, inst)
+                    for bname, blk in fn.blocks.items()
+                    for inst in blk.instrs
+                    if pname in inst.reg_operands()
+                ]
+                if len(uses) != 1:
+                    continue
+                bname, load = uses[0]
+                if load.op != "load" or bname != fn.entry.name or load.args[0] != pname:
+                    continue
+                # the pointee must be unchanged between call site and load:
+                # require no side effects before the load in the entry block
+                from repro.compiler.analysis import has_side_effects
+
+                entry_instrs = fn.entry.instrs
+                load_pos = next(i for i, x in enumerate(entry_instrs) if x is load)
+                if any(has_side_effects(x, module) for x in entry_instrs[:load_pos]):
+                    continue
+                # rewrite the callee: the param becomes the loaded value
+                fn.params[k] = (pname, load.ty)
+                fn.blocks[bname].instrs = [i for i in fn.blocks[bname].instrs if i is not load]
+                fn.replace_all_uses({load.res: pname})
+                # rewrite call sites: load before the call
+                for other in module.functions.values():
+                    for blk in other.blocks.values():
+                        new_instrs: List[Instr] = []
+                        for inst in blk.instrs:
+                            if inst.op == "call" and inst.attrs["callee"] == fn.name:
+                                ptr_arg = inst.args[k]
+                                lv = Instr("load", other.fresh("argpromo"), load.ty, (ptr_arg,))
+                                new_instrs.append(lv)
+                                inst.args[k] = lv.res
+                            new_instrs.append(inst)
+                        blk.instrs = new_instrs
+                stats.bump(self.name, "NumArgumentsPromoted")
+                changed = True
+        return changed
+
+
+@register
+class GlobalOpt(ModulePass):
+    """Constify never-written globals; delete unreferenced internal ones."""
+
+    name = "globalopt"
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        changed = False
+        # which globals does this module take the address of, and how are
+        # those addresses used?
+        addr_regs: Dict[str, Set[str]] = {}
+        for fn in module.functions.values():
+            for inst in fn.instructions():
+                if inst.op == "gaddr":
+                    addr_regs.setdefault(inst.attrs["name"], set()).add(inst.res)
+        for gv in list(module.globals.values()):
+            regs = addr_regs.get(gv.name, set())
+            if not regs:
+                if not gv.const:
+                    # unreferenced in this module; keep exported data intact
+                    continue
+                del module.globals[gv.name]
+                stats.bump(self.name, "NumDeleted")
+                changed = True
+                continue
+            if gv.const:
+                continue
+            if not self._may_be_written(module, regs):
+                gv.const = True
+                stats.bump(self.name, "NumMarked")
+                changed = True
+        return changed
+
+    @staticmethod
+    def _may_be_written(module: Module, roots: Set[str]) -> bool:
+        for fn in module.functions.values():
+            derived = set(r for r in roots)
+            grew = True
+            while grew:
+                grew = False
+                for inst in fn.instructions():
+                    if inst.op == "gep" and isinstance(inst.args[0], str) and inst.args[0] in derived:
+                        if inst.res not in derived:
+                            derived.add(inst.res)
+                            grew = True
+            for inst in fn.instructions():
+                if inst.op in ("store", "vstore") and isinstance(inst.args[1], str) and inst.args[1] in derived:
+                    return True
+                if inst.op == "memset" and isinstance(inst.args[0], str) and inst.args[0] in derived:
+                    return True
+                if inst.op == "memcpy" and isinstance(inst.args[0], str) and inst.args[0] in derived:
+                    return True
+                if inst.op == "call":
+                    for a in inst.args:
+                        if isinstance(a, str) and a in derived:
+                            return True  # address escapes into a call
+        return False
+
+
+@register
+class GlobalDCE(ModulePass):
+    """Delete internal functions unreachable from any exported function."""
+
+    name = "globaldce"
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        roots = [f.name for f in module.functions.values() if "internal" not in f.attrs]
+        live: Set[str] = set()
+        stack = list(roots)
+        while stack:
+            name = stack.pop()
+            if name in live:
+                continue
+            live.add(name)
+            fn = module.functions.get(name)
+            if fn is None:
+                continue
+            for inst in fn.instructions():
+                if inst.op == "call":
+                    stack.append(inst.attrs["callee"])
+        dead = [n for n in module.functions if n not in live]
+        for n in dead:
+            del module.functions[n]
+        stats.bump(self.name, "NumFunctions", len(dead))
+        return bool(dead)
+
+
+@register
+class ConstMerge(ModulePass):
+    """Merge identical constant globals."""
+
+    name = "constmerge"
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        canon: Dict[Tuple, str] = {}
+        renames: Dict[str, str] = {}
+        for gv in list(module.globals.values()):
+            if not gv.const:
+                continue
+            key = (gv.elem_ty, tuple(gv.init))
+            if key in canon:
+                renames[gv.name] = canon[key]
+                del module.globals[gv.name]
+            else:
+                canon[key] = gv.name
+        if not renames:
+            return False
+        for fn in module.functions.values():
+            for inst in fn.instructions():
+                if inst.op == "gaddr" and inst.attrs["name"] in renames:
+                    inst.attrs["name"] = renames[inst.attrs["name"]]
+        stats.bump(self.name, "NumMerged", len(renames))
+        return True
+
+
+def _structural_signature(fn: Function) -> Tuple:
+    """Canonical form for function-equivalence hashing."""
+    reg_ids: Dict[str, int] = {}
+
+    def rid(v) -> object:
+        if isinstance(v, Const):
+            return ("c", v.value, repr(v.ty))
+        if v not in reg_ids:
+            reg_ids[v] = len(reg_ids)
+        return ("r", reg_ids[v])
+
+    blk_ids = {name: k for k, name in enumerate(fn.blocks)}
+    sig: List = [tuple(repr(t) for _, t in fn.params), repr(fn.ret_ty)]
+    for p, _t in fn.params:
+        rid(p)
+    for name, blk in fn.blocks.items():
+        row: List = [blk_ids[name]]
+        for inst in blk.instrs:
+            entry: List = [inst.op, repr(inst.ty)]
+            entry.extend(rid(a) for a in inst.args)
+            if inst.res is not None:
+                entry.append(("def", rid(inst.res)))
+            for k in sorted(inst.attrs):
+                v = inst.attrs[k]
+                if k in ("targets",):
+                    entry.append(tuple(blk_ids.get(t, t) for t in v))
+                elif k == "target":
+                    entry.append(blk_ids.get(v, v))
+                elif k == "incoming":
+                    entry.append(tuple((blk_ids.get(b, b), rid(x)) for b, x in v))
+                elif k == "elem_ty":
+                    entry.append(repr(v))
+                else:
+                    entry.append((k, repr(v)))
+            row.append(tuple(entry))
+        sig.append(tuple(row))
+    return tuple(sig)
+
+
+@register
+class MergeFunc(ModulePass):
+    """Deduplicate structurally identical functions."""
+
+    name = "mergefunc"
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        by_sig: Dict[Tuple, str] = {}
+        renames: Dict[str, str] = {}
+        for fn in module.functions.values():
+            sig = _structural_signature(fn)
+            if sig in by_sig:
+                if "internal" in fn.attrs:
+                    renames[fn.name] = by_sig[sig]
+            else:
+                by_sig[sig] = fn.name
+        if not renames:
+            return False
+        for fn in module.functions.values():
+            for inst in fn.instructions():
+                if inst.op == "call" and inst.attrs["callee"] in renames:
+                    inst.attrs["callee"] = renames[inst.attrs["callee"]]
+        for name in renames:
+            del module.functions[name]
+        stats.bump(self.name, "NumFunctionsMerged", len(renames))
+        return True
+
+
+@register
+class TailCallElim(ModulePass):
+    """Turn self-recursive tail calls into loops."""
+
+    name = "tailcallelim"
+
+    def run_on_module(self, module: Module, stats: StatsCollector, target: TargetInfo) -> bool:
+        changed = False
+        for fn in module.functions.values():
+            if self._run_on_function(fn, stats):
+                changed = True
+        return changed
+
+    def _run_on_function(self, fn: Function, stats: StatsCollector) -> bool:
+        sites: List[Tuple[str, int]] = []
+        for bname, blk in fn.blocks.items():
+            for idx in range(len(blk.instrs) - 1):
+                inst = blk.instrs[idx]
+                nxt = blk.instrs[idx + 1]
+                if (
+                    inst.op == "call"
+                    and inst.attrs["callee"] == fn.name
+                    and nxt.op == "ret"
+                    and idx + 2 == len(blk.instrs)
+                ):
+                    ok = (not nxt.args and inst.res is None) or (
+                        nxt.args and nxt.args[0] == inst.res
+                    )
+                    if ok:
+                        sites.append((bname, idx))
+        if not sites:
+            return False
+        old_entry = fn.entry.name
+        new_entry_name = fn.fresh_block_name("tce.entry")
+        new_entry = Block(new_entry_name, [Instr("jmp", None, target=old_entry)])
+        # prepend the new entry
+        fn.blocks = {new_entry_name: new_entry, **fn.blocks}
+        # one phi per parameter in the old entry
+        phis: List[Instr] = []
+        param_map: Dict[str, Operand] = {}
+        for pname, pty in fn.params:
+            phi = Instr("phi", fn.fresh(f"tce.{pname.lstrip('%')}"), pty, (),
+                        incoming=[(new_entry_name, pname)])
+            phis.append(phi)
+            param_map[pname] = phi.res
+        old_blk = fn.blocks[old_entry]
+        for phi in reversed(phis):
+            old_blk.instrs.insert(0, phi)
+        # replace param uses everywhere except the seed edges just created
+        for blk in fn.blocks.values():
+            for inst in blk.instrs:
+                if inst in phis:
+                    continue
+                inst.replace_uses(param_map)
+        for phi in phis:
+            phi.attrs["incoming"] = [(new_entry_name, phi.attrs["incoming"][0][1])] \
+                if len(phi.attrs["incoming"]) else phi.attrs["incoming"]
+        # rewrite each tail call into a jump with phi edges
+        for bname, idx in sites:
+            blk = fn.blocks[bname]
+            call = blk.instrs[idx]
+            args = [param_map.get(a, a) if isinstance(a, str) else a for a in call.args]
+            blk.instrs = blk.instrs[:idx] + [Instr("jmp", None, target=old_entry)]
+            for phi, arg in zip(phis, args):
+                phi.attrs["incoming"].append((bname, arg))
+            stats.bump(self.name, "NumEliminated")
+        return True

@@ -1,0 +1,279 @@
+"""``mem2reg`` (promote memory to registers) and ``sroa``.
+
+``mem2reg`` rewrites scalar stack slots accessed only by loads and stores
+into SSA registers, inserting phi nodes at join points (lazy SSA
+construction in the style of Braun et al.).  It is the enabling pass for
+essentially every later optimisation — running ``slp-vectorizer`` without it
+finds nothing, which is the order-sensitivity the paper's Fig 5.1 motivates.
+
+``sroa`` (scalar replacement of aggregates) additionally splits small array
+allocas whose elements are only addressed through constant-index ``gep``\\ s
+into one scalar alloca per element, then defers to the same promotion
+engine, mirroring LLVM where SROA subsumes mem2reg.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.compiler.analysis import reachable_blocks
+from repro.compiler.ir import Const, Function, Instr, Module, Operand, PTR
+from repro.compiler.pass_manager import FunctionPass, TargetInfo, register
+from repro.compiler.passes.utils import remove_trivial_phis, resolve_chain
+from repro.compiler.statistics import StatsCollector
+
+__all__ = ["Mem2Reg", "SROA", "promote_allocas"]
+
+
+class _Symbol:
+    """Placeholder for 'value of variable ``var`` at start of block ``blk``'."""
+
+    __slots__ = ("var", "blk")
+
+    def __init__(self, var: str, blk: str) -> None:
+        self.var = var
+        self.blk = blk
+
+
+def _promotable_allocas(fn: Function, reach: Set[str]) -> List[Instr]:
+    """Scalar allocas whose only uses are direct loads and stores in
+    reachable blocks."""
+    allocas = [
+        i
+        for i in fn.instructions()
+        if i.op == "alloca" and i.attrs.get("count", 1) == 1 and not i.attrs["elem_ty"].is_vec
+    ]
+    if not allocas:
+        return []
+    candidates = {i.res: i for i in allocas}
+    for bname, blk in fn.blocks.items():
+        in_reach = bname in reach
+        for inst in blk.instrs:
+            for pos, operand in enumerate(list(inst.operands())):
+                if not isinstance(operand, str) or operand not in candidates:
+                    continue
+                ok = (
+                    in_reach
+                    and (
+                        (inst.op == "load" and pos == 0)
+                        or (inst.op == "store" and pos == 1)
+                        or inst.op == "alloca"
+                    )
+                )
+                if not ok:
+                    candidates.pop(operand, None)
+    return [candidates[r] for r in candidates]
+
+
+def promote_allocas(
+    fn: Function, stats, pass_name: str = "mem2reg"
+) -> int:
+    """Shared promotion engine for mem2reg and sroa; returns #promoted."""
+    reach = reachable_blocks(fn)
+    allocas = _promotable_allocas(fn, reach)
+    if not allocas:
+        return 0
+
+    var_ty = {a.res: a.attrs["elem_ty"] for a in allocas}
+    vars_set = set(var_ty)
+
+    # ---- phase 1: linear scan of every reachable block -------------------
+    repl: Dict[str, object] = {}  # load result -> Operand | _Symbol
+    end_val: Dict[Tuple[str, str], object] = {}  # (var, blk) -> Operand | _Symbol
+    doomed: Set[int] = set()
+    store_counts: Dict[str, int] = {v: 0 for v in vars_set}
+    load_counts: Dict[str, int] = {v: 0 for v in vars_set}
+    blocks_with_access: Dict[str, Set[str]] = {v: set() for v in vars_set}
+
+    for bname in fn.blocks:
+        if bname not in reach:
+            continue
+        cur: Dict[str, object] = {}
+        for inst in fn.blocks[bname].instrs:
+            if inst.op == "load" and isinstance(inst.args[0], str) and inst.args[0] in vars_set:
+                var = inst.args[0]
+                repl[inst.res] = cur.get(var, _Symbol(var, bname))
+                doomed.add(id(inst))
+                load_counts[var] += 1
+                blocks_with_access[var].add(bname)
+            elif inst.op == "store" and isinstance(inst.args[1], str) and inst.args[1] in vars_set:
+                var = inst.args[1]
+                val: object = inst.args[0]
+                if isinstance(val, str) and val in repl:
+                    val = repl[val]
+                cur[var] = val
+                doomed.add(id(inst))
+                store_counts[var] += 1
+                blocks_with_access[var].add(bname)
+            elif inst.op == "alloca" and inst.res in vars_set:
+                doomed.add(id(inst))
+        for var, val in cur.items():
+            end_val[(var, bname)] = val
+
+    # ---- phase 2: resolve start-of-block symbols, creating phis ----------
+    preds_all = fn.predecessors()
+    start_memo: Dict[Tuple[str, str], Operand] = {}
+    created_phis: List[Tuple[str, Instr]] = []
+    entry_name = fn.entry.name
+
+    def zero(var: str) -> Const:
+        ty = var_ty[var]
+        return Const(0.0 if ty.is_float else 0, ty)
+
+    def value_at_start(var: str, blk: str) -> Operand:
+        key = (var, blk)
+        if key in start_memo:
+            return start_memo[key]
+        rpreds = [p for p in preds_all[blk] if p in reach]
+        if blk == entry_name or not rpreds:
+            start_memo[key] = zero(var)
+            return start_memo[key]
+        if len(rpreds) == 1:
+            start_memo[key] = value_at_end(var, rpreds[0])
+            return start_memo[key]
+        phi = Instr("phi", fn.fresh("m2r"), var_ty[var], (), incoming=[])
+        start_memo[key] = phi.res
+        created_phis.append((blk, phi))
+        phi.attrs["incoming"] = [(p, value_at_end(var, p)) for p in rpreds]
+        return phi.res
+
+    def value_at_end(var: str, blk: str) -> Operand:
+        val = end_val.get((var, blk))
+        if val is None:
+            return value_at_start(var, blk)
+        return _resolve(val)
+
+    def _resolve(val: object) -> Operand:
+        while True:
+            if isinstance(val, _Symbol):
+                val = value_at_start(val.var, val.blk)
+            elif isinstance(val, str) and val in repl:
+                val = repl[val]
+            else:
+                return val  # type: ignore[return-value]
+
+    # resolve all replacements (may create phis on demand)
+    final_repl: Dict[str, Operand] = {}
+    for res in list(repl):
+        final_repl[res] = _resolve(repl[res])
+    # phi incomings may still hold symbols via end_val chains: resolve them
+    for blk, phi in created_phis:
+        phi.attrs["incoming"] = [(p, _resolve(v)) for p, v in phi.attrs["incoming"]]
+
+    # ---- phase 3: mutate the function ------------------------------------
+    for blk, phi in created_phis:
+        fn.blocks[blk].instrs.insert(0, phi)
+    for b in fn.blocks.values():
+        b.instrs = [i for i in b.instrs if id(i) not in doomed]
+    fn.replace_all_uses(final_repl)
+    n_trivial = remove_trivial_phis(fn)
+
+    stats.bump(pass_name, "NumPromoted", len(allocas))
+    stats.bump(pass_name, "NumPHIInsert", max(0, len(created_phis) - n_trivial))
+    stats.bump(
+        pass_name,
+        "NumSingleStore",
+        sum(1 for v in vars_set if store_counts[v] == 1),
+    )
+    stats.bump(
+        pass_name, "NumDeadAlloca", sum(1 for v in vars_set if load_counts[v] == 0)
+    )
+    stats.bump(
+        pass_name,
+        "NumLocalPromoted",
+        sum(1 for v in vars_set if len(blocks_with_access[v]) <= 1),
+    )
+    return len(allocas)
+
+
+@register
+class Mem2Reg(FunctionPass):
+    """Promote scalar allocas to SSA registers."""
+
+    name = "mem2reg"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        return promote_allocas(fn, stats, self.name) > 0
+
+
+@register
+class SROA(FunctionPass):
+    """Scalar replacement of aggregates, then promotion."""
+
+    name = "sroa"
+    #: arrays larger than this are left alone (LLVM's scalarisation limit)
+    max_elements = 8
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        changed = self._split_arrays(fn, stats)
+        promoted = promote_allocas(fn, stats, self.name)
+        return changed or promoted > 0
+
+    def _split_arrays(self, fn: Function, stats: StatsCollector) -> bool:
+        # array allocas whose address is used only as gep base with constant
+        # indices, and each gep result used only by load/store
+        arrays = {
+            i.res: i
+            for i in fn.instructions()
+            if i.op == "alloca" and 1 < i.attrs.get("count", 1) <= self.max_elements
+        }
+        if not arrays:
+            return False
+        gep_of: Dict[str, Tuple[str, int]] = {}
+        for inst in fn.instructions():
+            for pos, operand in enumerate(list(inst.operands())):
+                if not isinstance(operand, str):
+                    continue
+                if operand in arrays:
+                    in_range = (
+                        inst.op == "gep"
+                        and pos == 0
+                        and isinstance(inst.args[1], Const)
+                        and 0 <= inst.args[1].value < arrays[operand].attrs["count"]
+                    )
+                    if in_range:
+                        gep_of[inst.res] = (operand, inst.args[1].value)
+                    else:
+                        arrays.pop(operand, None)
+                elif operand in gep_of:
+                    base = gep_of[operand][0]
+                    ok = (inst.op == "load" and pos == 0) or (inst.op == "store" and pos == 1)
+                    if not ok:
+                        arrays.pop(base, None)
+        if not arrays:
+            return False
+        # rewrite: one scalar alloca per element
+        n_split = 0
+        for base, alloca in arrays.items():
+            count = alloca.attrs["count"]
+            elem_ty = alloca.attrs["elem_ty"]
+            slots = [fn.fresh(f"sroa.{k}") for k in range(count)]
+            # place scalar allocas right before the array alloca
+            for blk in fn.blocks.values():
+                if any(i is alloca for i in blk.instrs):
+                    idx = next(k for k, i in enumerate(blk.instrs) if i is alloca)
+                    news = [
+                        Instr("alloca", slots[k], PTR, (), elem_ty=elem_ty, count=1)
+                        for k in range(count)
+                    ]
+                    blk.instrs[idx:idx + 1] = news
+                    break
+            mapping: Dict[str, Operand] = {}
+            doomed: Set[int] = set()
+            for blk in fn.blocks.values():
+                for inst in blk.instrs:
+                    if inst.op == "gep" and inst.res in gep_of and gep_of[inst.res][0] == base:
+                        idx_c = gep_of[inst.res][1]
+                        if 0 <= idx_c < count:
+                            mapping[inst.res] = slots[idx_c]
+                            doomed.add(id(inst))
+            for blk in fn.blocks.values():
+                blk.instrs = [i for i in blk.instrs if id(i) not in doomed]
+            fn.replace_all_uses(mapping)
+            n_split += 1
+        stats.bump(self.name, "NumReplaced", n_split)
+        return n_split > 0

@@ -1,0 +1,141 @@
+"""``memcpyopt``: forward values through memcpy/memset intrinsics.
+
+Complements ``loop-idiom``: once a copy loop has been raised to a
+``memcpy``, later loads from the destination can be redirected to the
+source (breaking the dependence on the copy), and loads from a ``memset``
+region fold to the stored value.  Block-local with conservative aliasing,
+like the other memory passes in this pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ir import Const, Function, I64, Instr, Module, Operand, PTR
+from repro.compiler.pass_manager import FunctionPass, TargetInfo, register
+from repro.compiler.statistics import StatsCollector
+
+__all__ = ["MemCpyOpt"]
+
+
+@register
+class MemCpyOpt(FunctionPass):
+    """Forward loads through memcpy sources and memset values."""
+
+    name = "memcpyopt"
+
+    def run_on_function(
+        self, fn: Function, module: Module, stats: StatsCollector, target: TargetInfo
+    ) -> bool:
+        defs = fn.defs()
+        changed = False
+        n_cpy = n_set = 0
+        for blk in fn.blocks.values():
+            # active intrinsic facts: dst ptr -> ("cpy", src, count, elem_ty)
+            # or ("set", value, count, elem_ty)
+            facts: Dict[str, Tuple] = {}
+            mapping: Dict[str, Operand] = {}
+            kept: List[Instr] = []
+            for inst in blk.instrs:
+                inst.replace_uses(mapping)
+                op = inst.op
+                if op == "memcpy":
+                    dst, src, count = inst.args
+                    facts.clear()  # the copy itself writes memory
+                    # overlapping copies shift data; only provably disjoint
+                    # regions allow redirecting dst-loads to the source
+                    from repro.compiler.passes.loops import LoopIdiom
+
+                    if (
+                        isinstance(dst, str)
+                        and isinstance(count, Const)
+                        and LoopIdiom._provably_noalias(fn, dst, src)
+                    ):
+                        facts[dst] = ("cpy", src, count.value, inst.attrs["elem_ty"])
+                    kept.append(inst)
+                    continue
+                if op == "memset":
+                    ptr, val, count = inst.args
+                    facts.clear()  # the fill itself writes memory
+                    if isinstance(ptr, str) and isinstance(count, Const):
+                        facts[ptr] = ("set", val, count.value, inst.attrs["elem_ty"])
+                    kept.append(inst)
+                    continue
+                if op in ("store", "vstore", "call"):
+                    # conservative: any write or opaque call invalidates facts
+                    facts.clear()
+                    kept.append(inst)
+                    continue
+                if op == "load":
+                    hit = self._match(defs, facts, inst)
+                    if hit is not None:
+                        kind, payload, off, elem_ty = hit
+                        if kind == "set":
+                            mapping[inst.res] = payload
+                            n_set += 1
+                            changed = True
+                            continue
+                        # memcpy: redirect to the source at the same offset
+                        if off == 0:
+                            src_ptr = payload
+                        else:
+                            gep = Instr(
+                                "gep",
+                                fn.fresh("mco.gep"),
+                                ty=PTR,
+                                args=(payload, Const(off, I64)),
+                                elem_ty=elem_ty,
+                            )
+                            kept.append(gep)
+                            src_ptr = gep.res
+                        new_load = Instr("load", fn.fresh("mco.ld"), inst.ty, (src_ptr,))
+                        kept.append(new_load)
+                        mapping[inst.res] = new_load.res
+                        n_cpy += 1
+                        changed = True
+                        continue
+                kept.append(inst)
+            blk.instrs = kept
+            if mapping:
+                fn.replace_all_uses(mapping)
+        stats.bump(self.name, "NumMemCpyInstr", n_cpy)
+        stats.bump(self.name, "NumMemSetInfer", n_set)
+        return changed
+
+    @staticmethod
+    def _match(defs, facts, load) -> Optional[Tuple]:
+        """Match ``load [gep] base, const`` against an active intrinsic.
+
+        Returns ``(kind, payload, offset, elem_ty)`` or ``None``.
+        """
+        ptr = load.args[0]
+        if not isinstance(ptr, str):
+            return None
+        base: Optional[str] = None
+        off = 0
+        if ptr in facts:
+            base = ptr
+        else:
+            g = defs.get(ptr)
+            if (
+                g is not None
+                and g.op == "gep"
+                and isinstance(g.args[1], Const)
+                and isinstance(g.args[0], str)
+                and g.args[0] in facts
+            ):
+                base = g.args[0]
+                off = g.args[1].value
+        if base is None:
+            return None
+        kind, payload, count, elem_ty = facts[base]
+        if not (0 <= off < count):
+            return None
+        # element sizes must agree for the offset arithmetic to be exact
+        if elem_ty.byte_size() != load.ty.byte_size():
+            return None
+        # the gep that reached the load must use the same element size too
+        g = defs.get(ptr)
+        if g is not None and g.op == "gep" and g.attrs["elem_ty"].byte_size() != elem_ty.byte_size():
+            return None
+        return kind, payload, off, elem_ty

@@ -1,0 +1,167 @@
+"""Shared rewrite machinery used by several passes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.compiler.analysis import reachable_blocks
+from repro.compiler.ir import Block, Const, Function, Instr, Operand
+
+__all__ = [
+    "resolve_chain",
+    "remove_trivial_phis",
+    "clone_blocks",
+    "ensure_preheader",
+    "delete_instrs",
+    "fold_int_binop",
+    "constant_of",
+]
+
+
+def resolve_chain(mapping: Dict[str, Operand], value: Operand) -> Operand:
+    """Follow ``mapping`` until a fixed point (handles rewrite chains)."""
+    seen = set()
+    while isinstance(value, str) and value in mapping:
+        if value in seen:  # defensive: cyclic mapping
+            break
+        seen.add(value)
+        value = mapping[value]
+    return value
+
+
+def remove_trivial_phis(fn: Function) -> int:
+    """Delete phis whose incoming values are all identical (or self).
+
+    Returns the number of phis removed.  Iterates to a fixed point because
+    removing one phi can make another trivial.
+    """
+    removed = 0
+    while True:
+        mapping: Dict[str, Operand] = {}
+        for blk in fn.blocks.values():
+            for inst in blk.phis():
+                vals = {v for _, v in inst.attrs["incoming"]}
+                vals.discard(inst.res)
+                if len(vals) == 1:
+                    mapping[inst.res] = next(iter(vals))
+                elif not vals:  # all edges pruned: value is undefined, use zero
+                    mapping[inst.res] = Const(0.0 if inst.ty.is_float else 0, inst.ty)
+        if not mapping:
+            return removed
+        resolved = {k: resolve_chain(mapping, v) for k, v in mapping.items()}
+        for blk in fn.blocks.values():
+            blk.instrs = [i for i in blk.instrs if not (i.op == "phi" and i.res in resolved)]
+        fn.replace_all_uses(resolved)
+        removed += len(resolved)
+
+
+def delete_instrs(fn: Function, doomed: Set[int]) -> int:
+    """Remove instructions whose ``id()`` is in ``doomed``; returns count."""
+    n = 0
+    for blk in fn.blocks.values():
+        before = len(blk.instrs)
+        blk.instrs = [i for i in blk.instrs if id(i) not in doomed]
+        n += before - len(blk.instrs)
+    return n
+
+
+def clone_blocks(
+    fn: Function,
+    block_names: Sequence[str],
+    suffix: str,
+    value_map: Optional[Dict[str, Operand]] = None,
+) -> Tuple[Dict[str, str], Dict[str, Operand]]:
+    """Clone a region of blocks into ``fn`` with fresh registers.
+
+    Returns ``(block_map, reg_map)``.  Branches *within* the region are
+    retargeted to the clones; branches leaving the region keep their targets.
+    ``value_map`` seeds operand substitutions (e.g. mapping the induction
+    variable of an unrolled iteration).  Phi incoming-block labels inside the
+    region are remapped as well; incoming edges from outside the region are
+    preserved (callers usually fix these up).
+    """
+    region = set(block_names)
+    block_map = {b: fn.fresh_block_name(f"{b}.{suffix}") for b in block_names}
+    reg_map: Dict[str, Operand] = dict(value_map or {})
+    # first pass: allocate fresh result registers
+    for bname in block_names:
+        for inst in fn.blocks[bname].instrs:
+            if inst.res is not None:
+                reg_map[inst.res] = fn.fresh(inst.res.lstrip("%") + "." + suffix)
+    # second pass: clone and rewrite
+    for bname in block_names:
+        src = fn.blocks[bname]
+        dst = fn.add_block(block_map[bname])
+        for inst in src.instrs:
+            ninst = inst.clone()
+            if ninst.res is not None:
+                ninst.res = reg_map[ninst.res]  # type: ignore[assignment]
+            ninst.replace_uses(reg_map)
+            if ninst.op == "br":
+                ninst.attrs["targets"] = tuple(
+                    block_map.get(t, t) for t in ninst.attrs["targets"]
+                )
+            elif ninst.op == "jmp":
+                ninst.attrs["target"] = block_map.get(ninst.attrs["target"], ninst.attrs["target"])
+            elif ninst.op == "phi":
+                ninst.attrs["incoming"] = [
+                    (block_map.get(b, b), v) for b, v in ninst.attrs["incoming"]
+                ]
+            dst.instrs.append(ninst)
+    return block_map, reg_map
+
+
+def ensure_preheader(fn: Function, header: str, loop_blocks: Set[str]) -> str:
+    """Guarantee the loop at ``header`` has a dedicated preheader block.
+
+    If the header already has exactly one out-of-loop predecessor that ends
+    in an unconditional jump, reuse it; otherwise split the incoming edges
+    through a fresh block.  Returns the preheader's name.
+    """
+    preds = fn.predecessors()[header]
+    outside = [p for p in preds if p not in loop_blocks]
+    if len(outside) == 1:
+        cand = fn.blocks[outside[0]]
+        term = cand.terminator
+        if term is not None and term.op == "jmp":
+            return outside[0]
+    pre = fn.fresh_block_name(f"{header}.preheader")
+    blk = fn.add_block(pre)
+    blk.instrs.append(Instr("jmp", None, target=header))
+    for p in outside:
+        fn.blocks[p].terminator.retarget(header, pre)
+    # phi incoming edges from outside now come via the preheader
+    hdr = fn.blocks[header]
+    for inst in hdr.phis():
+        new_inc = []
+        merged: List[Operand] = []
+        for b, v in inst.attrs["incoming"]:
+            if b in outside:
+                merged.append((b, v))
+            else:
+                new_inc.append((b, v))
+        if merged:
+            if len(merged) == 1:
+                new_inc.append((pre, merged[0][1]))
+            else:
+                # need a phi in the preheader merging the outside values
+                phi = Instr("phi", fn.fresh("pre.phi"), inst.ty, (), incoming=merged)
+                blk.instrs.insert(0, phi)
+                new_inc.append((pre, phi.res))
+        inst.attrs["incoming"] = new_inc
+    return pre
+
+
+def fold_int_binop(op: str, a: int, b: int, bits: int) -> Optional[int]:
+    """Constant-fold an integer binop; ``None`` when folding would trap."""
+    from repro.machine.interp import InterpError, _int_bin
+
+    try:
+        return _int_bin(op, a, b, bits)
+    except InterpError:
+        return None
+
+
+def constant_of(v: Operand) -> Optional[object]:
+    """The Python value of a constant operand, else ``None``."""
+    return v.value if isinstance(v, Const) else None

@@ -1,0 +1,177 @@
+"""Reference optimisation pipelines (``-O0`` … ``-O3``, ``-Oz``).
+
+The ``-O3`` sequence mirrors the shape of LLVM's default pipeline: early
+cleanup (sroa/early-cse), a simplification core repeated around the inliner,
+loop canonicalisation and transformation, vectorisation, and late cleanup.
+It is the baseline every speedup in the evaluation is measured against, so
+it needs to be genuinely strong on the workload suite.
+
+``LLVM10_PASSES`` is a reduced pass alphabet used by the Fig 5.10 bench
+(comparing behaviour under an older compiler with fewer passes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.compiler import passes as _passes  # noqa: F401  (registers passes)
+from repro.compiler.pass_manager import registry
+
+__all__ = [
+    "O0",
+    "O1",
+    "O2",
+    "O3",
+    "OZ",
+    "pipeline",
+    "PIPELINES",
+    "SEARCH_PASSES",
+    "LLVM10_PASSES",
+]
+
+O0: List[str] = []
+
+O1: List[str] = [
+    "mem2reg",
+    "instcombine",
+    "simplifycfg",
+    "early-cse",
+    "sccp",
+    "dce",
+    "simplifycfg",
+]
+
+O2: List[str] = [
+    "sroa",
+    "early-cse",
+    "simplifycfg",
+    "instcombine",
+    "function-attrs",
+    "inline",
+    "sroa",
+    "instcombine",
+    "simplifycfg",
+    "sccp",
+    "gvn",
+    "reassociate",
+    "loop-simplify",
+    "loop-rotate",
+    "licm",
+    "indvars",
+    "loop-idiom",
+    "loop-deletion",
+    "loop-unroll",
+    "gvn",
+    "dse",
+    "adce",
+    "simplifycfg",
+    "instcombine",
+]
+
+O3: List[str] = [
+    "sroa",
+    "early-cse",
+    "simplifycfg",
+    "instcombine",
+    "function-attrs",
+    "ipsccp",
+    "globalopt",
+    "inline",
+    "deadargelim",
+    "argpromotion",
+    "sroa",
+    "instcombine",
+    "simplifycfg",
+    "jump-threading",
+    "correlated-propagation",
+    "sccp",
+    "gvn",
+    "reassociate",
+    "tailcallelim",
+    "loop-simplify",
+    "lcssa",
+    "loop-rotate",
+    "licm",
+    "loop-unswitch",
+    "indvars",
+    "loop-idiom",
+    "loop-deletion",
+    "loop-unroll",
+    "gvn",
+    "memcpyopt",
+    "sccp",
+    "bdce",
+    "instcombine",
+    "dse",
+    "licm",
+    "adce",
+    "simplifycfg",
+    "loop-vectorize",
+    "slp-vectorizer",
+    "vector-combine",
+    "instcombine",
+    "early-cse",
+    "div-rem-pairs",
+    "adce",
+    "simplifycfg",
+    "globaldce",
+    "constmerge",
+    "mergefunc",
+]
+
+OZ: List[str] = [
+    "sroa",
+    "early-cse",
+    "simplifycfg",
+    "instcombine",
+    "function-attrs",
+    "ipsccp",
+    "globalopt",
+    "deadargelim",
+    "sccp",
+    "gvn",
+    "dse",
+    "adce",
+    "simplifycfg",
+    "globaldce",
+    "constmerge",
+    "mergefunc",
+]
+
+PIPELINES: Dict[str, List[str]] = {
+    "-O0": O0,
+    "-O1": O1,
+    "-O2": O2,
+    "-O3": O3,
+    "-Oz": OZ,
+}
+
+
+def pipeline(level: str) -> List[str]:
+    """The pass sequence for an ``-O`` level (copy; callers may mutate)."""
+    try:
+        return list(PIPELINES[level])
+    except KeyError:
+        raise KeyError(f"unknown optimisation level {level!r}") from None
+
+
+#: the full phase-ordering search alphabet: every registered transformation
+SEARCH_PASSES: List[str] = sorted(registry.names())
+
+#: reduced pass set standing in for an older compiler (Fig 5.10's LLVM 10)
+LLVM10_PASSES: List[str] = [
+    p
+    for p in SEARCH_PASSES
+    if p
+    not in {
+        "memcpyopt",
+        "vector-combine",
+        "bdce",
+        "div-rem-pairs",
+        "aggressive-instcombine",
+        "correlated-propagation",
+        "loop-unswitch",
+        "mergefunc",
+        "argpromotion",
+    }
+]

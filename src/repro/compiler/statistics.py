@@ -1,0 +1,73 @@
+"""Per-pass compilation statistics, the paper's central signal.
+
+Mirrors LLVM's ``opt -stats -stats-json`` output: each pass increments named
+counters while it transforms the IR (``mem2reg.NumPromoted``,
+``slp-vectorizer.NumVectorInstructions``, …).  CITROEN vectorises these
+counters into the feature space its cost model is trained on (§5.3.3).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["StatsCollector"]
+
+
+class StatsCollector:
+    """Accumulates ``(pass, counter) -> int`` statistics during compilation."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, str], int] = {}
+
+    def bump(self, pass_name: str, counter: str, amount: int = 1) -> None:
+        """Increment ``<pass_name>.<counter>`` by ``amount`` (no-op if 0)."""
+        if amount == 0:
+            return
+        key = (pass_name, counter)
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def get(self, pass_name: str, counter: str) -> int:
+        """Current value of ``<pass_name>.<counter>`` (0 if unset)."""
+        return self._counters.get((pass_name, counter), 0)
+
+    def items(self) -> Iterator[Tuple[Tuple[str, str], int]]:
+        """Iterate over ``((pass, counter), value)`` pairs."""
+        return iter(self._counters.items())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat ``{"pass.Counter": value}`` dict, like ``-stats-json``."""
+        return {f"{p}.{c}": v for (p, c), v in sorted(self._counters.items())}
+
+    def to_json(self) -> str:
+        """JSON rendering of :meth:`as_dict`."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def merge(self, other: "StatsCollector") -> None:
+        """Add every counter of ``other`` into this collector."""
+        for (p, c), v in other.items():
+            self.bump(p, c, v)
+
+    def scoped(self, pass_name: str) -> "ScopedStats":
+        """A view bound to one pass name."""
+        return ScopedStats(self, pass_name)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatsCollector({self.as_dict()})"
+
+
+class ScopedStats:
+    """A view of the collector bound to one pass name."""
+
+    __slots__ = ("_parent", "_pass")
+
+    def __init__(self, parent: StatsCollector, pass_name: str) -> None:
+        self._parent = parent
+        self._pass = pass_name
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment ``counter`` for the bound pass."""
+        self._parent.bump(self._pass, counter, amount)

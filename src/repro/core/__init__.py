@@ -1,0 +1,31 @@
+"""CITROEN: compilation-statistics-guided BO for compiler phase ordering.
+
+The paper's primary contribution (Chapter 5 / IPDPS 2025).  Public entry
+points:
+
+* :class:`AutotuningTask` — wraps a program + platform into the compile /
+  measure / verify interface (the "user-friendly framework", §5.3.6);
+* :class:`Citroen` — the tuner (cost model on compilation statistics,
+  coverage-aware acquisition, DES/GA/random candidate generation, adaptive
+  multi-module budget allocation);
+* :class:`TuningResult` — the search trace shared with every baseline.
+"""
+
+from repro.core.task import AutotuningTask
+from repro.core.result import Measurement, TuningResult
+from repro.core.cost_model import CitroenCostModel
+from repro.core.generator import CandidateGenerator
+from repro.core.citroen import Citroen
+from repro.core.differential import differential_test
+from repro.core.transfer import PassCorrelationPrior
+
+__all__ = [
+    "AutotuningTask",
+    "CandidateGenerator",
+    "Citroen",
+    "CitroenCostModel",
+    "Measurement",
+    "PassCorrelationPrior",
+    "TuningResult",
+    "differential_test",
+]

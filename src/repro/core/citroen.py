@@ -1,0 +1,361 @@
+"""The CITROEN tuner (§5.3, Figs 5.2–5.4).
+
+Per iteration:
+
+1. every hot module's candidate generator (DES + GA + random, §5.3.5)
+   proposes raw pass sequences;
+2. each candidate is **compiled** — cheap and parallelisable — yielding its
+   compilation statistics;
+3. candidates whose statistics signature matches an already-measured
+   configuration are *deduplicated*: identical statistics ≈ identical
+   binary, so the known runtime is reused without spending budget
+   (Kulkarni-style redundancy elimination, §3.1.1);
+4. the coverage-aware acquisition function (§5.3.4) scores every remaining
+   ``(module, candidate)`` pair under the global cost model — candidates
+   whose statistics lie outside the observed feature coverage have their
+   uncertainty bonus damped, curing the over-exploration the sparse
+   feature space otherwise causes (Table 5.2);
+5. the argmax pair is **measured** (expensive); the observation updates the
+   cost model and that module's generators.
+
+Because the AF argmax ranges over modules as well as sequences, the search
+budget flows to whichever module currently promises the most improvement —
+the adaptive multi-module budget allocation (§1.3), benchmarked against
+round-robin in ``benchmarks/test_multimodule_budget.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.ir import Module
+from repro.compiler.pipelines import pipeline
+from repro.core.cost_model import CitroenCostModel
+from repro.core.generator import CandidateGenerator
+from repro.core.result import Measurement, TuningResult
+from repro.core.task import AutotuningTask
+from repro.utils.rng import SeedLike, as_generator, spawn
+
+__all__ = ["Citroen"]
+
+
+class Citroen:
+    """Compilation-statistics-guided Bayesian phase-ordering tuner."""
+
+    def __init__(
+        self,
+        task: AutotuningTask,
+        seed: SeedLike = None,
+        n_init: int = 8,
+        per_strategy: int = 6,
+        beta: float = 1.96,
+        coverage_floor: float = 0.3,
+        coverage_gamma: float = 2.0,
+        novelty_epsilon: float = 0.25,
+        use_coverage: bool = True,
+        use_dedup: bool = True,
+        generators: Sequence[str] = ("des", "ga", "random"),
+        feature_mode: str = "stats",
+        refit_every: int = 1,
+        seed_with_o3: bool = True,
+        module_policy: str = "adaptive",
+        pass_prior=None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        feature_mode:
+            ``"stats"`` (CITROEN), or the Fig 5.9 alternatives
+            ``"autophase"``, ``"seq"``, ``"tokens"``.
+        module_policy:
+            ``"adaptive"`` (AF arbitrates between modules) or
+            ``"round-robin"`` (the ablation for the 2.5x experiment).
+        pass_prior:
+            optional :class:`~repro.core.transfer.PassCorrelationPrior`
+            trained on previous programs; biases candidate generation
+            (§6.3.2 cross-program transfer).
+        """
+        self.task = task
+        self.rng = as_generator(seed)
+        self.n_init = n_init
+        self.per_strategy = per_strategy
+        self.beta = beta
+        self.coverage_floor = coverage_floor
+        self.coverage_gamma = coverage_gamma
+        self.novelty_epsilon = novelty_epsilon
+        self.use_coverage = use_coverage
+        self.use_dedup = use_dedup
+        self.feature_mode = feature_mode
+        self.refit_every = refit_every
+        self.seed_with_o3 = seed_with_o3
+        self.module_policy = module_policy
+
+        gene_weights = (
+            pass_prior.pass_weights(task.passes) if pass_prior is not None else None
+        )
+        children = spawn(self.rng, len(task.hot_modules) + 1)
+        self.generators: Dict[str, CandidateGenerator] = {
+            name: CandidateGenerator(
+                task.seq_length,
+                task.alphabet,
+                seed=r,
+                strategies=generators,
+                gene_weights=gene_weights,
+            )
+            for name, r in zip(task.hot_modules, children)
+        }
+        self.model = CitroenCostModel(seed=children[-1])
+        self.model_seconds = 0.0
+        self._rr_cursor = 0
+
+        # incumbent configuration (per hot module)
+        self._best_seq: Dict[str, np.ndarray] = {}
+        self._best_stats: Dict[str, Dict[str, int]] = {}
+        self._best_compiled: Dict[str, Module] = {}
+        self._best_feats_cache: Dict[str, Dict[str, int]] = {}
+        self._best_runtime = float("inf")
+        self._sig_runtime: Dict[Tuple, float] = {}
+
+    # -- feature extraction dispatch (Fig 5.9) --------------------------------
+    def _features_of(self, module_name: str, seq: np.ndarray, compiled: Module, stats: Dict[str, int]) -> Dict[str, int]:
+        if self.feature_mode == "stats":
+            return stats
+        if self.feature_mode == "autophase":
+            from repro.features.autophase import autophase_features
+
+            return autophase_features(compiled)
+        if self.feature_mode == "tokens":
+            from repro.features.tokens import token_histogram
+
+            return token_histogram(compiled)
+        if self.feature_mode == "seq":
+            return {f"pos{i}": int(v) + 1 for i, v in enumerate(seq)}
+        raise KeyError(f"unknown feature mode {self.feature_mode!r}")
+
+    def _o3_seed_sequence(self) -> np.ndarray:
+        """The -O3 pipeline encoded (and padded/cut) to the search length."""
+        index = {p: i for i, p in enumerate(self.task.passes)}
+        ids = [index[p] for p in pipeline("-O3") if p in index]
+        L = self.task.seq_length
+        if len(ids) >= L:
+            return np.asarray(ids[:L], dtype=int)
+        reps = ids * (L // len(ids) + 1)
+        return np.asarray(reps[:L], dtype=int)
+
+    # -- main loop ----------------------------------------------------------------
+    def tune(self, budget: int) -> TuningResult:
+        """Run the CITROEN search for ``budget`` measurements."""
+        task = self.task
+        result = TuningResult(
+            program=task.program.name,
+            tuner=f"citroen[{self.feature_mode}]",
+            o3_runtime=task.o3_runtime,
+            o0_runtime=task.o0_runtime,
+        )
+        result.extras["winner_strategies"] = []
+        result.extras["chosen_modules"] = []
+        result.extras["dedup_hits"] = 0
+        result.extras["chosen_coverage"] = []
+
+        # ---- initial design -------------------------------------------------
+        n_init = min(self.n_init, budget)
+        init_configs: List[Dict[str, np.ndarray]] = []
+        if self.seed_with_o3:
+            init_configs.append({m: self._o3_seed_sequence() for m in task.hot_modules})
+        while len(init_configs) < n_init:
+            cfg = {
+                m: self.rng.integers(0, task.alphabet, size=task.seq_length)
+                for m in task.hot_modules
+            }
+            init_configs.append(cfg)
+        for cfg in init_configs[:n_init]:
+            self._measure_config(cfg, result, winner="init")
+
+        # ---- BO loop ----------------------------------------------------------
+        it = 0
+        while len(result.measurements) < budget:
+            t0 = time.perf_counter()
+            if it % self.refit_every == 0 or not self.model.ready:
+                self.model.fit(optimize_hypers=True)
+            self.model_seconds += time.perf_counter() - t0
+            chosen = self._propose(result)
+            if chosen is None:
+                # model not ready or no fresh candidates: random fallback
+                m = self._pick_module_random()
+                cfg = dict(self._best_seq)
+                cfg[m] = self.rng.integers(0, task.alphabet, size=task.seq_length)
+                self._measure_config(cfg, result, winner="random-fallback", module=m)
+            else:
+                module_name, seq, compiled, stats, provenance, cov = chosen
+                cfg = dict(self._best_seq)
+                cfg[module_name] = seq
+                self._measure_config(
+                    cfg,
+                    result,
+                    winner=provenance,
+                    module=module_name,
+                    precompiled=(module_name, compiled, stats),
+                    coverage=cov,
+                )
+            it += 1
+
+        result.best_config = {
+            m: tuple(task.decode(s)) for m, s in self._best_seq.items()
+        }
+        result.timing = dict(task.timing_breakdown())
+        result.timing["model_seconds"] = self.model_seconds
+        if not self.model.ready and self.model.n_observations >= 2:
+            self.model.fit(optimize_hypers=True)
+        result.extras["top_statistics"] = (
+            self.model.top_statistics(5) if self.model.ready else []
+        )
+        result.extras["relevance"] = self.model.relevance()[:20] if self.model.ready else []
+        result.extras["n_incorrect"] = task.n_incorrect
+        return result
+
+    # -- proposal -------------------------------------------------------------------
+    def _propose(self, result: TuningResult):
+        """Generate, compile, dedup and score candidates; return the argmax."""
+        task = self.task
+        if not self.model.ready or not self._best_seq:
+            return None
+        modules = self._modules_to_consider()
+        scored = []
+        for module_name in modules:
+            gen = self.generators[module_name]
+            for provenance, seq in gen.ask(self.per_strategy):
+                compiled, stats = task.compile_module(module_name, seq)
+                feats = self._features_of(module_name, seq, compiled, stats)
+                per_module = dict(self._best_feats())
+                per_module[module_name] = feats
+                sig = self.model.signature({module_name: feats})
+                if self.use_dedup and sig in self._sig_runtime:
+                    # identical statistics => identical binary: reuse the
+                    # known runtime as generator feedback, skip profiling
+                    gen.tell(seq, self._sig_runtime[sig])
+                    result.extras["dedup_hits"] += 1
+                    continue
+                scored.append((module_name, seq, compiled, stats, provenance, per_module, sig))
+        if not scored:
+            return None
+        t0 = time.perf_counter()
+        mu, sigma = self.model.predict([s[5] for s in scored])
+        coverages = np.asarray([self.model.coverage(s[5]) for s in scored])
+        if self.use_coverage:
+            # two-regime acquisition (§5.3.4): candidates inside the observed
+            # feature coverage compete on a damped UCB — extrapolated
+            # uncertainty cannot dominate — while a budgeted novelty channel
+            # (epsilon of iterations) measures the most promising candidate
+            # whose statistics introduce unseen feature values, preferring
+            # those generated near the incumbent (DES/GA provenance), so new
+            # statistic dimensions keep entering the model's coverage.
+            damp = (
+                self.coverage_floor
+                + (1.0 - self.coverage_floor) * coverages**self.coverage_gamma
+            )
+            af = -mu + np.sqrt(self.beta) * sigma * damp
+            novel_mask = coverages < 1.0 - 1e-9
+            if novel_mask.any() and self.rng.random() < self.novelty_epsilon:
+                af_novel = -mu + np.sqrt(self.beta) * sigma
+                af_novel = af_novel + 0.25 * np.asarray(
+                    [1.0 if s[4] in ("des", "ga") else 0.0 for s in scored]
+                )
+                af_novel[~novel_mask] = -np.inf
+                best = int(np.argmax(af_novel))
+                self.model_seconds += time.perf_counter() - t0
+                module_name, seq, compiled, stats, provenance, _pm, _sig = scored[best]
+                return (
+                    module_name,
+                    seq,
+                    compiled,
+                    stats,
+                    f"novel-{provenance}",
+                    float(coverages[best]),
+                )
+        else:
+            af = -mu + np.sqrt(self.beta) * sigma
+        self.model_seconds += time.perf_counter() - t0
+        best = int(np.argmax(af))
+        module_name, seq, compiled, stats, provenance, _pm, _sig = scored[best]
+        return module_name, seq, compiled, stats, provenance, float(coverages[best])
+
+    def _modules_to_consider(self) -> List[str]:
+        if self.module_policy == "adaptive":
+            return list(self.task.hot_modules)
+        # round-robin: one module per iteration
+        mods = list(self.task.hot_modules)
+        m = mods[self._rr_cursor % len(mods)]
+        self._rr_cursor += 1
+        return [m]
+
+    def _pick_module_random(self) -> str:
+        mods = list(self.task.hot_modules)
+        w = np.asarray([self.task.module_weights.get(m, 0.0) + 1e-9 for m in mods])
+        return mods[int(self.rng.choice(len(mods), p=w / w.sum()))]
+
+    def _best_feats(self) -> Dict[str, Dict[str, int]]:
+        return self._best_feats_cache
+
+    # -- measurement ------------------------------------------------------------------
+    def _measure_config(
+        self,
+        cfg: Dict[str, np.ndarray],
+        result: TuningResult,
+        winner: str,
+        module: Optional[str] = None,
+        precompiled: Optional[Tuple[str, Module, Dict[str, int]]] = None,
+        coverage: float = float("nan"),
+    ) -> None:
+        task = self.task
+        compiled: Dict[str, Module] = {}
+        stats_all: Dict[str, Dict[str, int]] = {}
+        feats_all: Dict[str, Dict[str, int]] = {}
+        for name, seq in cfg.items():
+            if precompiled is not None and precompiled[0] == name:
+                mod, stats = precompiled[1], precompiled[2]
+                task_stats = stats
+            elif name in self._best_seq and np.array_equal(seq, self._best_seq[name]) and name in self._best_compiled:
+                mod, task_stats = self._best_compiled[name], self._best_stats[name]
+            else:
+                mod, task_stats = task.compile_module(name, seq)
+            compiled[name] = mod
+            stats_all[name] = task_stats
+            feats_all[name] = self._features_of(name, seq, mod, task_stats)
+
+        runtime, ok = task.measure(compiled)
+        idx = len(result.measurements)
+        changed = module if module is not None else "all"
+        seq_names = tuple(task.decode(cfg[module])) if module is not None else tuple(
+            task.decode(next(iter(cfg.values())))
+        )
+        result.measurements.append(
+            Measurement(
+                index=idx,
+                module=changed,
+                sequence=seq_names,
+                runtime=runtime if ok else float("inf"),
+                speedup_vs_o3=task.o3_runtime / runtime if ok else 0.0,
+                correct=ok,
+            )
+        )
+        result.extras["winner_strategies"].append(winner)
+        result.extras["chosen_modules"].append(changed)
+        result.extras["chosen_coverage"].append(coverage)
+        if not ok:
+            return  # differential test failed: discard this configuration
+
+        self.model.add_observation(feats_all, runtime)
+        for sig_name, feats in feats_all.items():
+            sig = self.model.signature({sig_name: feats})
+            self._sig_runtime.setdefault(sig, runtime)
+        for name, seq in cfg.items():
+            self.generators[name].tell(seq, runtime)
+        if runtime < self._best_runtime:
+            self._best_runtime = runtime
+            self._best_seq = {n: np.asarray(s, dtype=int).copy() for n, s in cfg.items()}
+            self._best_compiled = dict(compiled)
+            self._best_stats = dict(stats_all)
+            self._best_feats_cache = dict(feats_all)

@@ -1,0 +1,130 @@
+"""CITROEN's cost model (§5.3.3).
+
+A Gaussian process over *concatenated per-module compilation statistics*
+predicting program runtime.  Each observation is the full program
+configuration — the statistics dictionary of every hot module — so the one
+global model both ranks candidate sequences within a module and arbitrates
+*between* modules (the adaptive budget allocation of §5.3/§1.3).
+
+The model also exposes:
+
+* per-candidate **coverage** (what fraction of a candidate's active
+  statistic dimensions lie in the observed range — the Table 5.2 issue);
+* ARD **relevance** per statistic (1 / length-scale), which regenerates
+  Table 5.5's "top impactful statistics".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bo.gp import GaussianProcess
+from repro.features.stats_features import StatsVectorizer
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["CitroenCostModel"]
+
+
+def _prefixed(module: str, stats: Dict[str, int]) -> Dict[str, int]:
+    return {f"{module}::{k}": v for k, v in stats.items()}
+
+
+class CitroenCostModel:
+    """GP over concatenated per-module statistics features."""
+
+    def __init__(self, seed: SeedLike = None, power_transform: bool = True) -> None:
+        self.vectorizer = StatsVectorizer()
+        self.rng = as_generator(seed)
+        self.power_transform = power_transform
+        self._obs_stats: List[Dict[str, int]] = []
+        self._obs_y: List[float] = []
+        self.gp: Optional[GaussianProcess] = None
+        self._fitted = False
+
+    # -- data ------------------------------------------------------------------
+    @staticmethod
+    def merge_config_stats(per_module: Dict[str, Dict[str, int]]) -> Dict[str, int]:
+        """Concatenate per-module stats into one namespaced dict."""
+        merged: Dict[str, int] = {}
+        for module, stats in per_module.items():
+            merged.update(_prefixed(module, stats))
+        return merged
+
+    def add_observation(self, per_module: Dict[str, Dict[str, int]], runtime: float) -> None:
+        """Record one measured configuration (per-module stats + runtime)."""
+        self._obs_stats.append(self.merge_config_stats(per_module))
+        self._obs_y.append(float(runtime))
+        self._fitted = False
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._obs_y)
+
+    # -- fitting ------------------------------------------------------------------
+    def fit(self, optimize_hypers: bool = True, max_iter: int = 30) -> None:
+        """(Re)build the design matrix and refit the GP."""
+        if len(self._obs_y) < 2:
+            self._fitted = False
+            return
+        X = self.vectorizer.fit(self._obs_stats)
+        self.gp = GaussianProcess(
+            X.shape[1], power_transform=self.power_transform, seed=self.rng
+        )
+        self.gp.fit(
+            X,
+            np.asarray(self._obs_y),
+            optimize_hypers=optimize_hypers,
+            max_iter=max_iter,
+        )
+        self._fitted = True
+
+    @property
+    def ready(self) -> bool:
+        return self._fitted and self.gp is not None
+
+    # -- prediction ------------------------------------------------------------------
+    def predict(
+        self, per_module_list: Sequence[Dict[str, Dict[str, int]]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/std (transformed space) for candidate configs."""
+        assert self.ready
+        merged = [self.merge_config_stats(pm) for pm in per_module_list]
+        X = np.asarray([self.vectorizer.transform(s) for s in merged])
+        return self.gp.predict(X)
+
+    def coverage(self, per_module: Dict[str, Dict[str, int]]) -> float:
+        """Feature-coverage score of a candidate config (Table 5.2)."""
+        merged = self.merge_config_stats(per_module)
+        if self.vectorizer._lo is None:
+            return 1.0
+        return self.vectorizer.coverage(merged)
+
+    def signature(self, per_module: Dict[str, Dict[str, int]]) -> Tuple:
+        """Hashable statistics identity used for deduplication."""
+        return self.vectorizer.signature(self.merge_config_stats(per_module))
+
+    def transformed_best(self) -> float:
+        """Best observed target in the GP's transformed space."""
+        assert self.ready
+        return self.gp.transformed_best()
+
+    # -- interpretability (Table 5.5) ------------------------------------------------
+    def relevance(self) -> List[Tuple[str, float]]:
+        """Statistics ranked by ARD relevance (inverse length-scale),
+        filtered to dimensions that actually vary in the data."""
+        if not self.ready:
+            return []
+        ls = self.gp.kernel.lengthscales
+        spans = self.vectorizer._hi - self.vectorizer._lo
+        out = []
+        for key, scale, span in zip(self.vectorizer.keys, ls, spans):
+            if span > 1e-12:
+                out.append((key, float(1.0 / scale)))
+        out.sort(key=lambda kv: -kv[1])
+        return out
+
+    def top_statistics(self, k: int = 5) -> List[str]:
+        """The ``k`` most relevant statistics (Table 5.5)."""
+        return [key for key, _ in self.relevance()[:k]]

@@ -1,0 +1,42 @@
+"""Differential testing of optimised binaries (§1.1, §5.4).
+
+Compares the observable behaviour (return value + output stream) of an
+optimised module configuration against the unoptimised program.  The
+:class:`~repro.core.task.AutotuningTask` applies this to every measured
+binary; this standalone helper is the API users (and the test suite's
+property-based pass-correctness tests) call directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.ir import Module
+from repro.machine.interp import InterpError, run_program
+from repro.workloads.program import Program
+
+__all__ = ["differential_test"]
+
+
+def differential_test(
+    program: Program,
+    sequences: Dict[str, Sequence[str]],
+    target=None,
+) -> Tuple[bool, str]:
+    """Compile ``program`` with per-module ``sequences`` and compare outputs.
+
+    Returns ``(equivalent, detail)``.  A crash in the optimised program (but
+    not the reference) counts as a deviation, mirroring the paper's note
+    that rare orderings can introduce crashes.
+    """
+    ref = program.reference_output().output_signature()
+    try:
+        linked, _ = program.compile(sequences, target=target)
+        out = run_program(linked, program.entry, fuel=program.fuel)
+    except InterpError as exc:
+        return False, f"optimised program crashed: {exc}"
+    if out.output_signature() != ref:
+        return False, (
+            f"output mismatch: reference {ref!r} vs optimised {out.output_signature()!r}"
+        )
+    return True, "outputs equivalent"

@@ -1,0 +1,83 @@
+"""CITROEN's candidate pass-sequence generator (§5.3.5, Fig 5.4).
+
+The discrete adaptation of AIBO's heuristic AF-maximiser initialisation:
+an ensemble of sequence optimisers — DES (1+lambda mutation of the
+incumbent), a sequence GA, and uniform random — each warm-started from the
+black-box history, proposes raw candidates every iteration.  The
+acquisition function then picks among the *compiled* candidates; the
+evaluated sample is told back to every strategy (Alg. 1's structure, on a
+categorical space)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.heuristics.des import DiscreteES
+from repro.heuristics.ga import SequenceGA
+from repro.heuristics.random_search import RandomSequenceSearch
+from repro.utils.rng import SeedLike, as_generator, spawn
+
+__all__ = ["CandidateGenerator"]
+
+
+class CandidateGenerator:
+    """Per-module ensemble of sequence strategies."""
+
+    def __init__(
+        self,
+        length: int,
+        alphabet: int,
+        seed: SeedLike = None,
+        strategies: Sequence[str] = ("des", "ga", "random"),
+        des_lambda_share: float = 0.5,
+        ga_pop: int = 20,
+        gene_weights=None,
+    ) -> None:
+        self.length = length
+        self.alphabet = alphabet
+        rng = as_generator(seed)
+        children = spawn(rng, len(strategies))
+        self.strategies: Dict[str, object] = {}
+        for name, r in zip(strategies, children):
+            if name == "des":
+                self.strategies[name] = DiscreteES(
+                    length, alphabet, seed=r, gene_weights=gene_weights
+                )
+            elif name == "ga":
+                self.strategies[name] = SequenceGA(
+                    length, alphabet, pop_size=ga_pop, seed=r, gene_weights=gene_weights
+                )
+            elif name == "random":
+                self.strategies[name] = RandomSequenceSearch(
+                    length, alphabet, seed=r, gene_weights=gene_weights
+                )
+            else:
+                raise KeyError(f"unknown sequence strategy {name!r}")
+
+    def ask(self, per_strategy: int) -> List[Tuple[str, np.ndarray]]:
+        """Raw candidates with provenance, deduplicated by content."""
+        out: List[Tuple[str, np.ndarray]] = []
+        seen = set()
+        for name, opt in self.strategies.items():
+            for seq in opt.ask(per_strategy):
+                key = tuple(int(i) for i in seq)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append((name, np.asarray(seq, dtype=int)))
+        return out
+
+    def tell(self, seq: np.ndarray, y: float) -> None:
+        """Feed an evaluated sequence back to every strategy."""
+        for opt in self.strategies.values():
+            opt.tell(np.asarray(seq, dtype=int)[None, :], np.asarray([y]))
+
+    def seed_incumbent(self, seq: np.ndarray, y: float) -> None:
+        """Anchor DES's parent (and everyone's best) at a known-good point —
+        CITROEN starts from the -O3 pipeline's sequence."""
+        self.tell(seq, y)
+        des = self.strategies.get("des")
+        if isinstance(des, DiscreteES):
+            des.seed_parent(np.asarray(seq, dtype=int))

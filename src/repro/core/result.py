@@ -1,0 +1,63 @@
+"""Search traces shared by CITROEN and every baseline tuner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Measurement", "TuningResult"]
+
+
+@dataclass
+class Measurement:
+    """One expensive runtime measurement."""
+
+    index: int
+    module: str
+    sequence: Tuple[str, ...]
+    runtime: float
+    speedup_vs_o3: float
+    correct: bool = True
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run.
+
+    ``best_history[i]`` is the best runtime after ``i + 1`` measurements —
+    the convergence curves of Figs 5.6/5.7 are cuts through this.
+    """
+
+    program: str
+    tuner: str
+    measurements: List[Measurement] = field(default_factory=list)
+    o3_runtime: float = float("nan")
+    o0_runtime: float = float("nan")
+    best_config: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    timing: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def runtimes(self) -> np.ndarray:
+        return np.asarray([m.runtime for m in self.measurements])
+
+    @property
+    def best_history(self) -> np.ndarray:
+        return np.minimum.accumulate(self.runtimes)
+
+    @property
+    def best_runtime(self) -> float:
+        return float(self.best_history[-1])
+
+    def speedup_over_o3(self, at: Optional[int] = None) -> float:
+        """Speedup of the best-found binary relative to -O3 after ``at``
+        measurements (defaults to the full budget)."""
+        hist = self.best_history
+        idx = min(at, len(hist)) - 1 if at is not None else len(hist) - 1
+        return float(self.o3_runtime / hist[idx])
+
+    def speedup_curve(self, points: Sequence[int]) -> List[float]:
+        """Speedups over -O3 at each budget cut in ``points``."""
+        return [self.speedup_over_o3(p) for p in points]

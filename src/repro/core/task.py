@@ -1,0 +1,192 @@
+"""The autotuning task framework (§5.3.6 and the practicality contribution).
+
+``AutotuningTask`` owns everything a tuner needs and nothing more:
+
+* **hot-module identification** — a one-off profile of the ``-O3`` binary
+  (our ``perf`` stand-in) selects the modules covering 90% of runtime;
+* **cheap compilation** — ``compile_module`` applies a pass sequence to one
+  source module and returns its statistics (``opt -stats-json``);
+* **expensive measurement** — ``measure`` links per-module binaries and
+  runs the program on the simulated platform with noisy timing, with
+  memoisation keyed by the full configuration;
+* **correctness** — differential testing of every measured binary against
+  the unoptimised program's output (§1.1).
+
+Users point it at a :class:`~repro.workloads.Program`; no re-implementation
+of the build process is needed — the practicality barrier of §1.2.3.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.ir import Module
+from repro.compiler.opt_tool import run_opt
+from repro.compiler.pipelines import SEARCH_PASSES, pipeline
+from repro.machine.platforms import Platform, get_platform
+from repro.machine.profiler import Profiler
+from repro.utils.rng import SeedLike, as_generator
+from repro.workloads.program import Program
+
+__all__ = ["AutotuningTask"]
+
+
+class AutotuningTask:
+    """Compile/measure/verify interface over one program on one platform."""
+
+    def __init__(
+        self,
+        program: Program,
+        platform: str = "arm-a57",
+        seed: SeedLike = None,
+        passes: Optional[Sequence[str]] = None,
+        seq_length: int = 32,
+        repeats: int = 3,
+        hot_coverage: float = 0.9,
+        check_outputs: bool = True,
+        objective: str = "runtime",
+    ) -> None:
+        """``objective``: ``"runtime"`` (the paper's focus) or ``"codesize"``
+        (the simpler static objective discussed in §1 — evaluated without
+        executing the program, though differential testing still runs it
+        once for correctness)."""
+        if objective not in ("runtime", "codesize"):
+            raise ValueError(f"unknown objective {objective!r}")
+        self.objective = objective
+        self.program = program
+        self.platform: Platform = get_platform(platform)
+        self.target = self.platform.target_info()
+        self.profiler = Profiler(self.platform, seed=as_generator(seed), fuel=program.fuel)
+        self.passes: List[str] = list(passes) if passes is not None else list(SEARCH_PASSES)
+        self.seq_length = seq_length
+        self.repeats = repeats
+        self.check_outputs = check_outputs
+
+        # one-off reference + O3/O0 anchors
+        self._reference_sig = program.reference_output().output_signature()
+        self._o3_modules: Dict[str, Module] = {}
+        self._o3_stats: Dict[str, Dict[str, int]] = {}
+        o3 = pipeline("-O3")
+        for mod in program.modules:
+            cr = run_opt(mod, o3, target=self.target)
+            self._o3_modules[mod.name] = cr.module
+            self._o3_stats[mod.name] = cr.stats_json()
+        if self.objective == "codesize":
+            self.o3_runtime = float(
+                sum(self._o3_modules[m.name].num_instrs() for m in program.modules)
+            )
+            self.o0_runtime = float(sum(m.num_instrs() for m in program.modules))
+        else:
+            self.o3_runtime = self.profiler.measure(
+                [self._o3_modules[m.name] for m in program.modules], repeats=repeats
+            ).seconds
+            self.o0_runtime = self.profiler.measure(
+                list(program.modules), repeats=repeats
+            ).seconds
+
+        # hot module identification from the -O3 profile (perf stand-in)
+        prof = self.profiler.function_profile(
+            [self._o3_modules[m.name] for m in program.modules]
+        )
+        self.hot_modules: List[str] = prof.hot_modules(hot_coverage)
+        self.module_weights: Dict[str, float] = {
+            name: prof.module_seconds.get(name, 0.0) / max(prof.total_seconds, 1e-12)
+            for name in self.hot_modules
+        }
+
+        # bookkeeping / statistics the benches report (Fig 5.12)
+        self.n_compiles = 0
+        self.n_measurements = 0
+        self.n_incorrect = 0
+        self.compile_seconds = 0.0
+        self.measure_seconds = 0.0
+        self._measure_cache: Dict[Tuple, float] = {}
+
+    # -- sequence plumbing -----------------------------------------------------
+    @property
+    def alphabet(self) -> int:
+        return len(self.passes)
+
+    def decode(self, seq_indices: Sequence[int]) -> List[str]:
+        """Map integer gene indices to pass names."""
+        return [self.passes[int(i)] for i in seq_indices]
+
+    # -- cheap compilation --------------------------------------------------------
+    def compile_module(
+        self, module_name: str, seq_indices: Sequence[int]
+    ) -> Tuple[Module, Dict[str, int]]:
+        """Compile one source module; returns optimised IR + statistics."""
+        t0 = time.perf_counter()
+        src = self.program.get_module(module_name)
+        cr = run_opt(src, self.decode(seq_indices), target=self.target)
+        self.n_compiles += 1
+        self.compile_seconds += time.perf_counter() - t0
+        return cr.module, cr.stats_json()
+
+    def o3_module(self, module_name: str) -> Module:
+        """The module's reference -O3 binary."""
+        return self._o3_modules[module_name]
+
+    def o3_stats(self, module_name: str) -> Dict[str, int]:
+        """Compilation statistics of the module's -O3 build."""
+        return self._o3_stats[module_name]
+
+    # -- expensive measurement ------------------------------------------------------
+    def measure(
+        self,
+        compiled: Dict[str, Module],
+        config_key: Optional[Tuple] = None,
+    ) -> Tuple[float, bool]:
+        """Link ``compiled`` modules over the -O3 defaults and measure.
+
+        Modules not present in ``compiled`` use their -O3 binary (the
+        default for non-hot modules).  Returns ``(seconds, outputs_ok)``.
+        """
+        if config_key is not None and config_key in self._measure_cache:
+            return self._measure_cache[config_key], True
+        t0 = time.perf_counter()
+        linked = [
+            compiled.get(m.name, self._o3_modules[m.name]) for m in self.program.modules
+        ]
+        if self.objective == "codesize":
+            value = float(sum(mod.num_instrs() for mod in linked))
+            ok = True
+            if self.check_outputs:  # still verify semantics once
+                result = self.profiler.execute(linked)
+                ok = result.output_signature() == self._reference_sig
+                if not ok:
+                    self.n_incorrect += 1
+        else:
+            m = self.profiler.measure(linked, repeats=self.repeats)
+            value = m.seconds
+            ok = True
+            if self.check_outputs:
+                ok = m.result.output_signature() == self._reference_sig
+                if not ok:
+                    self.n_incorrect += 1
+        self.n_measurements += 1
+        self.measure_seconds += time.perf_counter() - t0
+        if config_key is not None and ok:
+            self._measure_cache[config_key] = value
+        return value, ok
+
+    def measure_config(self, config: Dict[str, Sequence[int]]) -> Tuple[float, bool]:
+        """Compile every module in ``config`` and measure the linked binary."""
+        compiled = {}
+        for name, seq in config.items():
+            mod, _stats = self.compile_module(name, seq)
+            compiled[name] = mod
+        key = tuple(sorted((n, tuple(int(i) for i in s)) for n, s in config.items()))
+        return self.measure(compiled, config_key=key)
+
+    def timing_breakdown(self) -> Dict[str, float]:
+        """Compile/measure time and counts (Fig 5.12)."""
+        return {
+            "compile_seconds": self.compile_seconds,
+            "measure_seconds": self.measure_seconds,
+            "n_compiles": self.n_compiles,
+            "n_measurements": self.n_measurements,
+        }

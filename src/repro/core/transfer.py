@@ -1,0 +1,85 @@
+"""Cross-program transfer via program-independent pass correlations.
+
+Implements the thesis' future-work direction §6.3.2 ("Exploiting
+Program-Independent Pass Correlations"): while the best *sequence* is
+program-specific, the marginal association between a pass *appearing* in a
+sequence and the resulting speedup carries across programs (``mem2reg``
+almost always helps; a random ordering rarely benefits from ``lcssa``).
+
+:class:`PassCorrelationPrior` accumulates those associations from completed
+:class:`~repro.core.result.TuningResult` traces and converts them into a
+sampling distribution over passes, which the candidate generators use for
+random sequence generation and mutation — warm-starting a *new* program's
+search with knowledge from previous ones (also the coarse-offline /
+fine-online combination sketched in §6.3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import TuningResult
+
+__all__ = ["PassCorrelationPrior"]
+
+
+class PassCorrelationPrior:
+    """Per-pass speedup association scores, aggregated across programs."""
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        self.smoothing = smoothing
+        self._score: Dict[str, float] = {}
+        self._count: Dict[str, int] = {}
+        self.n_runs = 0
+
+    def observe_run(self, result: TuningResult) -> None:
+        """Accumulate pass/speedup associations from one tuning trace."""
+        speedups = np.asarray(
+            [m.speedup_vs_o3 for m in result.measurements if m.correct and m.speedup_vs_o3 > 0]
+        )
+        if len(speedups) < 2:
+            return
+        mean = float(speedups.mean())
+        std = float(speedups.std()) or 1.0
+        for m in result.measurements:
+            if not m.correct or m.speedup_vs_o3 <= 0:
+                continue
+            z = (m.speedup_vs_o3 - mean) / std
+            for p in set(m.sequence):
+                self._score[p] = self._score.get(p, 0.0) + z
+                self._count[p] = self._count.get(p, 0) + 1
+        self.n_runs += 1
+
+    def scores(self) -> Dict[str, float]:
+        """Mean association score per pass (positive = historically helpful)."""
+        return {
+            p: self._score[p] / max(1, self._count[p]) for p in sorted(self._score)
+        }
+
+    def top_passes(self, k: int = 10) -> List[str]:
+        """Passes ranked by historical helpfulness."""
+        s = self.scores()
+        return sorted(s, key=lambda p: -s[p])[:k]
+
+    def pass_weights(self, passes: Sequence[str]) -> np.ndarray:
+        """Sampling distribution over ``passes`` for sequence generation.
+
+        Softmax of the mean association scores with additive smoothing, so
+        unseen passes keep a floor probability (the prior never forbids a
+        pass — it only tilts exploration).
+        """
+        s = self.scores()
+        raw = np.asarray([s.get(p, 0.0) for p in passes], dtype=float)
+        if raw.std() > 1e-12:
+            raw = (raw - raw.mean()) / raw.std()
+        w = np.exp(raw) + self.smoothing
+        return w / w.sum()
+
+    def merge(self, other: "PassCorrelationPrior") -> None:
+        """Fold another prior's evidence into this one."""
+        for p, v in other._score.items():
+            self._score[p] = self._score.get(p, 0.0) + v
+            self._count[p] = self._count.get(p, 0) + other._count[p]
+        self.n_runs += other.n_runs

@@ -1,0 +1,21 @@
+"""Feature extraction for cost models.
+
+``StatsVectorizer`` (compilation statistics) is CITROEN's feature space
+(§5.3.3); the others — Autophase-like IR counters, raw sequence encodings,
+token histograms — are the alternatives compared in Fig 5.9.
+"""
+
+from repro.features.stats_features import StatsVectorizer
+from repro.features.autophase import autophase_features, AUTOPHASE_KEYS
+from repro.features.seq_features import sequence_features, sequence_histogram
+from repro.features.tokens import token_histogram, TOKEN_KEYS
+
+__all__ = [
+    "StatsVectorizer",
+    "autophase_features",
+    "AUTOPHASE_KEYS",
+    "sequence_features",
+    "sequence_histogram",
+    "token_histogram",
+    "TOKEN_KEYS",
+]

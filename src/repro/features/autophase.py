@@ -1,0 +1,91 @@
+"""Autophase-style static IR features (Huang et al., §3.4).
+
+Counts structural properties of the post-compilation IR: instruction mix,
+CFG shape, memory traffic.  These characterise *programs* well but, as the
+paper argues, miss transformations that do not change the counted
+constructs (e.g. ``function-attrs``) — the deficiency Fig 5.9/5.10 exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.compiler.ir import Const, Module
+
+__all__ = ["autophase_features", "AUTOPHASE_KEYS"]
+
+_COUNTED_OPS = [
+    "add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr", "lshr",
+    "fadd", "fsub", "fmul", "fdiv",
+    "load", "store", "alloca", "gep", "gaddr",
+    "icmp", "fcmp", "select", "phi", "call", "ret", "br", "jmp",
+    "sext", "zext", "trunc",
+    "vload", "vstore", "broadcast", "reduce", "extract", "insert",
+    "memset", "memcpy", "output",
+]
+
+AUTOPHASE_KEYS: List[str] = (
+    [f"num_{op}" for op in _COUNTED_OPS]
+    + [
+        "num_blocks",
+        "num_functions",
+        "num_instructions",
+        "num_edges",
+        "num_critical_edges",
+        "num_phis_args",
+        "num_const_operands",
+        "num_one_successor",
+        "num_two_successor",
+        "num_blocks_gt_15",
+        "num_blocks_le_15",
+        "num_globals",
+        "max_loop_like_backedges",
+        "total_args",
+    ]
+)
+
+
+def autophase_features(module: Module) -> Dict[str, int]:
+    """Static statistical features of a module's IR."""
+    feats: Dict[str, int] = {k: 0 for k in AUTOPHASE_KEYS}
+    feats["num_functions"] = len(module.functions)
+    feats["num_globals"] = len(module.globals)
+    backedges = 0
+    for fn in module.functions.values():
+        feats["total_args"] += len(fn.params)
+        seen_order = {name: i for i, name in enumerate(fn.blocks)}
+        for bname, blk in fn.blocks.items():
+            feats["num_blocks"] += 1
+            size = len(blk.instrs)
+            if size > 15:
+                feats["num_blocks_gt_15"] += 1
+            else:
+                feats["num_blocks_le_15"] += 1
+            succs = blk.successors()
+            feats["num_edges"] += len(succs)
+            if len(succs) == 1:
+                feats["num_one_successor"] += 1
+            elif len(succs) == 2:
+                feats["num_two_successor"] += 1
+            for s in succs:
+                if seen_order.get(s, 1 << 30) <= seen_order[bname]:
+                    backedges += 1
+            for inst in blk.instrs:
+                feats["num_instructions"] += 1
+                key = f"num_{inst.op}"
+                if key in feats:
+                    feats[key] += 1
+                if inst.op == "phi":
+                    feats["num_phis_args"] += len(inst.attrs["incoming"])
+                for a in inst.operands():
+                    if isinstance(a, Const):
+                        feats["num_const_operands"] += 1
+        # critical edges: pred with >1 succ into block with >1 pred
+        preds = fn.predecessors()
+        for bname, blk in fn.blocks.items():
+            if len(preds[bname]) > 1:
+                for p in preds[bname]:
+                    if len(fn.blocks[p].successors()) > 1:
+                        feats["num_critical_edges"] += 1
+    feats["max_loop_like_backedges"] = backedges
+    return feats

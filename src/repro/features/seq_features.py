@@ -1,0 +1,27 @@
+"""Raw pass-sequence encodings — what "standard BO" fits on (§3.3).
+
+``sequence_features`` is the per-position categorical-to-continuous
+embedding (each position scaled by the alphabet size), matching how prior
+BO-for-compilers work feeds raw tuning parameters to the surrogate.
+``sequence_histogram`` is the order-insensitive pass-count profile.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["sequence_features", "sequence_histogram"]
+
+
+def sequence_features(seq: Sequence[int], alphabet: int) -> np.ndarray:
+    """Per-position encoding in [0, 1]; dimension = sequence length."""
+    s = np.asarray(seq, dtype=float)
+    return (s + 0.5) / alphabet
+
+
+def sequence_histogram(seq: Sequence[int], alphabet: int) -> np.ndarray:
+    """Normalised pass-count histogram; dimension = alphabet size."""
+    h = np.bincount(np.asarray(seq, dtype=int), minlength=alphabet).astype(float)
+    return h / max(1, len(seq))

@@ -1,0 +1,110 @@
+"""Vectorising pass-related compilation statistics (§5.3.3).
+
+The statistics feature space is *open-ended* (new pass/counter pairs appear
+as the search visits new sequences), *sparse* (most counters are zero for
+most sequences) and *non-uniform* (counters span orders of magnitude).
+``StatsVectorizer`` therefore:
+
+* maintains a growing key registry, rebuilding the design matrix on refit;
+* applies ``log1p`` then per-dimension min-max scaling;
+* reports per-dimension *coverage* information — which dimensions of a
+  candidate lie inside the observed value range — which is what the
+  coverage-aware acquisition function (§5.3.4, Table 5.2) consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StatsVectorizer"]
+
+
+class StatsVectorizer:
+    """Maps ``{"pass.Counter": int}`` dicts to dense normalised vectors."""
+
+    def __init__(self) -> None:
+        self.keys: List[str] = []
+        self._key_index: Dict[str, int] = {}
+        self._lo: Optional[np.ndarray] = None
+        self._hi: Optional[np.ndarray] = None
+
+    # -- registry ------------------------------------------------------------
+    def observe_keys(self, stats: Dict[str, int]) -> None:
+        """Grow the key registry with any unseen counters."""
+        for k in stats:
+            if k not in self._key_index:
+                self._key_index[k] = len(self.keys)
+                self.keys.append(k)
+
+    @property
+    def dim(self) -> int:
+        return len(self.keys)
+
+    # -- raw (log-transformed, unscaled) vectors -------------------------------
+    def raw_vector(self, stats: Dict[str, int]) -> np.ndarray:
+        """log1p-transformed (unscaled) vector for one stats dict."""
+        v = np.zeros(self.dim)
+        for k, value in stats.items():
+            idx = self._key_index.get(k)
+            if idx is not None:
+                v[idx] = np.log1p(max(0.0, float(value)))
+        return v
+
+    def raw_matrix(self, stats_list: Sequence[Dict[str, int]]) -> np.ndarray:
+        """Stack raw vectors for many stats dicts (registry grows first)."""
+        for s in stats_list:
+            self.observe_keys(s)
+        return np.asarray([self.raw_vector(s) for s in stats_list])
+
+    # -- scaling -----------------------------------------------------------------
+    def fit(self, stats_list: Sequence[Dict[str, int]]) -> np.ndarray:
+        """Rebuild the registry + scaler from observations; return the
+        normalised design matrix."""
+        M = self.raw_matrix(stats_list)
+        self._lo = M.min(axis=0)
+        self._hi = M.max(axis=0)
+        span = self._hi - self._lo
+        span[span < 1e-12] = 1.0
+        self._span = span
+        return (M - self._lo) / span
+
+    def transform(self, stats: Dict[str, int]) -> np.ndarray:
+        """Normalise one candidate with the fitted scaler (clipped to the
+        unit box so the GP input domain stays bounded)."""
+        assert self._lo is not None, "call fit first"
+        v = self.raw_vector(stats)
+        return np.clip((v - self._lo) / self._span, 0.0, 1.0)
+
+    # -- coverage (Table 5.2) -------------------------------------------------------
+    def coverage(self, stats: Dict[str, int]) -> float:
+        """Fraction of the candidate's *active* dimensions whose raw value
+        lies within the observed [min, max] range.
+
+        A dimension never seen before (key outside the registry) counts as
+        uncovered; so does an in-registry dimension whose value exceeds the
+        observed range.  Candidates scoring low here have GP predictions
+        extrapolated from nothing — the paper's coverage issue.
+        """
+        assert self._lo is not None, "call fit first"
+        active = 0
+        covered = 0
+        for k, value in stats.items():
+            x = np.log1p(max(0.0, float(value)))
+            if x <= 0.0:
+                continue
+            active += 1
+            idx = self._key_index.get(k)
+            if idx is None:
+                continue
+            if self._lo[idx] - 1e-9 <= x <= self._hi[idx] + 1e-9:
+                covered += 1
+        if active == 0:
+            return 1.0
+        return covered / active
+
+    def signature(self, stats: Dict[str, int]) -> Tuple:
+        """Hashable identity of a statistics outcome (for deduplication of
+        equivalent compilations, §3.1.1 / Kulkarni et al.)."""
+        return tuple(sorted((k, int(v)) for k, v in stats.items() if v))

@@ -1,0 +1,41 @@
+"""DeepTune-IR-style token features: opcode bigram histogram of the IR.
+
+Serialises each function's instruction stream to opcode tokens and counts
+bigrams — a sequence-based program characterisation (§3.4) that sees local
+instruction patterns but not dataflow or attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.compiler.ir import Module
+
+__all__ = ["token_histogram", "TOKEN_KEYS"]
+
+_OPS = [
+    "add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr",
+    "fadd", "fmul", "load", "store", "gep", "icmp", "select", "phi", "call",
+    "br", "jmp", "ret", "sext", "trunc", "vload", "vstore", "reduce", "other",
+]
+_OP_SET = set(_OPS[:-1])
+
+TOKEN_KEYS: List[str] = [f"bi_{a}_{b}" for a in _OPS for b in _OPS]
+
+
+def _tok(op: str) -> str:
+    return op if op in _OP_SET else "other"
+
+
+def token_histogram(module: Module) -> Dict[str, int]:
+    """Opcode-bigram counts over the linearised instruction stream."""
+    counts: Dict[str, int] = {}
+    for fn in module.functions.values():
+        prev = None
+        for inst in fn.instructions():
+            cur = _tok(inst.op)
+            if prev is not None:
+                key = f"bi_{prev}_{cur}"
+                counts[key] = counts.get(key, 0) + 1
+            prev = cur
+    return counts

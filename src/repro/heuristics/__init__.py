@@ -1,0 +1,32 @@
+"""Heuristic black-box optimisers (ask/tell interface).
+
+Continuous optimisers operate on the unit box ``[0, 1]^d``; discrete
+sequence optimisers operate on fixed-length integer vectors over a pass
+alphabet.  All are minimisers.  AIBO (Ch. 4) uses them to *initialise* the
+acquisition-function maximiser — not to optimise the AF — which is the
+paper's central distinction (Fig 4.2).
+"""
+
+from repro.heuristics.base import ContinuousOptimizer, SequenceOptimizer
+from repro.heuristics.cmaes import CMAES
+from repro.heuristics.ga import ContinuousGA, SequenceGA
+from repro.heuristics.des import DiscreteES
+from repro.heuristics.random_search import RandomSearch, RandomSequenceSearch
+from repro.heuristics.hill_climbing import HillClimbing, SequenceHillClimbing
+from repro.heuristics.simulated_annealing import SequenceSimulatedAnnealing
+from repro.heuristics.pso import PSO
+
+__all__ = [
+    "ContinuousOptimizer",
+    "SequenceOptimizer",
+    "CMAES",
+    "ContinuousGA",
+    "SequenceGA",
+    "DiscreteES",
+    "RandomSearch",
+    "RandomSequenceSearch",
+    "HillClimbing",
+    "SequenceHillClimbing",
+    "SequenceSimulatedAnnealing",
+    "PSO",
+]

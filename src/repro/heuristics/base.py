@@ -1,0 +1,95 @@
+"""Ask/tell optimiser interfaces."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["ContinuousOptimizer", "SequenceOptimizer"]
+
+
+class ContinuousOptimizer:
+    """Minimiser over the unit box ``[0, 1]^dim``.
+
+    ``ask(n)`` proposes candidate points; ``tell(X, y)`` feeds back evaluated
+    samples (which need not be the points asked for — AIBO tells the
+    AF-chosen sample to *every* strategy, Alg. 1 line 16).
+    """
+
+    def __init__(self, dim: int, seed: SeedLike = None) -> None:
+        self.dim = dim
+        self.rng = as_generator(seed)
+        self.best_x: Optional[np.ndarray] = None
+        self.best_y: float = float("inf")
+
+    def ask(self, n: int) -> np.ndarray:
+        """Propose ``n`` candidate points to evaluate."""
+        raise NotImplementedError
+
+    def tell(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Feed back evaluated samples; updates the incumbent and state."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.atleast_1d(np.asarray(y, dtype=float))
+        i = int(np.argmin(y))
+        if y[i] < self.best_y:
+            self.best_y = float(y[i])
+            self.best_x = X[i].copy()
+        self._update(X, y)
+
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SequenceOptimizer:
+    """Minimiser over fixed-length sequences from an integer alphabet.
+
+    Candidates are ``(n, length)`` integer arrays with entries in
+    ``[0, alphabet)``.  ``gene_weights``, when given, biases random gene
+    draws (used by the cross-program pass-correlation prior, §6.3.2).
+    """
+
+    def __init__(
+        self,
+        length: int,
+        alphabet: int,
+        seed: SeedLike = None,
+        gene_weights: Optional[np.ndarray] = None,
+    ) -> None:
+        self.length = length
+        self.alphabet = alphabet
+        self.rng = as_generator(seed)
+        self.gene_weights = (
+            np.asarray(gene_weights, dtype=float) / np.sum(gene_weights)
+            if gene_weights is not None
+            else None
+        )
+        self.best_x: Optional[np.ndarray] = None
+        self.best_y: float = float("inf")
+
+    def random_sequences(self, n: int) -> np.ndarray:
+        """Draw ``n`` random sequences (gene-weighted when configured)."""
+        if self.gene_weights is None:
+            return self.rng.integers(0, self.alphabet, size=(n, self.length))
+        return self.rng.choice(
+            self.alphabet, size=(n, self.length), p=self.gene_weights
+        )
+
+    def ask(self, n: int) -> np.ndarray:
+        """Propose ``n`` candidate points to evaluate."""
+        raise NotImplementedError
+
+    def tell(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Feed back evaluated samples; updates the incumbent and state."""
+        X = np.atleast_2d(np.asarray(X, dtype=int))
+        y = np.atleast_1d(np.asarray(y, dtype=float))
+        i = int(np.argmin(y))
+        if y[i] < self.best_y:
+            self.best_y = float(y[i])
+            self.best_x = X[i].copy()
+        self._update(X, y)
+
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError

@@ -1,0 +1,143 @@
+"""Covariance Matrix Adaptation Evolution Strategy (CMA-ES).
+
+Full (mu/mu_w, lambda) implementation with cumulative step-size adaptation
+and rank-one + rank-mu covariance updates (eqs 2.8–2.12 of the thesis /
+Hansen's tutorial).  The ask/tell interface buffers told samples and runs a
+generation update every ``lam`` samples, so AIBO can feed it one AF-chosen
+point per BO iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.heuristics.base import ContinuousOptimizer
+from repro.utils.rng import SeedLike
+
+__all__ = ["CMAES"]
+
+
+class CMAES(ContinuousOptimizer):
+    """CMA-ES on the unit box (samples are clipped to ``[0, 1]``)."""
+
+    def __init__(
+        self,
+        dim: int,
+        sigma0: float = 0.2,
+        lam: Optional[int] = None,
+        seed: SeedLike = None,
+        mean0: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(dim, seed)
+        n = dim
+        self.lam = lam if lam is not None else 4 + int(3 * math.log(n))
+        self.mu = self.lam // 2
+        w = math.log(self.mu + 0.5) - np.log(np.arange(1, self.mu + 1))
+        self.weights = w / w.sum()
+        self.mu_eff = 1.0 / float((self.weights**2).sum())
+
+        # strategy parameters (Hansen's defaults)
+        self.c_sigma = (self.mu_eff + 2.0) / (n + self.mu_eff + 5.0)
+        self.d_sigma = (
+            1.0 + 2.0 * max(0.0, math.sqrt((self.mu_eff - 1.0) / (n + 1.0)) - 1.0) + self.c_sigma
+        )
+        self.c_c = (4.0 + self.mu_eff / n) / (n + 4.0 + 2.0 * self.mu_eff / n)
+        self.c_1 = 2.0 / ((n + 1.3) ** 2 + self.mu_eff)
+        self.c_mu = min(
+            1.0 - self.c_1,
+            2.0 * (self.mu_eff - 2.0 + 1.0 / self.mu_eff) / ((n + 2.0) ** 2 + self.mu_eff),
+        )
+        self.chi_n = math.sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n))
+
+        self.mean = (
+            np.asarray(mean0, dtype=float) if mean0 is not None else np.full(n, 0.5)
+        )
+        self.sigma = sigma0
+        self.C = np.eye(n)
+        self.p_sigma = np.zeros(n)
+        self.p_c = np.zeros(n)
+        self._eigen_fresh = False
+        self._B = np.eye(n)
+        self._D = np.ones(n)
+        self._buffer: List[Tuple[np.ndarray, float]] = []
+        self.generation = 0
+
+    # -- sampling -------------------------------------------------------------
+    def _decompose(self) -> None:
+        if self._eigen_fresh:
+            return
+        C = (self.C + self.C.T) / 2.0
+        vals, vecs = np.linalg.eigh(C)
+        vals = np.maximum(vals, 1e-20)
+        self._B = vecs
+        self._D = np.sqrt(vals)
+        self._eigen_fresh = True
+
+    def ask(self, n: int) -> np.ndarray:
+        """Sample ``n`` points from the current search distribution."""
+        self._decompose()
+        z = self.rng.standard_normal((n, self.dim))
+        y = z * self._D  # scale
+        x = self.mean + self.sigma * (y @ self._B.T)
+        return np.clip(x, 0.0, 1.0)
+
+    def seed_mean(self, x: np.ndarray) -> None:
+        """Centre the search distribution on ``x`` (best initial sample)."""
+        self.mean = np.asarray(x, dtype=float).copy()
+
+    # -- update -----------------------------------------------------------------
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:
+        for xi, yi in zip(X, y):
+            self._buffer.append((np.asarray(xi, dtype=float), float(yi)))
+        while len(self._buffer) >= self.lam:
+            batch = self._buffer[: self.lam]
+            self._buffer = self._buffer[self.lam :]
+            self._generation_update(batch)
+
+    def _generation_update(self, batch: List[Tuple[np.ndarray, float]]) -> None:
+        n = self.dim
+        batch.sort(key=lambda t: t[1])
+        xs = np.asarray([b[0] for b in batch[: self.mu]])
+        old_mean = self.mean.copy()
+        self.mean = (self.weights[:, None] * xs).sum(axis=0)  # eq 2.8
+
+        self._decompose()
+        inv_sqrt = self._B @ np.diag(1.0 / self._D) @ self._B.T
+        delta = (self.mean - old_mean) / max(self.sigma, 1e-12)
+
+        # eq 2.9: evolution path for sigma
+        self.p_sigma = (1.0 - self.c_sigma) * self.p_sigma + math.sqrt(
+            self.c_sigma * (2.0 - self.c_sigma) * self.mu_eff
+        ) * (inv_sqrt @ delta)
+        # eq 2.10: step-size update
+        self.sigma *= math.exp(
+            (self.c_sigma / self.d_sigma) * (np.linalg.norm(self.p_sigma) / self.chi_n - 1.0)
+        )
+        self.sigma = float(np.clip(self.sigma, 1e-8, 1.0))
+
+        # eq 2.11: evolution path for C (with stall indicator h_sigma)
+        denom = math.sqrt(
+            1.0 - (1.0 - self.c_sigma) ** (2.0 * (self.generation + 1))
+        )
+        h_sigma = (
+            np.linalg.norm(self.p_sigma) / max(denom, 1e-12)
+            < (1.4 + 2.0 / (n + 1.0)) * self.chi_n
+        )
+        self.p_c = (1.0 - self.c_c) * self.p_c
+        if h_sigma:
+            self.p_c += math.sqrt(self.c_c * (2.0 - self.c_c) * self.mu_eff) * delta
+
+        # eq 2.12: covariance update (rank-one + rank-mu)
+        artmp = (xs - old_mean) / max(self.sigma, 1e-12)
+        rank_mu = (self.weights[:, None, None] * (artmp[:, :, None] @ artmp[:, None, :])).sum(0)
+        c1a = self.c_1 * (1.0 - (0 if h_sigma else 1) * self.c_c * (2.0 - self.c_c))
+        self.C = (
+            (1.0 - c1a - self.c_mu) * self.C
+            + self.c_1 * np.outer(self.p_c, self.p_c)
+            + self.c_mu * rank_mu
+        )
+        self._eigen_fresh = False
+        self.generation += 1

@@ -1,0 +1,63 @@
+"""Discrete 1+lambda Evolution Strategy (DES) over pass sequences (§2.2.3).
+
+The parent is the best sequence seen so far; offspring are point mutations
+of it.  CITROEN uses DES as its primary candidate-sequence generator
+(§5.3.5): mutants of the incumbent are exactly the "nearby sequences whose
+statistics the cost model can judge" that make the statistics feature
+space informative.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.heuristics.base import SequenceOptimizer
+from repro.heuristics.operators import seq_point_mutation
+from repro.utils.rng import SeedLike
+
+__all__ = ["DiscreteES"]
+
+
+class DiscreteES(SequenceOptimizer):
+    """1+lambda ES: mutate the incumbent; replace it on improvement."""
+
+    def __init__(
+        self,
+        length: int,
+        alphabet: int,
+        seed: SeedLike = None,
+        mutation_prob: Optional[float] = None,
+        insert_swap_prob: float = 0.3,
+        gene_weights=None,
+    ) -> None:
+        super().__init__(length, alphabet, seed, gene_weights=gene_weights)
+        self.mutation_prob = mutation_prob
+        self.insert_swap_prob = insert_swap_prob
+        self.parent: Optional[np.ndarray] = None
+
+    def seed_parent(self, x: np.ndarray) -> None:
+        """Set the incumbent the 1+lambda mutants derive from."""
+        self.parent = np.asarray(x, dtype=int).copy()
+
+    def _mutant(self) -> np.ndarray:
+        assert self.parent is not None
+        y = seq_point_mutation(self.parent, self.alphabet, self.rng, self.mutation_prob, weights=self.gene_weights)
+        # order matters for phase ordering: occasionally swap two positions
+        # or rotate a small window instead of resetting genes
+        if self.rng.random() < self.insert_swap_prob:
+            i, j = self.rng.integers(0, self.length, size=2)
+            y[i], y[j] = y[j], y[i]
+        return y
+
+    def ask(self, n: int) -> np.ndarray:
+        """Generate ``n`` mutants of the parent (random before seeding)."""
+        if self.parent is None:
+            return self.random_sequences(n)
+        return np.asarray([self._mutant() for _ in range(n)], dtype=int)
+
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:
+        # 1+lambda selection: the all-time best becomes/stays the parent
+        if self.best_x is not None:
+            self.parent = self.best_x.copy()

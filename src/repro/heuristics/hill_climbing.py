@@ -1,0 +1,50 @@
+"""Hill climbing (continuous Gaussian-step and sequence point-step)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.heuristics.base import ContinuousOptimizer, SequenceOptimizer
+from repro.heuristics.operators import seq_point_mutation
+from repro.utils.rng import SeedLike
+
+__all__ = ["HillClimbing", "SequenceHillClimbing"]
+
+
+class HillClimbing(ContinuousOptimizer):
+    """Gaussian-perturbation hill climbing around the incumbent best."""
+
+    def __init__(self, dim: int, step: float = 0.1, seed: SeedLike = None) -> None:
+        super().__init__(dim, seed)
+        self.step = step
+
+    def ask(self, n: int) -> np.ndarray:
+        """Propose ``n`` perturbations of the incumbent best."""
+        if self.best_x is None:
+            return self.rng.random((n, self.dim))
+        prop = self.best_x + self.step * self.rng.standard_normal((n, self.dim))
+        return np.clip(prop, 0.0, 1.0)
+
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:  # best tracked in base
+        pass
+
+
+class SequenceHillClimbing(SequenceOptimizer):
+    """First-improvement hill climbing with point mutations of the best."""
+
+    def __init__(self, length: int, alphabet: int, seed: SeedLike = None) -> None:
+        super().__init__(length, alphabet, seed)
+
+    def ask(self, n: int) -> np.ndarray:
+        """Propose ``n`` perturbations of the incumbent best."""
+        if self.best_x is None:
+            return self.random_sequences(n)
+        return np.asarray(
+            [seq_point_mutation(self.best_x, self.alphabet, self.rng) for _ in range(n)],
+            dtype=int,
+        )
+
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:
+        pass

@@ -1,0 +1,113 @@
+"""Genetic operators: tournament selection, SBX crossover, polynomial
+mutation (continuous) and point operators (sequences).
+
+The continuous operators follow the pymoo defaults the paper configures
+(§4.3.2): binary tournament, SBX with crossover probability 0.5,
+polynomial mutation with probability 1/D.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "tournament_select",
+    "sbx_crossover",
+    "polynomial_mutation",
+    "seq_two_point_crossover",
+    "seq_point_mutation",
+]
+
+
+def tournament_select(
+    fitness: np.ndarray, n: int, rng: np.random.Generator, k: int = 2
+) -> np.ndarray:
+    """Return ``n`` indices chosen by size-``k`` tournaments (lower = better)."""
+    pop = len(fitness)
+    entrants = rng.integers(0, pop, size=(n, k))
+    winners = entrants[np.arange(n), np.argmin(fitness[entrants], axis=1)]
+    return winners
+
+
+def sbx_crossover(
+    p1: np.ndarray,
+    p2: np.ndarray,
+    rng: np.random.Generator,
+    eta: float = 15.0,
+    prob: float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Simulated binary crossover on the unit box (per-gene with ``prob``)."""
+    c1, c2 = p1.copy(), p2.copy()
+    mask = rng.random(p1.shape) < prob
+    u = rng.random(p1.shape)
+    beta = np.where(
+        u <= 0.5,
+        (2.0 * u) ** (1.0 / (eta + 1.0)),
+        (1.0 / (2.0 * (1.0 - u))) ** (1.0 / (eta + 1.0)),
+    )
+    mean = 0.5 * (p1 + p2)
+    diff = 0.5 * np.abs(p2 - p1)
+    lo = mean - beta * diff
+    hi = mean + beta * diff
+    c1[mask] = lo[mask]
+    c2[mask] = hi[mask]
+    return np.clip(c1, 0.0, 1.0), np.clip(c2, 0.0, 1.0)
+
+
+def polynomial_mutation(
+    x: np.ndarray, rng: np.random.Generator, eta: float = 20.0, prob: float = None
+) -> np.ndarray:
+    """Polynomial mutation on the unit box; default prob = 1/D."""
+    d = x.shape[-1]
+    if prob is None:
+        prob = 1.0 / d
+    y = x.copy()
+    mask = rng.random(x.shape) < prob
+    u = rng.random(x.shape)
+    delta = np.where(
+        u < 0.5,
+        (2.0 * u) ** (1.0 / (eta + 1.0)) - 1.0,
+        1.0 - (2.0 * (1.0 - u)) ** (1.0 / (eta + 1.0)),
+    )
+    y[mask] = np.clip(y[mask] + delta[mask], 0.0, 1.0)
+    return y
+
+
+def seq_two_point_crossover(
+    p1: np.ndarray, p2: np.ndarray, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two-point crossover on integer sequences."""
+    n = len(p1)
+    a, b = sorted(rng.integers(0, n + 1, size=2))
+    c1, c2 = p1.copy(), p2.copy()
+    c1[a:b], c2[a:b] = p2[a:b].copy(), p1[a:b].copy()
+    return c1, c2
+
+
+def seq_point_mutation(
+    x: np.ndarray,
+    alphabet: int,
+    rng: np.random.Generator,
+    prob: float = None,
+    weights: np.ndarray = None,
+) -> np.ndarray:
+    """Per-gene random-reset mutation; default prob = 1/length.
+
+    ``weights`` biases the replacement gene distribution (pass-correlation
+    prior support).
+    """
+    n = len(x)
+    if prob is None:
+        prob = 1.0 / n
+    y = x.copy()
+    mask = rng.random(n) < prob
+    if not mask.any():
+        mask[rng.integers(0, n)] = True  # always mutate at least one gene
+    k = int(mask.sum())
+    if weights is None:
+        y[mask] = rng.integers(0, alphabet, size=k)
+    else:
+        y[mask] = rng.choice(alphabet, size=k, p=weights)
+    return y

@@ -1,0 +1,61 @@
+"""Particle swarm optimisation on the unit box (OpenTuner-style technique)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.heuristics.base import ContinuousOptimizer
+from repro.utils.rng import SeedLike
+
+__all__ = ["PSO"]
+
+
+class PSO(ContinuousOptimizer):
+    """Canonical global-best PSO; ``ask`` advances particles one step."""
+
+    def __init__(
+        self,
+        dim: int,
+        swarm: int = 20,
+        seed: SeedLike = None,
+        inertia: float = 0.72,
+        c_personal: float = 1.49,
+        c_global: float = 1.49,
+    ) -> None:
+        super().__init__(dim, seed)
+        self.swarm = swarm
+        self.inertia = inertia
+        self.c_personal = c_personal
+        self.c_global = c_global
+        self.x = self.rng.random((swarm, dim))
+        self.v = 0.1 * (self.rng.random((swarm, dim)) - 0.5)
+        self.p_best_x = self.x.copy()
+        self.p_best_y = np.full(swarm, np.inf)
+        self._cursor = 0
+
+    def ask(self, n: int) -> np.ndarray:
+        """Advance ``n`` particles one velocity step each."""
+        out = []
+        for _ in range(n):
+            i = self._cursor % self.swarm
+            self._cursor += 1
+            g = self.best_x if self.best_x is not None else self.x[i]
+            r1, r2 = self.rng.random(self.dim), self.rng.random(self.dim)
+            self.v[i] = (
+                self.inertia * self.v[i]
+                + self.c_personal * r1 * (self.p_best_x[i] - self.x[i])
+                + self.c_global * r2 * (g - self.x[i])
+            )
+            self.x[i] = np.clip(self.x[i] + self.v[i], 0.0, 1.0)
+            out.append(self.x[i].copy())
+        return np.asarray(out)
+
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:
+        for xi, yi in zip(X, y):
+            i = int(self.rng.integers(0, self.swarm)) if self.swarm else 0
+            # attribute the sample to the nearest particle's personal best
+            d = ((self.x - xi) ** 2).sum(1)
+            i = int(np.argmin(d))
+            if yi < self.p_best_y[i]:
+                self.p_best_y[i] = float(yi)
+                self.p_best_x[i] = np.asarray(xi, dtype=float).copy()

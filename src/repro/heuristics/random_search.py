@@ -1,0 +1,32 @@
+"""Uniform random search (continuous and sequence variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.heuristics.base import ContinuousOptimizer, SequenceOptimizer
+from repro.utils.rng import SeedLike
+
+__all__ = ["RandomSearch", "RandomSequenceSearch"]
+
+
+class RandomSearch(ContinuousOptimizer):
+    """Uniform sampling over the unit box; ``tell`` only tracks the best."""
+
+    def ask(self, n: int) -> np.ndarray:
+        """Draw ``n`` uniform random candidates."""
+        return self.rng.random((n, self.dim))
+
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:  # stateless
+        pass
+
+
+class RandomSequenceSearch(SequenceOptimizer):
+    """Uniform random pass sequences — the paper's random-search baseline."""
+
+    def ask(self, n: int) -> np.ndarray:
+        """Draw ``n`` uniform random candidates."""
+        return self.random_sequences(n)
+
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:  # stateless
+        pass

@@ -1,0 +1,54 @@
+"""Simulated annealing over pass sequences (OpenTuner-style technique)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.heuristics.base import SequenceOptimizer
+from repro.heuristics.operators import seq_point_mutation
+from repro.utils.rng import SeedLike
+
+__all__ = ["SequenceSimulatedAnnealing"]
+
+
+class SequenceSimulatedAnnealing(SequenceOptimizer):
+    """Metropolis acceptance around a walking incumbent with geometric
+    cooling.  Temperatures are relative to the observed objective scale."""
+
+    def __init__(
+        self,
+        length: int,
+        alphabet: int,
+        seed: SeedLike = None,
+        t0: float = 0.1,
+        cooling: float = 0.97,
+    ) -> None:
+        super().__init__(length, alphabet, seed)
+        self.t0 = t0
+        self.cooling = cooling
+        self.temperature = t0
+        self.current_x: Optional[np.ndarray] = None
+        self.current_y = float("inf")
+        self._scale = 1.0
+
+    def ask(self, n: int) -> np.ndarray:
+        """Propose ``n`` mutations of the current (walking) state."""
+        if self.current_x is None:
+            return self.random_sequences(n)
+        return np.asarray(
+            [seq_point_mutation(self.current_x, self.alphabet, self.rng) for _ in range(n)],
+            dtype=int,
+        )
+
+    def _update(self, X: np.ndarray, y: np.ndarray) -> None:
+        for xi, yi in zip(X, y):
+            self._scale = max(self._scale * 0.99, abs(float(yi)), 1e-12)
+            if self.current_x is None:
+                self.current_x, self.current_y = xi.copy(), float(yi)
+                continue
+            delta = (float(yi) - self.current_y) / self._scale
+            if delta <= 0 or self.rng.random() < np.exp(-delta / max(self.temperature, 1e-9)):
+                self.current_x, self.current_y = xi.copy(), float(yi)
+            self.temperature *= self.cooling

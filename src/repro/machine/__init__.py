@@ -1,0 +1,18 @@
+"""Execution substrate: IR interpreter, platform cost models, noisy profiler."""
+
+from repro.machine.interp import ExecutionResult, Interpreter, run_program
+from repro.machine.platforms import PLATFORMS, Platform, get_platform
+from repro.machine.cost_model import estimate_cycles
+from repro.machine.profiler import Profiler, FunctionProfile
+
+__all__ = [
+    "ExecutionResult",
+    "Interpreter",
+    "run_program",
+    "Platform",
+    "PLATFORMS",
+    "get_platform",
+    "estimate_cycles",
+    "Profiler",
+    "FunctionProfile",
+]

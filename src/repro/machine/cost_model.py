@@ -1,0 +1,99 @@
+"""Cycle-level cost model: (IR, execution profile, platform) -> cycles.
+
+The interpreter supplies exact block execution counts; this module converts
+them into simulated cycles using the platform's cost tables.  Vector
+instructions wider than the platform's registers are charged per required
+register split, so "legal but unprofitable" vectorisation (e.g. i64 lanes on
+128-bit NEON) genuinely costs more — the mechanism behind the paper's
+Fig 5.1 slowdown.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.compiler.ir import Const, Function, Instr, Module
+from repro.machine.platforms import Platform
+
+__all__ = ["instr_cycles", "block_cycles", "estimate_cycles", "static_code_size"]
+
+
+def instr_cycles(inst: Instr, platform: Platform) -> float:
+    """Cycles for one dynamic execution of ``inst``."""
+    op = inst.op
+    base = platform.op_cycles.get(op, 1.0)
+    ty = inst.ty
+    if op in ("memset", "memcpy"):
+        count = inst.args[2]
+        n = count.value if isinstance(count, Const) else 8
+        # bulk ops amortise: per-element cost plus a fixed setup charge
+        return 4.0 + base * n
+    if op == "call":
+        return platform.call_cost
+    if op in ("br",):
+        return platform.branch_cost
+    splits = 1.0
+    if ty.is_vec:
+        width = ty.elem.bits * ty.lanes
+        splits = max(1.0, math.ceil(width / platform.vector_bits))
+    elif op in ("vstore",):
+        pass
+    if op == "vstore":
+        # result type is VOID; infer width from the stored operand's lanes
+        # via the elem_ty attribute (count unknown statically -> assume 4)
+        elem = inst.attrs.get("elem_ty")
+        if elem is not None:
+            splits = max(1.0, math.ceil((elem.bits * 4) / platform.vector_bits))
+    extra = platform.mem_cost if op in ("load", "store", "vload", "vstore") else 0.0
+    return base * splits + extra
+
+
+def block_cycles(fn: Function, platform: Platform) -> Dict[str, float]:
+    """Static per-execution cost of each block in ``fn``."""
+    out: Dict[str, float] = {}
+    for name, blk in fn.blocks.items():
+        total = 0.0
+        for inst in blk.instrs:
+            total += instr_cycles(inst, platform)
+        out[name] = total
+    return out
+
+
+def static_code_size(modules: List[Module]) -> int:
+    """Total instruction count, the proxy for I-cache footprint."""
+    return sum(m.num_instrs() for m in modules)
+
+
+def estimate_cycles(
+    modules: List[Module],
+    block_counts: Dict[Tuple[str, str, str], int],
+    platform: Platform,
+) -> float:
+    """Simulated cycles for one execution described by ``block_counts``."""
+    fn_index: Dict[Tuple[str, str], Function] = {}
+    for mod in modules:
+        for fn in mod.functions.values():
+            fn_index[(mod.name, fn.name)] = fn
+    cycles = 0.0
+    cost_cache: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for (mod_name, fn_name, blk_name), count in block_counts.items():
+        key = (mod_name, fn_name)
+        fn = fn_index.get(key)
+        if fn is None:
+            continue
+        costs = cost_cache.get(key)
+        if costs is None:
+            costs = block_cycles(fn, platform)
+            cost_cache[key] = costs
+        blk_cost = costs.get(blk_name)
+        if blk_cost is None:
+            continue
+        cycles += blk_cost * count
+
+    # I-cache pressure: hot code beyond the capacity knee pays a latency tax
+    size = static_code_size(modules)
+    if size > platform.icache_capacity:
+        overflow = (size - platform.icache_capacity) / platform.icache_capacity
+        cycles *= 1.0 + platform.icache_penalty * min(overflow, 3.0)
+    return cycles

@@ -1,0 +1,436 @@
+"""Reference interpreter for the mini-IR.
+
+Executes a linked set of modules, producing the program's observable output
+stream (for differential testing, §1.1/§5.4 of the paper) and per-block
+execution counts (the "profile" that the platform cost model converts into a
+simulated runtime — our stand-in for running the binary under ``perf``).
+
+Integer arithmetic wraps at the operand's declared bit width, exactly like
+LLVM, so width-changing transformations (e.g. ``instcombine`` sign-extension
+widening, Fig 5.1c) are observable in semantics only when genuinely illegal —
+a property the differential tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.compiler.ir import Const, Function, Instr, Module, Type
+
+__all__ = ["ExecutionResult", "Interpreter", "run_program", "InterpError", "FuelExhausted"]
+
+
+class InterpError(RuntimeError):
+    """Raised on semantic errors (bad opcode, missing value, div by zero)."""
+
+
+class FuelExhausted(InterpError):
+    """Raised when the execution步 budget is exceeded (runaway loop guard)."""
+
+
+def _wrap(value: int, bits: int) -> int:
+    """Two's-complement wrap of ``value`` to a signed ``bits``-wide integer."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _to_unsigned(value: int, bits: int) -> int:
+    return value & ((1 << bits) - 1)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program execution."""
+
+    ret: Union[int, float, None]
+    outputs: List[Union[int, float]]
+    block_counts: Dict[Tuple[str, str, str], int]  # (module, function, block) -> times entered
+    steps: int
+
+    def output_signature(self) -> Tuple:
+        """Hashable semantic fingerprint used by differential testing."""
+        return (self.ret, tuple(self.outputs))
+
+
+class _Frame:
+    __slots__ = ("module", "fn", "env", "block", "prev_block", "idx", "ret_to")
+
+    def __init__(self, module: Module, fn: Function) -> None:
+        self.module = module
+        self.fn = fn
+        self.env: Dict[str, object] = {}
+        self.block = fn.entry.name
+        self.prev_block: Optional[str] = None
+        self.idx = 0
+        self.ret_to: Optional[Instr] = None
+
+
+class Interpreter:
+    """Executes ``main`` across a list of linked modules.
+
+    Functions are resolved by name across all modules (first match wins,
+    mirroring a linker).  Memory is a flat byte-addressed dictionary with a
+    bump allocator; allocas are never freed, which is harmless at the
+    program sizes used here and keeps address identity stable.
+    """
+
+    def __init__(self, modules: List[Module], fuel: int = 2_000_000, max_depth: int = 200) -> None:
+        self.modules = modules
+        self.fuel = fuel
+        self.max_depth = max_depth
+        self._fn_index: Dict[str, Tuple[Module, Function]] = {}
+        for mod in modules:
+            for fn in mod.functions.values():
+                self._fn_index.setdefault(fn.name, (mod, fn))
+        self.mem: Dict[int, Union[int, float]] = {}
+        self._brk = 0x1000
+        self._global_addr: Dict[str, int] = {}
+        self._bits_cache: Dict[int, Dict[str, int]] = {}
+        self._materialise_globals()
+
+    def _src_bits(self, frame: "_Frame", inst: Instr) -> int:
+        """Bit width of a cast's source operand, cached per function."""
+        src = inst.args[0]
+        if isinstance(src, Const):
+            return src.ty.bits or 64
+        cache = self._bits_cache.get(id(frame.fn))
+        if cache is None:
+            cache = _build_bits_map(frame.fn)
+            self._bits_cache[id(frame.fn)] = cache
+        return cache.get(src, 64)
+
+    # -- memory ------------------------------------------------------------
+    def _alloc(self, nbytes: int) -> int:
+        addr = self._brk
+        self._brk += (nbytes + 63) & ~63 or 64
+        return addr
+
+    def _materialise_globals(self) -> None:
+        for mod in self.modules:
+            for gv in mod.globals.values():
+                size = gv.elem_ty.byte_size() * max(1, gv.count)
+                addr = self._alloc(size)
+                # globals are module-scoped; a flat fallback handles the rare
+                # cross-module reference (resolved like a weak symbol)
+                self._global_addr[(mod.name, gv.name)] = addr
+                self._global_addr.setdefault(gv.name, addr)
+                esz = gv.elem_ty.byte_size()
+                for i, v in enumerate(gv.init):
+                    self.mem[addr + i * esz] = v
+
+    def global_address(self, name: str, module_name: Optional[str] = None) -> int:
+        """Simulated address of a global (module-scoped lookup)."""
+        if module_name is not None:
+            addr = self._global_addr.get((module_name, name))
+            if addr is not None:
+                return addr
+        try:
+            return self._global_addr[name]
+        except KeyError:
+            raise InterpError(f"unknown global @{name}") from None
+
+    # -- entry point ---------------------------------------------------------
+    def run(self, entry: str = "main", args: Tuple = ()) -> ExecutionResult:
+        """Execute ``entry`` and return outputs, counts and step total."""
+        self.outputs: List[Union[int, float]] = []
+        self.block_counts: Dict[Tuple[str, str, str], int] = {}
+        self._steps = 0
+        ret = self._call(entry, list(args), depth=0)
+        return ExecutionResult(ret, self.outputs, self.block_counts, self._steps)
+
+    # -- evaluation ------------------------------------------------------------
+    def _value(self, frame: _Frame, operand) -> object:
+        if isinstance(operand, Const):
+            return operand.value
+        try:
+            return frame.env[operand]
+        except KeyError:
+            raise InterpError(
+                f"use of undefined value {operand!r} in @{frame.fn.name}:{frame.block}"
+            ) from None
+
+    def _call(self, name: str, args: List[object], depth: int) -> object:
+        if depth > self.max_depth:
+            raise InterpError(f"call depth exceeded at @{name}")
+        try:
+            module, fn = self._fn_index[name]
+        except KeyError:
+            raise InterpError(f"call to unknown function @{name}") from None
+        if len(args) != len(fn.params):
+            raise InterpError(
+                f"@{name} called with {len(args)} args, expects {len(fn.params)}"
+            )
+        frame = _Frame(module, fn)
+        for (pname, _ty), val in zip(fn.params, args):
+            frame.env[pname] = val
+
+        while True:
+            blk = fn.blocks[frame.block]
+            key = (module.name, fn.name, frame.block)
+            self.block_counts[key] = self.block_counts.get(key, 0) + 1
+            # phi nodes: evaluate all in parallel against prev_block
+            phi_vals: List[Tuple[str, object]] = []
+            i = 0
+            instrs = blk.instrs
+            n = len(instrs)
+            while i < n and instrs[i].op == "phi":
+                inst = instrs[i]
+                for src_blk, val in inst.attrs["incoming"]:
+                    if src_blk == frame.prev_block:
+                        phi_vals.append((inst.res, self._value(frame, val)))
+                        break
+                else:
+                    raise InterpError(
+                        f"phi {inst.res} in @{fn.name}:{frame.block} has no incoming "
+                        f"from {frame.prev_block!r}"
+                    )
+                i += 1
+            for res, val in phi_vals:
+                frame.env[res] = val
+
+            jumped = False
+            while i < n:
+                inst = instrs[i]
+                self._steps += 1
+                if self._steps > self.fuel:
+                    raise FuelExhausted(f"fuel exhausted in @{fn.name}")
+                op = inst.op
+                if op == "br":
+                    cond = self._value(frame, inst.args[0])
+                    target = inst.attrs["targets"][0 if cond else 1]
+                    frame.prev_block, frame.block = frame.block, target
+                    jumped = True
+                    break
+                if op == "jmp":
+                    frame.prev_block, frame.block = frame.block, inst.attrs["target"]
+                    jumped = True
+                    break
+                if op == "ret":
+                    return self._value(frame, inst.args[0]) if inst.args else None
+                if op == "unreachable":
+                    raise InterpError(f"executed unreachable in @{fn.name}")
+                self._exec(frame, inst, depth)
+                i += 1
+            if not jumped:
+                raise InterpError(f"block {frame.block} in @{fn.name} fell through")
+
+    def _exec(self, frame: _Frame, inst: Instr, depth: int) -> None:
+        op = inst.op
+        ty = inst.ty
+        if op in _INT_BIN or op in _FLOAT_BIN:
+            a = self._value(frame, inst.args[0])
+            b = self._value(frame, inst.args[1])
+            if ty.is_vec:
+                ebits = ty.elem.bits
+                if ty.elem.is_int:
+                    frame.env[inst.res] = tuple(
+                        _int_bin(op, x, y, ebits) for x, y in zip(a, b)
+                    )
+                else:
+                    frame.env[inst.res] = tuple(_float_bin(op, x, y) for x, y in zip(a, b))
+            elif ty.is_int:
+                frame.env[inst.res] = _int_bin(op, a, b, ty.bits)
+            else:
+                frame.env[inst.res] = _float_bin(op, a, b)
+        elif op == "load":
+            addr = self._value(frame, inst.args[0])
+            frame.env[inst.res] = self.mem.get(addr, 0)
+        elif op == "store":
+            val = self._value(frame, inst.args[0])
+            addr = self._value(frame, inst.args[1])
+            self.mem[addr] = val
+        elif op == "alloca":
+            elem_ty: Type = inst.attrs["elem_ty"]
+            count: int = inst.attrs.get("count", 1)
+            frame.env[inst.res] = self._alloc(elem_ty.byte_size() * count)
+        elif op == "gep":
+            base = self._value(frame, inst.args[0])
+            idx = self._value(frame, inst.args[1])
+            frame.env[inst.res] = base + idx * inst.attrs["elem_ty"].byte_size()
+        elif op == "gaddr":
+            frame.env[inst.res] = self.global_address(inst.attrs["name"], frame.module.name)
+        elif op == "icmp":
+            a = self._value(frame, inst.args[0])
+            b = self._value(frame, inst.args[1])
+            frame.env[inst.res] = 1 if _icmp(inst.attrs["pred"], a, b) else 0
+        elif op == "fcmp":
+            a = self._value(frame, inst.args[0])
+            b = self._value(frame, inst.args[1])
+            frame.env[inst.res] = 1 if _icmp(inst.attrs["pred"], a, b) else 0
+        elif op == "select":
+            cond = self._value(frame, inst.args[0])
+            frame.env[inst.res] = self._value(frame, inst.args[1 if cond else 2])
+        elif op == "sext":
+            # values are stored in signed form at their width, so widening
+            # sign-extension is the identity on the Python integer
+            frame.env[inst.res] = self._value(frame, inst.args[0])
+        elif op == "zext":
+            v = self._value(frame, inst.args[0])
+            frame.env[inst.res] = _wrap(_to_unsigned(v, self._src_bits(frame, inst)), ty.bits)
+        elif op == "trunc":
+            v = self._value(frame, inst.args[0])
+            frame.env[inst.res] = _wrap(v, ty.bits)
+        elif op == "sitofp":
+            frame.env[inst.res] = float(self._value(frame, inst.args[0]))
+        elif op == "fptosi":
+            frame.env[inst.res] = _wrap(int(self._value(frame, inst.args[0])), ty.bits)
+        elif op == "fpext" or op == "fptrunc" or op == "bitcast":
+            frame.env[inst.res] = self._value(frame, inst.args[0])
+        elif op == "call":
+            args = [self._value(frame, a) for a in inst.args]
+            ret = self._call(inst.attrs["callee"], args, depth + 1)
+            if inst.res is not None:
+                frame.env[inst.res] = ret
+        elif op == "output":
+            self.outputs.append(self._value(frame, inst.args[0]))
+        elif op == "vload":
+            addr = self._value(frame, inst.args[0])
+            esz = ty.elem.byte_size()
+            frame.env[inst.res] = tuple(
+                self.mem.get(addr + k * esz, 0) for k in range(ty.lanes)
+            )
+        elif op == "vstore":
+            vals = self._value(frame, inst.args[0])
+            addr = self._value(frame, inst.args[1])
+            elem_ty = inst.attrs["elem_ty"]
+            esz = elem_ty.byte_size()
+            for k, v in enumerate(vals):
+                self.mem[addr + k * esz] = v
+        elif op == "broadcast":
+            v = self._value(frame, inst.args[0])
+            frame.env[inst.res] = (v,) * ty.lanes
+        elif op == "extract":
+            vec_val = self._value(frame, inst.args[0])
+            idx = self._value(frame, inst.args[1])
+            frame.env[inst.res] = vec_val[idx]
+        elif op == "insert":
+            vec_val = list(self._value(frame, inst.args[0]))
+            scalar = self._value(frame, inst.args[1])
+            idx = self._value(frame, inst.args[2])
+            vec_val[idx] = scalar
+            frame.env[inst.res] = tuple(vec_val)
+        elif op == "reduce":
+            vec_val = self._value(frame, inst.args[0])
+            rop = inst.attrs.get("rop", "add")
+            acc = vec_val[0]
+            for v in vec_val[1:]:
+                if ty.is_int:
+                    acc = _int_bin(rop, acc, v, ty.bits)
+                else:
+                    acc = _float_bin("f" + rop if not rop.startswith("f") else rop, acc, v)
+            frame.env[inst.res] = acc
+        elif op == "memset":
+            addr = self._value(frame, inst.args[0])
+            val = self._value(frame, inst.args[1])
+            count = self._value(frame, inst.args[2])
+            esz = inst.attrs["elem_ty"].byte_size()
+            for k in range(count):
+                self.mem[addr + k * esz] = val
+        elif op == "memcpy":
+            dst = self._value(frame, inst.args[0])
+            src = self._value(frame, inst.args[1])
+            count = self._value(frame, inst.args[2])
+            esz = inst.attrs["elem_ty"].byte_size()
+            vals = [self.mem.get(src + k * esz, 0) for k in range(count)]
+            for k, v in enumerate(vals):
+                self.mem[dst + k * esz] = v
+        else:
+            raise InterpError(f"unknown opcode {op!r}")
+
+
+_INT_BIN = frozenset(
+    {"add", "sub", "mul", "sdiv", "srem", "udiv", "urem", "and", "or", "xor", "shl", "ashr", "lshr"}
+)
+_FLOAT_BIN = frozenset({"fadd", "fsub", "fmul", "fdiv"})
+
+
+def _int_bin(op: str, a: int, b: int, bits: int) -> int:
+    if op == "add":
+        return _wrap(a + b, bits)
+    if op == "sub":
+        return _wrap(a - b, bits)
+    if op == "mul":
+        return _wrap(a * b, bits)
+    if op == "sdiv":
+        if b == 0:
+            raise InterpError("sdiv by zero")
+        q = abs(a) // abs(b)
+        return _wrap(-q if (a < 0) != (b < 0) else q, bits)
+    if op == "srem":
+        if b == 0:
+            raise InterpError("srem by zero")
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return _wrap(a - q * b, bits)
+    if op == "udiv":
+        if b == 0:
+            raise InterpError("udiv by zero")
+        return _wrap(_to_unsigned(a, bits) // _to_unsigned(b, bits), bits)
+    if op == "urem":
+        if b == 0:
+            raise InterpError("urem by zero")
+        return _wrap(_to_unsigned(a, bits) % _to_unsigned(b, bits), bits)
+    if op == "and":
+        return _wrap(a & b, bits)
+    if op == "or":
+        return _wrap(a | b, bits)
+    if op == "xor":
+        return _wrap(a ^ b, bits)
+    if op == "shl":
+        return _wrap(a << (b % bits), bits)
+    if op == "ashr":
+        return _wrap(a >> (b % bits), bits)
+    if op == "lshr":
+        return _wrap(_to_unsigned(a, bits) >> (b % bits), bits)
+    raise InterpError(f"unknown int op {op!r}")
+
+
+def _float_bin(op: str, a: float, b: float) -> float:
+    if op == "fadd":
+        return a + b
+    if op == "fsub":
+        return a - b
+    if op == "fmul":
+        return a * b
+    if op == "fdiv":
+        if b == 0:
+            raise InterpError("fdiv by zero")
+        return a / b
+    raise InterpError(f"unknown float op {op!r}")
+
+
+def _icmp(pred: str, a, b) -> bool:
+    if pred == "eq":
+        return a == b
+    if pred == "ne":
+        return a != b
+    if pred in ("slt", "ult"):
+        return a < b
+    if pred in ("sle", "ule"):
+        return a <= b
+    if pred in ("sgt", "ugt"):
+        return a > b
+    if pred in ("sge", "uge"):
+        return a >= b
+    raise InterpError(f"unknown predicate {pred!r}")
+
+
+def _build_bits_map(fn: Function) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for pname, pty in fn.params:
+        out[pname] = pty.bits or 64
+    for inst in fn.instructions():
+        if inst.res is not None:
+            out[inst.res] = inst.ty.bits or 64
+    return out
+
+
+def run_program(
+    modules: List[Module], entry: str = "main", fuel: int = 2_000_000
+) -> ExecutionResult:
+    """Convenience wrapper: build an interpreter and run ``entry``."""
+    return Interpreter(modules, fuel=fuel).run(entry)

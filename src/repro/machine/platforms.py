@@ -1,0 +1,117 @@
+"""Simulated evaluation platforms.
+
+The paper evaluates on an ARM Cortex-A57 (Jetson TX2) and an AMD
+Threadripper x86 machine (§5.4.2).  We model the properties that make the
+*best pass sequence platform-dependent*: vector register width, relative
+instruction costs, branch/call overheads, and an instruction-cache pressure
+knee that penalises aggressive unrolling/inlining beyond a code-size budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.compiler.pass_manager import TargetInfo
+
+__all__ = ["Platform", "PLATFORMS", "get_platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Cost parameters for one simulated CPU."""
+
+    name: str
+    #: cycles per scalar opcode class
+    op_cycles: Dict[str, float]
+    #: vector register width in bits (bounds profitable vector lanes)
+    vector_bits: int
+    #: extra cycles charged per taken branch / block transition
+    branch_cost: float
+    #: fixed call + return overhead in cycles
+    call_cost: float
+    #: cycles per memory op on top of the opcode cost
+    mem_cost: float
+    #: per-instruction penalty multiplier once hot code exceeds the I-cache
+    icache_capacity: int
+    icache_penalty: float
+    #: simulated clock in GHz (cycles -> seconds)
+    ghz: float
+    #: multiplicative measurement noise (standard deviation)
+    noise: float = 0.015
+
+    def target_info(self) -> TargetInfo:
+        """Profitability knobs exposed to the compiler's passes."""
+        return TargetInfo(
+            vector_bits=self.vector_bits,
+            unroll_threshold=max(64, self.icache_capacity // 8),
+            inline_threshold=45,
+            min_vector_lanes=4,
+        )
+
+
+_BASE_COSTS: Dict[str, float] = {
+    # arithmetic
+    "add": 1.0, "sub": 1.0, "and": 1.0, "or": 1.0, "xor": 1.0,
+    "shl": 1.0, "ashr": 1.0, "lshr": 1.0,
+    "mul": 3.0, "sdiv": 20.0, "srem": 22.0, "udiv": 20.0, "urem": 22.0,
+    "fadd": 3.0, "fsub": 3.0, "fmul": 4.0, "fdiv": 16.0,
+    # comparisons / casts
+    "icmp": 1.0, "fcmp": 2.0, "select": 1.0,
+    "sext": 0.8, "zext": 0.8, "trunc": 0.5, "sitofp": 4.0, "fptosi": 4.0,
+    "fpext": 1.0, "fptrunc": 1.0, "bitcast": 0.0,
+    # memory
+    "load": 3.0, "store": 2.0, "alloca": 1.0, "gep": 0.6, "gaddr": 0.4,
+    "vload": 4.0, "vstore": 3.0,
+    # vector
+    "broadcast": 1.0, "extract": 1.0, "insert": 1.0, "reduce": 4.0,
+    # bulk memory: cost is per element, charged via the count operand
+    "memset": 0.6, "memcpy": 1.0,
+    # control
+    "phi": 0.0, "br": 0.5, "jmp": 0.3, "ret": 1.0, "call": 0.0,
+    "output": 5.0, "unreachable": 0.0,
+}
+
+
+def _scaled(scale: Dict[str, float]) -> Dict[str, float]:
+    out = dict(_BASE_COSTS)
+    out.update(scale)
+    return out
+
+
+PLATFORMS: Dict[str, Platform] = {
+    # in-order-ish ARM: 128-bit NEON, pricier memory and branches, small I$
+    "arm-a57": Platform(
+        name="arm-a57",
+        op_cycles=_scaled({"load": 4.0, "store": 3.0, "mul": 4.0, "fmul": 5.0,
+                           "branchy": 0.0, "reduce": 5.0}),
+        vector_bits=128,
+        branch_cost=1.6,
+        call_cost=14.0,
+        mem_cost=1.2,
+        icache_capacity=1400,
+        icache_penalty=0.35,
+        ghz=2.0,
+    ),
+    # wide OoO x86: 256-bit AVX, cheap branches, large I$
+    "amd-x86": Platform(
+        name="amd-x86",
+        op_cycles=_scaled({"load": 2.5, "store": 1.8, "mul": 3.0, "sdiv": 14.0,
+                           "srem": 16.0, "reduce": 3.0}),
+        vector_bits=256,
+        branch_cost=0.9,
+        call_cost=9.0,
+        mem_cost=0.8,
+        icache_capacity=4200,
+        icache_penalty=0.18,
+        ghz=3.4,
+    ),
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a simulated platform by name."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise KeyError(f"unknown platform {name!r}; have {sorted(PLATFORMS)}") from None

@@ -1,0 +1,114 @@
+"""Noisy runtime measurement and ``perf``-like per-function profiling.
+
+``Profiler.measure`` is the expensive black-box evaluation in every tuner:
+it interprets the program once (semantics + exact block counts), converts
+counts to cycles with the platform cost model, and perturbs the result with
+multiplicative Gaussian noise like a real wall-clock measurement.  The
+paper's methodology of averaging several runs per search point (§4.2.2)
+is supported through ``repeats``.
+
+``Profiler.function_profile`` reproduces the one-off ``perf`` pass CITROEN
+uses to find hot modules (§5.3.1): self-time per function (excluding
+callees), aggregated by module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.ir import Module
+from repro.machine.cost_model import block_cycles, estimate_cycles
+from repro.machine.interp import ExecutionResult, Interpreter
+from repro.machine.platforms import Platform
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Measurement", "FunctionProfile", "Profiler"]
+
+
+@dataclass
+class Measurement:
+    """One (averaged) runtime measurement."""
+
+    seconds: float
+    cycles: float
+    result: ExecutionResult
+
+    def output_signature(self) -> Tuple:
+        """Semantic fingerprint of the measured execution."""
+        return self.result.output_signature()
+
+
+@dataclass
+class FunctionProfile:
+    """Self-time shares per function and per module (perf-report style)."""
+
+    function_seconds: Dict[Tuple[str, str], float]
+    module_seconds: Dict[str, float]
+    total_seconds: float
+
+    def hot_modules(self, coverage: float = 0.9) -> List[str]:
+        """Smallest set of modules covering ``coverage`` of total time."""
+        ranked = sorted(self.module_seconds.items(), key=lambda kv: -kv[1])
+        out: List[str] = []
+        acc = 0.0
+        for name, sec in ranked:
+            out.append(name)
+            acc += sec
+            if self.total_seconds > 0 and acc / self.total_seconds >= coverage:
+                break
+        return out
+
+
+class Profiler:
+    """Executes linked modules on a simulated platform."""
+
+    def __init__(self, platform: Platform, seed: SeedLike = None, fuel: int = 5_000_000) -> None:
+        self.platform = platform
+        self.rng = as_generator(seed)
+        self.fuel = fuel
+
+    # -- runtime measurement -------------------------------------------------
+    def measure(self, modules: List[Module], repeats: int = 3, entry: str = "main") -> Measurement:
+        """Run the program and return an averaged noisy runtime."""
+        interp = Interpreter(modules, fuel=self.fuel)
+        result = interp.run(entry)
+        cycles = estimate_cycles(modules, result.block_counts, self.platform)
+        base_seconds = cycles / (self.platform.ghz * 1e9)
+        samples = base_seconds * (
+            1.0 + self.platform.noise * self.rng.standard_normal(max(1, repeats))
+        )
+        return Measurement(float(np.mean(np.abs(samples))), cycles, result)
+
+    def execute(self, modules: List[Module], entry: str = "main") -> ExecutionResult:
+        """Noise-free execution (used by differential testing)."""
+        return Interpreter(modules, fuel=self.fuel).run(entry)
+
+    # -- perf-like profiling --------------------------------------------------
+    def function_profile(self, modules: List[Module], entry: str = "main") -> FunctionProfile:
+        """Perf-like self-time profile per function and module."""
+        interp = Interpreter(modules, fuel=self.fuel)
+        result = interp.run(entry)
+        fn_seconds: Dict[Tuple[str, str], float] = {}
+        cost_cache: Dict[Tuple[str, str], Dict[str, float]] = {}
+        fn_index = {}
+        for mod in modules:
+            for fn in mod.functions.values():
+                fn_index[(mod.name, fn.name)] = fn
+        for (mod_name, fn_name, blk_name), count in result.block_counts.items():
+            key = (mod_name, fn_name)
+            fn = fn_index.get(key)
+            if fn is None:
+                continue
+            costs = cost_cache.get(key)
+            if costs is None:
+                costs = block_cycles(fn, self.platform)
+                cost_cache[key] = costs
+            cyc = costs.get(blk_name, 0.0) * count
+            fn_seconds[key] = fn_seconds.get(key, 0.0) + cyc / (self.platform.ghz * 1e9)
+        mod_seconds: Dict[str, float] = {}
+        for (mod_name, _fn), sec in fn_seconds.items():
+            mod_seconds[mod_name] = mod_seconds.get(mod_name, 0.0) + sec
+        return FunctionProfile(fn_seconds, mod_seconds, sum(fn_seconds.values()))

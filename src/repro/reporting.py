@@ -1,0 +1,107 @@
+"""Plain-text reporting utilities for tuning results.
+
+Terminal-friendly rendering of convergence curves and leaderboards so the
+CLI and examples can show search progress without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import TuningResult
+
+__all__ = ["ascii_curve", "leaderboard", "stats_table", "summarize"]
+
+
+def ascii_curve(
+    results: Dict[str, TuningResult],
+    width: int = 60,
+    height: int = 12,
+    value: str = "speedup",
+) -> str:
+    """Render best-so-far convergence curves as ASCII art.
+
+    ``value`` is ``"speedup"`` (over -O3, higher is better) or ``"runtime"``.
+    One letter per tuner, legend appended.
+    """
+    if not results:
+        return "(no results)"
+    series: Dict[str, np.ndarray] = {}
+    for name, res in results.items():
+        hist = res.best_history
+        if value == "speedup":
+            series[name] = res.o3_runtime / hist
+        else:
+            series[name] = hist
+    n = max(len(s) for s in series.values())
+    lo = min(float(s.min()) for s in series.values())
+    hi = max(float(s.max()) for s in series.values())
+    if hi - lo < 1e-12:
+        hi = lo + 1e-12
+    grid = [[" "] * width for _ in range(height)]
+    marks = {}
+    for idx, (name, s) in enumerate(sorted(series.items())):
+        ch = chr(ord("A") + idx % 26)
+        marks[ch] = name
+        for col in range(width):
+            i = min(len(s) - 1, int(col / (width - 1) * (n - 1)))
+            v = float(s[min(i, len(s) - 1)])
+            row = int((v - lo) / (hi - lo) * (height - 1))
+            cell = grid[height - 1 - row][col]
+            grid[height - 1 - row][col] = ch if cell in (" ", ch) else "*"
+    lines = []
+    for r, row in enumerate(grid):
+        label = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{label:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"1 ... {n} measurements")
+    for ch, name in marks.items():
+        lines.append(f"   {ch} = {name}")
+    return "\n".join(lines)
+
+
+def leaderboard(results: Dict[str, TuningResult], at: Optional[int] = None) -> str:
+    """Sorted table of speedups over -O3 (optionally at a budget cut)."""
+    rows = sorted(
+        ((name, res.speedup_over_o3(at=at)) for name, res in results.items()),
+        key=lambda kv: -kv[1],
+    )
+    width = max((len(n) for n, _ in rows), default=6) + 2
+    out = [f"{'tuner':{width}s}{'speedup over -O3':>18s}"]
+    for name, sp in rows:
+        out.append(f"{name:{width}s}{sp:>17.3f}x")
+    return "\n".join(out)
+
+
+def stats_table(relevance: Sequence, k: int = 10) -> str:
+    """Render a (statistic, relevance) ranking like Table 5.5."""
+    out = [f"{'rank':6s}{'statistic':46s}{'relevance':>10s}"]
+    for i, (key, rel) in enumerate(list(relevance)[:k], 1):
+        out.append(f"{i:<6d}{key:46s}{rel:>10.3f}")
+    return "\n".join(out)
+
+
+def summarize(result: TuningResult) -> str:
+    """One-paragraph human summary of a tuning run."""
+    n = len(result.measurements)
+    sp = result.speedup_over_o3()
+    modules = sorted({m.module for m in result.measurements} - {"all"})
+    incorrect = sum(1 for m in result.measurements if not m.correct)
+    lines = [
+        f"{result.tuner} on {result.program}: {n} measurements, "
+        f"best {result.best_runtime * 1e6:.2f} us ({sp:.3f}x over -O3).",
+        f"modules touched: {', '.join(modules) if modules else '(whole program)'};"
+        f" {incorrect} binaries failed differential testing.",
+    ]
+    if "dedup_hits" in result.extras:
+        lines.append(
+            f"dedup avoided {result.extras['dedup_hits']} redundant measurements."
+        )
+    if result.extras.get("top_statistics"):
+        lines.append(
+            "most speedup-relevant statistics: "
+            + ", ".join(result.extras["top_statistics"][:3])
+        )
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Synthetic optimisation tasks for the Chapter 4 experiments."""
+
+from repro.synthetic.functions import (
+    SYNTHETIC_FUNCTIONS,
+    ackley,
+    griewank,
+    make_task,
+    rastrigin,
+    rosenbrock,
+)
+from repro.synthetic.tasks import push_surrogate, rover_surrogate
+from repro.synthetic.flags import FlagSelectionTask
+
+__all__ = [
+    "SYNTHETIC_FUNCTIONS",
+    "FlagSelectionTask",
+    "ackley",
+    "griewank",
+    "make_task",
+    "push_surrogate",
+    "rastrigin",
+    "rosenbrock",
+    "rover_surrogate",
+]

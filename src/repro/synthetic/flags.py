@@ -1,0 +1,74 @@
+"""Compiler flag-selection task (§4.2.2 / Fig 4.4).
+
+Binary decisions toggle individual passes of the ``-O3`` pipeline on or
+off (order fixed), embedded into the continuous unit box with a 0.5
+threshold exactly as the paper describes.  The objective is the simulated
+runtime of a benchmark program, so this is a *real* compiler task running
+on the library's own substrate — the bridge between Chapter 4's generic
+method and Chapter 5's phase ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.compiler.pipelines import pipeline
+from repro.machine.platforms import Platform, get_platform
+from repro.machine.profiler import Profiler
+from repro.utils.rng import SeedLike, as_generator
+from repro.workloads import Program, cbench_program
+
+__all__ = ["FlagSelectionTask"]
+
+
+class FlagSelectionTask:
+    """Minimise runtime by enabling/disabling -O3 pipeline passes.
+
+    Call the instance with a unit-box vector of dimension ``dim``; values
+    >= 0.5 enable the corresponding pass.  Results are cached by the
+    decoded bit pattern since many continuous points decode identically.
+    """
+
+    def __init__(
+        self,
+        program: Optional[Program] = None,
+        platform: str = "arm-a57",
+        seed: SeedLike = None,
+        repeats: int = 3,
+    ) -> None:
+        self.program = program if program is not None else cbench_program("telecom_gsm")
+        self.platform: Platform = get_platform(platform)
+        self.profiler = Profiler(self.platform, seed=as_generator(seed))
+        self.flags: List[str] = pipeline("-O3")
+        self.repeats = repeats
+        self._cache = {}
+        self.n_evaluations = 0
+
+    @property
+    def dim(self) -> int:
+        return len(self.flags)
+
+    def decode(self, u: np.ndarray) -> List[str]:
+        """Threshold the unit-box vector into the enabled-pass list."""
+        bits = np.asarray(u, dtype=float) >= 0.5
+        return [p for p, b in zip(self.flags, bits) if b]
+
+    def __call__(self, u: np.ndarray) -> float:
+        seq = self.decode(u)
+        key = tuple(seq)
+        if key in self._cache:
+            return self._cache[key]
+        target = self.platform.target_info()
+        linked, _ = self.program.compile(
+            {m.name: seq for m in self.program.modules}, target=target
+        )
+        m = self.profiler.measure(linked, repeats=self.repeats)
+        self.n_evaluations += 1
+        self._cache[key] = m.seconds
+        return m.seconds
+
+    def baseline_o3(self) -> float:
+        """Runtime with every flag enabled (the full -O3 pipeline)."""
+        return self(np.ones(self.dim))

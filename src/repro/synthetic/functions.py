@@ -1,0 +1,74 @@
+"""Classic synthetic benchmark functions (Table 4.1).
+
+All functions are exposed on their conventional domains; :func:`make_task`
+wraps them as unit-box minimisation tasks (the convention every optimiser
+in this library uses), with the domain mapping handled internally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ackley",
+    "rosenbrock",
+    "rastrigin",
+    "griewank",
+    "SYNTHETIC_FUNCTIONS",
+    "make_task",
+]
+
+
+def ackley(x: np.ndarray) -> float:
+    """Ackley function; global minimum 0 at the origin."""
+    x = np.asarray(x, dtype=float)
+    d = len(x)
+    return float(
+        -20.0 * np.exp(-0.2 * np.sqrt((x**2).sum() / d))
+        - np.exp(np.cos(2.0 * np.pi * x).sum() / d)
+        + 20.0
+        + np.e
+    )
+
+
+def rosenbrock(x: np.ndarray) -> float:
+    """Rosenbrock valley; global minimum 0 at (1, ..., 1)."""
+    x = np.asarray(x, dtype=float)
+    return float((100.0 * (x[1:] - x[:-1] ** 2) ** 2 + (1.0 - x[:-1]) ** 2).sum())
+
+
+def rastrigin(x: np.ndarray) -> float:
+    """Rastrigin; highly multimodal, global minimum 0 at the origin."""
+    x = np.asarray(x, dtype=float)
+    return float(10.0 * len(x) + (x**2 - 10.0 * np.cos(2.0 * np.pi * x)).sum())
+
+
+def griewank(x: np.ndarray) -> float:
+    """Griewank; global minimum 0 at the origin."""
+    x = np.asarray(x, dtype=float)
+    idx = np.arange(1, len(x) + 1, dtype=float)
+    return float((x**2).sum() / 4000.0 - np.prod(np.cos(x / np.sqrt(idx))) + 1.0)
+
+
+#: name -> (function, (low, high) search range) as in Table 4.1
+SYNTHETIC_FUNCTIONS: Dict[str, Tuple[Callable[[np.ndarray], float], Tuple[float, float]]] = {
+    "ackley": (ackley, (-5.0, 10.0)),
+    "rosenbrock": (rosenbrock, (-5.0, 10.0)),
+    "rastrigin": (rastrigin, (-5.12, 5.12)),
+    "griewank": (griewank, (-10.0, 10.0)),
+}
+
+
+def make_task(name: str, dim: int) -> Callable[[np.ndarray], float]:
+    """Unit-box wrapper: ``f(u)`` with ``u in [0,1]^dim`` mapped to the
+    function's native domain."""
+    fn, (lo, hi) = SYNTHETIC_FUNCTIONS[name]
+
+    def task(u: np.ndarray) -> float:
+        x = lo + (hi - lo) * np.asarray(u, dtype=float)
+        return fn(x)
+
+    task.__name__ = f"{name}{dim}"
+    return task

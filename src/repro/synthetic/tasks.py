@@ -1,0 +1,70 @@
+"""Deterministic surrogates for the thesis' real-world Ch. 4 tasks.
+
+The original robot-push / rover-trajectory / MuJoCo tasks need simulators
+we cannot ship offline; these surrogates preserve the *optimisation-
+relevant* structure the thesis calls out: sparse rewards with a narrow
+basin (push), and a smooth but multimodal trajectory score with strong
+variable coupling (rover).  Both are minimisation tasks on the unit box
+(the paper maximises reward; we negate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["push_surrogate", "rover_surrogate"]
+
+
+def push_surrogate(dim: int = 14, seed: int = 7) -> Callable[[np.ndarray], float]:
+    """Sparse-reward push task surrogate.
+
+    Reward is near-zero almost everywhere and rises steeply inside a small
+    basin around a hidden target configuration, with a weak long-range
+    guidance term — the structure that makes over-exploration fatal and
+    over-exploitation tempting (used in the Fig 4.11 bench).
+    """
+    rng = np.random.default_rng(seed)
+    target = 0.25 + 0.5 * rng.random(dim)
+    widths = 0.08 + 0.12 * rng.random(dim)
+
+    def task(u: np.ndarray) -> float:
+        u = np.asarray(u, dtype=float)
+        z = (u - target) / widths
+        d2 = float((z**2).mean())
+        reward = 10.0 * np.exp(-0.5 * d2)  # sharp basin
+        reward += 0.5 * np.exp(-0.05 * float(((u - target) ** 2).sum()))  # faint guide
+        return -reward
+
+    task.__name__ = f"push{dim}"
+    return task
+
+
+def rover_surrogate(dim: int = 60, seed: int = 9) -> Callable[[np.ndarray], float]:
+    """Trajectory-planning surrogate.
+
+    Consecutive coordinates are waypoints; the score combines smoothness
+    (coupling between neighbours), obstacle bumps, and goal attraction.
+    Best achievable value is about -5, matching the task's stated optimum.
+    """
+    rng = np.random.default_rng(seed)
+    n_obstacles = max(4, dim // 8)
+    centres = rng.random((n_obstacles, 2)) * 0.8 + 0.1
+    goal = np.array([0.9, 0.9])
+    start = np.array([0.1, 0.1])
+
+    def task(u: np.ndarray) -> float:
+        pts = np.asarray(u, dtype=float).reshape(-1, 2)
+        path = np.vstack([start, pts, goal])
+        seg = np.diff(path, axis=0)
+        smooth_cost = 10.0 * float((seg**2).sum())
+        obstacle_cost = 0.0
+        for ctr in centres:
+            d2 = ((path - ctr) ** 2).sum(1)
+            obstacle_cost += float(np.exp(-d2 / 0.005).sum())
+        reward = 5.0 - smooth_cost - 2.0 * obstacle_cost
+        return -reward
+
+    task.__name__ = f"rover{dim}"
+    return task

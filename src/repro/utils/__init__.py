@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG plumbing and small helpers."""
+
+from repro.utils.rng import as_generator, spawn
+
+__all__ = ["as_generator", "spawn"]

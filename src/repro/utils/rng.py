@@ -1,0 +1,38 @@
+"""Deterministic randomness plumbing.
+
+Every stochastic component in this library accepts either an integer seed, a
+``numpy.random.Generator``, or ``None``.  Routing everything through
+:func:`as_generator` keeps experiments reproducible and lets callers share a
+single generator between cooperating components when they want correlated
+streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    ``None`` yields a nondeterministic generator; an ``int`` yields a seeded
+    one; an existing generator is returned unchanged (not copied), so state
+    is shared with the caller.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Children are statistically independent of each other and of the parent's
+    future output, which makes parallel fan-out (e.g. per-repetition tuner
+    runs) reproducible regardless of execution order.
+    """
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

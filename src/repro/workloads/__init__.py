@@ -1,0 +1,17 @@
+"""Benchmark programs: cBench-like and SPEC-CPU-like suites (Table 5.4)."""
+
+from repro.workloads.program import Program
+from repro.workloads.cbench import CBENCH, cbench_program, cbench_names
+from repro.workloads.spec import SPEC, spec_program, spec_names
+from repro.workloads.generator import random_program
+
+__all__ = [
+    "Program",
+    "CBENCH",
+    "SPEC",
+    "cbench_program",
+    "cbench_names",
+    "spec_program",
+    "spec_names",
+    "random_program",
+]

@@ -1,0 +1,640 @@
+"""cBench-like benchmark programs (Table 5.4, cBench column).
+
+Each factory builds a fresh :class:`Program` whose modules are front-end
+style IR.  Names follow the cBench suite the paper evaluates on; the
+programs reproduce the *shape* of each benchmark's hot code (the compute
+kernels and their pass-interaction profile), not its full functionality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.ir import (
+    F64,
+    GlobalVar,
+    I8,
+    I16,
+    I32,
+    I64,
+    PTR,
+    Const,
+    Module,
+)
+from repro.workloads.kernels import (
+    add_data_global,
+    emit_branchy_abs_loop,
+    emit_copy_loop,
+    emit_divmod_loop,
+    emit_dot_product_unrolled,
+    emit_init_loop,
+    emit_saxpy_loop,
+    emit_shift_mix_loop,
+    emit_stencil_loop,
+    emit_sum_loop,
+    emit_table_mix_loop,
+)
+from repro.workloads.program import Program
+
+__all__ = ["CBENCH", "cbench_program", "cbench_names"]
+
+
+def _telecom_gsm() -> Program:
+    """GSM long-term predictor: the paper's Fig 5.1 / Table 5.1 program.
+
+    ``long_term`` contributes >50% of runtime via an unrolled widening dot
+    product; ``lpc`` adds an autocorrelation loop; ``add`` drives them.
+    """
+    long_term = Module("long_term")
+    b = FunctionBuilder(long_term, "ltp_cut", [("w", PTR), ("d", PTR)], I64)
+    dot = emit_dot_product_unrolled(b, "w", "d", lanes=8, elem_ty=I16, mul_ty=I32, acc_ty=I64)
+    b.ret(dot)
+
+    lpc = Module("lpc")
+    b = FunctionBuilder(lpc, "autocorr", [("s", PTR), ("n", I32)], I64)
+    acc = b.alloca(I64, hint="ac")
+    b.store(c(0, I64), acc)
+
+    def lag_body(bb: FunctionBuilder, i: str) -> None:
+        x = bb.load(I16, bb.gep("s", i, I16))
+        xi = bb.sext(x, I64)
+        cur = bb.load(I64, acc)
+        bb.store(bb.add(cur, bb.mul(xi, xi, I64), I64), acc)
+
+    b.counted_loop(c(0, I32), "n", lag_body, tag="lag")
+    b.ret(b.load(I64, acc))
+
+    main = Module("gsm_main")
+    add_data_global(main, "wdata", I16, 64, seed=11, lo=-120, hi=120)
+    add_data_global(main, "ddata", I16, 64, seed=12, lo=-120, hi=120)
+    b = FunctionBuilder(main, "main", [], I64)
+    total = b.alloca(I64, hint="total")
+    b.store(c(0, I64), total)
+    wbase = b.gaddr("wdata")
+    dbase = b.gaddr("ddata")
+
+    def frame_body(bb: FunctionBuilder, i: str) -> None:
+        off = bb.and_(i, c(55, I32), I32)
+        wp = bb.gep(wbase, off, I16)
+        dp = bb.gep(dbase, off, I16)
+        v = bb.call("ltp_cut", [wp, dp], I64)
+        cur = bb.load(I64, total)
+        bb.store(bb.add(cur, v, I64), total)
+
+    b.counted_loop(c(0, I32), c(32, I32), frame_body, tag="frame")
+    ac1 = b.call("autocorr", [wbase, c(64, I32)], I64)
+    ac2 = b.call("autocorr", [dbase, c(64, I32)], I64)
+    t = b.load(I64, total)
+    out = b.add(t, b.add(ac1, ac2, I64), I64)
+    b.output(out)
+    b.ret(out)
+    return Program("telecom_gsm", [long_term, lpc, main], suite="cbench")
+
+
+def _automotive_susan_c() -> Program:
+    """SUSAN corners: stencil over an image row plus branchy thresholding."""
+    susan = Module("susan_c")
+    b = FunctionBuilder(susan, "corners", [("img", PTR), ("out", PTR), ("n", I32)], I32)
+    emit_stencil_loop(b, "out", "img", 64, tag="st")
+    s = emit_branchy_abs_loop(b, "out", 62, tag="thr")
+    b.ret(s)
+
+    main = Module("susan_main")
+    add_data_global(main, "image", I32, 64, seed=21, lo=-200, hi=200)
+    main.add_global(GlobalVar(
+        "scratch", I32, [0] * 64))
+    b = FunctionBuilder(main, "main", [], I32)
+    img = b.gaddr("image")
+    scratch = b.gaddr("scratch")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def row(bb: FunctionBuilder, i: str) -> None:
+        v = bb.call("corners", [img, scratch, c(64, I32)], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.add(cur, bb.xor(v, i, I32), I32), total)
+
+    b.counted_loop(c(0, I32), c(6, I32), row, tag="rows")
+    out = b.load(I32, total)
+    b.output(out)
+    b.ret(out)
+    return Program("automotive_susan_c", [susan, main], suite="cbench")
+
+
+def _security_sha() -> Program:
+    """SHA transform: sequentially dependent shift/xor mixing."""
+    sha = Module("sha_transform")
+    b = FunctionBuilder(sha, "transform", [("w", PTR), ("n", I32)], I32)
+    h = emit_shift_mix_loop(b, "w", 64, tag="mix")
+    b.ret(h)
+
+    main = Module("sha_main")
+    add_data_global(main, "words", I32, 64, seed=31, lo=0, hi=65536)
+    b = FunctionBuilder(main, "main", [], I32)
+    w = b.gaddr("words")
+    acc = b.alloca(I32, hint="digest")
+    b.store(c(0, I32), acc)
+
+    def blk(bb: FunctionBuilder, i: str) -> None:
+        hv = bb.call("transform", [w, c(64, I32)], I32)
+        cur = bb.load(I32, acc)
+        bb.store(bb.xor(cur, bb.add(hv, i, I32), I32), acc)
+
+    b.counted_loop(c(0, I32), c(5, I32), blk, tag="blocks")
+    out = b.load(I32, acc)
+    b.output(out)
+    b.ret(out)
+    return Program("security_sha", [sha, main], suite="cbench")
+
+
+def _security_rijndael() -> Program:
+    """AES-ish: table lookups and xor mixing; rewards CSE, defeats vectorisers."""
+    rij = Module("rijndael")
+    b = FunctionBuilder(rij, "encrypt_mix", [("src", PTR), ("table", PTR), ("n", I32)], I32)
+    v = emit_table_mix_loop(b, "src", "table", 96, tag="sbox")
+    b.ret(v)
+
+    main = Module("rijndael_main")
+    add_data_global(main, "plaintext", I32, 96, seed=41, lo=0, hi=4096)
+    add_data_global(main, "sbox", I32, 16, seed=42, lo=1, hi=255)
+    b = FunctionBuilder(main, "main", [], I32)
+    src = b.gaddr("plaintext")
+    tbl = b.gaddr("sbox")
+    r1 = b.call("encrypt_mix", [src, tbl, c(96, I32)], I32)
+    r2 = b.call("encrypt_mix", [src, tbl, c(96, I32)], I32)
+    out = b.add(r1, b.mul(r2, c(3, I32), I32), I32)
+    b.output(out)
+    b.ret(out)
+    return Program("security_rijndael_d", [rij, main], suite="cbench")
+
+
+def _telecom_adpcm() -> Program:
+    """ADPCM codec: divisions, remainders and branches in the hot loop."""
+    adpcm = Module("adpcm_coder")
+    b = FunctionBuilder(adpcm, "coder", [("pcm", PTR), ("n", I32)], I32)
+    v1 = emit_divmod_loop(b, "pcm", 80, divisor=7, tag="step")
+    v2 = emit_branchy_abs_loop(b, "pcm", 80, tag="delta")
+    b.ret(b.add(v1, v2, I32))
+
+    main = Module("adpcm_main")
+    add_data_global(main, "pcm", I32, 80, seed=51, lo=-5000, hi=5000)
+    b = FunctionBuilder(main, "main", [], I32)
+    pcm = b.gaddr("pcm")
+    r = b.call("coder", [pcm, c(80, I32)], I32)
+    b.output(r)
+    b.ret(r)
+    return Program("telecom_adpcm_c", [adpcm, main], suite="cbench")
+
+
+def _consumer_jpeg() -> Program:
+    """JPEG forward DCT flavour: unrolled butterflies -> SLP store groups."""
+    dct = Module("jdct")
+    b = FunctionBuilder(dct, "fdct_row", [("blk", PTR), ("out", PTR)], I32)
+    # unrolled butterfly: out[i] = blk[i] + blk[i] * 2 (store-group shape)
+    for i in range(8):
+        x = b.load(I32, b.gep("blk", c(i, I64), I32))
+        y = b.load(I32, b.gep("blk", c(i, I64), I32))
+        s = b.add(x, y, I32)
+        b.store(s, b.gep("out", c(i, I64), I32))
+    chk = emit_sum_loop(b, "out", 8, tag="chk")
+    b.ret(chk)
+
+    main = Module("jpeg_main")
+    add_data_global(main, "block", I32, 64, seed=61, lo=-128, hi=128)
+    main.add_global(GlobalVar(
+        "coef", I32, [0] * 64))
+    b = FunctionBuilder(main, "main", [], I32)
+    blk = b.gaddr("block")
+    out = b.gaddr("coef")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def rows(bb: FunctionBuilder, i: str) -> None:
+        roff = bb.shl(bb.and_(i, c(7, I32), I32), c(3, I32), I32)
+        bp = bb.gep(blk, roff, I32)
+        op = bb.gep(out, roff, I32)
+        v = bb.call("fdct_row", [bp, op], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.add(cur, v, I32), total)
+
+    b.counted_loop(c(0, I32), c(24, I32), rows, tag="rows")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("consumer_jpeg_c", [dct, main], suite="cbench")
+
+
+def _automotive_qsort() -> Program:
+    """qsort flavour: recursion (tailcallelim/inline) over comparisons."""
+    qs = Module("qsort1")
+    # internal helper: clamp, inline target
+    hb = FunctionBuilder(qs, "clamp", [("x", I32)], I32)
+    hb.fn.attrs.add("internal")
+    cnd = hb.icmp("sgt", "x", c(100, I32))
+    r = hb.select(cnd, c(100, I32), "x", I32)
+    hb.ret(r)
+
+    b = FunctionBuilder(qs, "count_below", [("a", PTR), ("lo", I32), ("n", I32), ("acc", I32)], I32)
+    # tail-recursive scan: count_below(a, lo+1, n, acc + (a[lo] < pivot))
+    done = b.icmp("sge", "lo", "n")
+
+    def base_case(bb: FunctionBuilder) -> None:
+        bb.ret("acc")
+
+    b.if_then(done, base_case, None, tag="base")
+    x = b.load(I32, b.gep("a", "lo", I32))
+    cx = b.call("clamp", [x], I32)
+    is_low = b.icmp("slt", cx, c(0, I32))
+    inc = b.select(is_low, c(1, I32), c(0, I32), I32)
+    nacc = b.add("acc", inc, I32)
+    nlo = b.add("lo", c(1, I32), I32)
+    res = b.call("count_below", ["a", nlo, "n", nacc], I32)
+    b.ret(res)
+
+    main = Module("qsort_main")
+    add_data_global(main, "keys", I32, 96, seed=71, lo=-150, hi=150)
+    b = FunctionBuilder(main, "main", [], I32)
+    keys = b.gaddr("keys")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def passes(bb: FunctionBuilder, i: str) -> None:
+        v = bb.call("count_below", [keys, c(0, I32), c(96, I32), c(0, I32)], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.add(cur, bb.add(v, i, I32), I32), total)
+
+    b.counted_loop(c(0, I32), c(4, I32), passes, tag="passes")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("automotive_qsort1", [qs, main], suite="cbench")
+
+
+def _network_dijkstra() -> Program:
+    """Dijkstra flavour: nested loops, comparisons and selects over a matrix."""
+    dij = Module("dijkstra")
+    b = FunctionBuilder(dij, "relax_all", [("w", PTR), ("dist", PTR), ("n", I32)], I32)
+
+    def outer(bb: FunctionBuilder, i: str) -> None:
+        base = bb.mul(i, "n", I32)
+
+        def inner(bi: FunctionBuilder, j: str) -> None:
+            idx = bi.add(base, j, I32)
+            wij = bi.load(I32, bi.gep("w", idx, I32))
+            di = bi.load(I32, bi.gep("dist", i, I32))
+            dj = bi.load(I32, bi.gep("dist", j, I32))
+            cand = bi.add(di, wij, I32)
+            better = bi.icmp("slt", cand, dj)
+            nd = bi.select(better, cand, dj, I32)
+            bi.store(nd, bi.gep("dist", j, I32))
+
+        bb.counted_loop(c(0, I32), "n", inner, tag="inner")
+
+    b.counted_loop(c(0, I32), "n", outer, tag="outer")
+    s = emit_sum_loop(b, "dist", 12, tag="chk")
+    b.ret(s)
+
+    main = Module("dijkstra_main")
+    add_data_global(main, "weights", I32, 144, seed=81, lo=1, hi=40)
+    add_data_global(main, "dist0", I32, 12, seed=82, lo=0, hi=300)
+    b = FunctionBuilder(main, "main", [], I32)
+    w = b.gaddr("weights")
+    d = b.gaddr("dist0")
+    r = b.call("relax_all", [w, d, c(12, I32)], I32)
+    b.output(r)
+    b.ret(r)
+    return Program("network_dijkstra", [dij, main], suite="cbench")
+
+
+def _automotive_bitcount() -> Program:
+    """bitcount: bit tricks that instcombine and BDCE love."""
+    bc = Module("bitcnt")
+    b = FunctionBuilder(bc, "popcount_all", [("src", PTR), ("n", I32)], I32)
+    acc = b.alloca(I32, hint="bits")
+    b.store(c(0, I32), acc)
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        x = bb.load(I32, bb.gep("src", i, I32))
+        # Kernighan-ish: three rounds of x &= x-1 counting
+        cnt = bb.alloca(I32, hint="cnt")
+        bb.store(c(0, I32), cnt)
+        cur_x = bb.and_(x, c(0xFF, I32), I32)
+        for _ in range(3):
+            nz = bb.icmp("ne", cur_x, c(0, I32))
+            dec = bb.sub(cur_x, c(1, I32), I32)
+            stripped = bb.and_(cur_x, dec, I32)
+            cur_x = bb.select(nz, stripped, cur_x, I32)
+            cc = bb.load(I32, cnt)
+            inc = bb.select(nz, c(1, I32), c(0, I32), I32)
+            bb.store(bb.add(cc, inc, I32), cnt)
+        a = bb.load(I32, acc)
+        bb.store(bb.add(a, bb.load(I32, cnt), I32), acc)
+
+    b.counted_loop(c(0, I32), c(120, I32), body, tag="pc")
+    b.ret(b.load(I32, acc))
+
+    main = Module("bitcount_main")
+    add_data_global(main, "samples", I32, 120, seed=91, lo=0, hi=65536)
+    b = FunctionBuilder(main, "main", [], I32)
+    s = b.gaddr("samples")
+    r = b.call("popcount_all", [s, c(120, I32)], I32)
+    b.output(r)
+    b.ret(r)
+    return Program("automotive_bitcount", [bc, main], suite="cbench")
+
+
+def _consumer_tiff2bw() -> Program:
+    """tiff2bw flavour: per-pixel scale + saturate; loop-vectorisable core."""
+    tiff = Module("tiff_scale")
+    b = FunctionBuilder(tiff, "to_bw", [("r", PTR), ("g", PTR), ("bw", PTR), ("n", I32)], I32)
+
+    def px(bb: FunctionBuilder, i: str) -> None:
+        rv = bb.load(I32, bb.gep("r", i, I32))
+        gv = bb.load(I32, bb.gep("g", i, I32))
+        lum = bb.add(bb.mul(rv, c(5, I32), I32), bb.mul(gv, c(9, I32), I32), I32)
+        bb.store(bb.ashr(lum, c(4, I32), I32), bb.gep("bw", i, I32))
+
+    b.counted_loop(c(0, I32), c(64, I32), px, tag="px")
+    s = emit_sum_loop(b, "bw", 64, tag="chk")
+    b.ret(s)
+
+    main = Module("tiff_main")
+    add_data_global(main, "red", I32, 64, seed=101, lo=0, hi=256)
+    add_data_global(main, "green", I32, 64, seed=102, lo=0, hi=256)
+    main.add_global(GlobalVar(
+        "gray", I32, [0] * 64))
+    b = FunctionBuilder(main, "main", [], I32)
+    r = b.gaddr("red")
+    g = b.gaddr("green")
+    bw = b.gaddr("gray")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def frames(bb: FunctionBuilder, i: str) -> None:
+        v = bb.call("to_bw", [r, g, bw, c(64, I32)], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.add(cur, v, I32), total)
+
+    b.counted_loop(c(0, I32), c(6, I32), frames, tag="frames")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("consumer_tiff2bw", [tiff, main], suite="cbench")
+
+
+def _office_stringsearch() -> Program:
+    """stringsearch flavour: byte scans with data-dependent branches."""
+    ss = Module("strsearch")
+    b = FunctionBuilder(ss, "count_matches", [("hay", PTR), ("needle0", I32), ("n", I32)], I32)
+    acc = b.alloca(I32, hint="hits")
+    b.store(c(0, I32), acc)
+
+    def scan(bb: FunctionBuilder, i: str) -> None:
+        ch = bb.load(I8, bb.gep("hay", i, I8))
+        cw = bb.sext(ch, I32)
+        hit = bb.icmp("eq", cw, "needle0")
+
+        def bump(bt: FunctionBuilder) -> None:
+            cur = bt.load(I32, acc)
+            bt.store(bt.add(cur, c(1, I32), I32), acc)
+
+        bb.if_then(hit, bump, None, tag="hit")
+
+    b.counted_loop(c(0, I32), c(128, I32), scan, tag="scan")
+    b.ret(b.load(I32, acc))
+
+    main = Module("strsearch_main")
+    add_data_global(main, "haystack", I8, 128, seed=111, lo=32, hi=127)
+    b = FunctionBuilder(main, "main", [], I32)
+    hay = b.gaddr("haystack")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def needles(bb: FunctionBuilder, i: str) -> None:
+        nl = bb.add(c(60, I32), i, I32)
+        v = bb.call("count_matches", [hay, nl, c(128, I32)], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.add(cur, v, I32), total)
+
+    b.counted_loop(c(0, I32), c(8, I32), needles, tag="needles")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("office_stringsearch", [ss, main], suite="cbench")
+
+
+def _telecom_crc32() -> Program:
+    """CRC32: byte loop with a table lookup and shift/xor dependence."""
+    crc = Module("crc32")
+    b = FunctionBuilder(crc, "crc_update", [("buf", PTR), ("tbl", PTR), ("n", I32)], I32)
+    acc = b.alloca(I32, hint="crc")
+    b.store(c(-1, I32), acc)
+
+    def byte(bb: FunctionBuilder, i: str) -> None:
+        cur = bb.load(I32, acc)
+        ch = bb.sext(bb.load(I8, bb.gep("buf", i, I8)), I32)
+        idx = bb.and_(bb.xor(cur, ch, I32), c(15, I32), I32)
+        t = bb.load(I32, bb.gep("tbl", idx, I32))
+        nxt = bb.xor(bb.binop("lshr", cur, c(4, I32), I32), t, I32)
+        bb.store(nxt, acc)
+
+    b.counted_loop(c(0, I32), c(128, I32), byte, tag="bytes")
+    b.ret(b.load(I32, acc))
+
+    main = Module("crc_main")
+    add_data_global(main, "message", I8, 128, seed=121, lo=0, hi=127)
+    add_data_global(main, "crc_table", I32, 16, seed=122, lo=1, hi=1 << 24)
+    b = FunctionBuilder(main, "main", [], I32)
+    msg, tbl = b.gaddr("message"), b.gaddr("crc_table")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def blocks(bb: FunctionBuilder, i: str) -> None:
+        v = bb.call("crc_update", [msg, tbl, c(128, I32)], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.xor(cur, bb.add(v, i, I32), I32), total)
+
+    b.counted_loop(c(0, I32), c(4, I32), blocks, tag="blocks")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("telecom_CRC32", [crc, main], suite="cbench")
+
+
+def _security_blowfish() -> Program:
+    """Blowfish flavour: Feistel rounds — S-box lookups + xor/add mixing,
+    with a small internal round helper (inline target)."""
+    bf = Module("blowfish")
+    f = FunctionBuilder(bf, "bf_round", [("x", I32), ("sbox", PTR)], I32)
+    f.fn.attrs.add("internal")
+    a = f.and_(f.binop("lshr", "x", c(8, I32), I32), c(15, I32), I32)
+    d = f.and_("x", c(15, I32), I32)
+    sa = f.load(I32, f.gep("sbox", a, I32))
+    sb = f.load(I32, f.gep("sbox", d, I32))
+    f.ret(f.xor(f.add(sa, sb, I32), c(0x5F37, I32), I32))
+
+    b = FunctionBuilder(bf, "encrypt_block", [("data", PTR), ("sbox", PTR), ("n", I32)], I32)
+    acc = b.alloca(I32, hint="xl")
+    b.store(c(0x2453, I32), acc)
+
+    def rounds(bb: FunctionBuilder, i: str) -> None:
+        xl = bb.load(I32, acc)
+        dv = bb.load(I32, bb.gep("data", i, I32))
+        r = bb.call("bf_round", [bb.xor(xl, dv, I32), "sbox"], I32)
+        bb.store(bb.xor(bb.add(xl, r, I32), dv, I32), acc)
+
+    b.counted_loop(c(0, I32), c(96, I32), rounds, tag="feistel")
+    b.ret(b.load(I32, acc))
+
+    main = Module("blowfish_main")
+    add_data_global(main, "payload", I32, 96, seed=131, lo=0, hi=65536)
+    add_data_global(main, "sboxes", I32, 16, seed=132, lo=1, hi=1 << 20)
+    b = FunctionBuilder(main, "main", [], I32)
+    data, sbox = b.gaddr("payload"), b.gaddr("sboxes")
+    r = b.call("encrypt_block", [data, sbox, c(96, I32)], I32)
+    b.output(r)
+    b.ret(r)
+    return Program("security_blowfish_d", [bf, main], suite="cbench")
+
+
+def _network_patricia() -> Program:
+    """Patricia-trie flavour: bit tests and data-dependent branching over a
+    packed node table."""
+    pat = Module("patricia")
+    b = FunctionBuilder(pat, "lookup_all", [("keys", PTR), ("bits", PTR), ("n", I32)], I32)
+    acc = b.alloca(I32, hint="hits")
+    b.store(c(0, I32), acc)
+
+    def probe(bb: FunctionBuilder, i: str) -> None:
+        key = bb.load(I32, bb.gep("keys", i, I32))
+        node = bb.alloca(I32, hint="node")
+        bb.store(c(0, I32), node)
+        for _depth in range(4):  # fixed-depth descent, branch per level
+            nv = bb.load(I32, node)
+            mask = bb.load(I32, bb.gep("bits", bb.and_(nv, c(7, I32), I32), I32))
+            bit = bb.and_(key, mask, I32)
+            taken = bb.icmp("ne", bit, c(0, I32))
+
+            def left(bt: FunctionBuilder, _nv=nv) -> None:
+                bt.store(bt.add(bt.mul(_nv, c(2, I32), I32), c(1, I32), I32), node)
+
+            def right(bt: FunctionBuilder, _nv=nv) -> None:
+                bt.store(bt.add(bt.mul(_nv, c(2, I32), I32), c(2, I32), I32), node)
+
+            bb.if_then(taken, left, right, tag=f"bit{_depth}")
+        final = bb.load(I32, node)
+        hit = bb.icmp("eq", bb.and_(final, c(1, I32), I32), c(1, I32))
+        inc = bb.select(hit, c(1, I32), c(0, I32), I32)
+        cur = bb.load(I32, acc)
+        bb.store(bb.add(cur, inc, I32), acc)
+
+    b.counted_loop(c(0, I32), c(48, I32), probe, tag="keys")
+    b.ret(b.load(I32, acc))
+
+    main = Module("patricia_main")
+    add_data_global(main, "addrs", I32, 48, seed=141, lo=0, hi=1 << 20)
+    add_data_global(main, "bitmasks", I32, 8, seed=142, lo=1, hi=256)
+    b = FunctionBuilder(main, "main", [], I32)
+    keys, bits = b.gaddr("addrs"), b.gaddr("bitmasks")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def rounds(bb: FunctionBuilder, i: str) -> None:
+        v = bb.call("lookup_all", [keys, bits, c(48, I32)], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.add(cur, v, I32), total)
+
+    b.counted_loop(c(0, I32), c(3, I32), rounds, tag="rounds")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("network_patricia", [pat, main], suite="cbench")
+
+
+def _consumer_bzip2d() -> Program:
+    """bzip2-decode flavour: three modules — RLE expansion (copy/init
+    loops), Huffman-ish bit decoding (table + shifts), and the driver."""
+    rle = Module("bz_rle")
+    b = FunctionBuilder(rle, "rle_expand", [("src", PTR), ("dst", PTR), ("n", I32)], I32)
+    emit_copy_loop(b, "dst", "src", 48, tag="expand")
+    emit_init_loop(b, "dst", 8, value=0, tag="tail")
+    s = emit_sum_loop(b, "dst", 24, tag="chk")
+    b.ret(s)
+
+    huff = Module("bz_huff")
+    b = FunctionBuilder(huff, "decode_syms", [("bits", PTR), ("tbl", PTR), ("n", I32)], I32)
+    acc = b.alloca(I32, hint="sym")
+    b.store(c(0, I32), acc)
+
+    def dec(bb: FunctionBuilder, i: str) -> None:
+        w = bb.load(I32, bb.gep("bits", i, I32))
+        code = bb.and_(bb.binop("lshr", w, c(3, I32), I32), c(15, I32), I32)
+        sym = bb.load(I32, bb.gep("tbl", code, I32))
+        long_code = bb.icmp("sgt", sym, c(200, I32))
+
+        def escape(bt: FunctionBuilder) -> None:
+            cur = bt.load(I32, acc)
+            bt.store(bt.add(cur, bt.xor(w, sym, I32), I32), acc)
+
+        def normal(bt: FunctionBuilder) -> None:
+            cur = bt.load(I32, acc)
+            bt.store(bt.add(cur, sym, I32), acc)
+
+        bb.if_then(long_code, escape, normal, tag="esc")
+
+    b.counted_loop(c(0, I32), c(64, I32), dec, tag="dec")
+    b.ret(b.load(I32, acc))
+
+    main = Module("bzip2_main")
+    add_data_global(main, "stream", I32, 64, seed=151, lo=0, hi=4096)
+    add_data_global(main, "huff_tbl", I32, 16, seed=152, lo=1, hi=255)
+    main.add_global(GlobalVar("workbuf", I32, [0] * 56))
+    b = FunctionBuilder(main, "main", [], I32)
+    stream, tbl, buf = b.gaddr("stream"), b.gaddr("huff_tbl"), b.gaddr("workbuf")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def blocks(bb: FunctionBuilder, i: str) -> None:
+        v1 = bb.call("decode_syms", [stream, tbl, c(64, I32)], I32)
+        v2 = bb.call("rle_expand", [stream, buf, c(48, I32)], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.add(cur, bb.xor(v1, v2, I32), I32), total)
+
+    b.counted_loop(c(0, I32), c(5, I32), blocks, tag="blocks")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("consumer_bzip2d", [rle, huff, main], suite="cbench")
+
+
+CBENCH: Dict[str, Callable[[], Program]] = {
+    "telecom_gsm": _telecom_gsm,
+    "automotive_susan_c": _automotive_susan_c,
+    "security_sha": _security_sha,
+    "security_rijndael_d": _security_rijndael,
+    "telecom_adpcm_c": _telecom_adpcm,
+    "consumer_jpeg_c": _consumer_jpeg,
+    "automotive_qsort1": _automotive_qsort,
+    "network_dijkstra": _network_dijkstra,
+    "automotive_bitcount": _automotive_bitcount,
+    "consumer_tiff2bw": _consumer_tiff2bw,
+    "office_stringsearch": _office_stringsearch,
+    "telecom_CRC32": _telecom_crc32,
+    "security_blowfish_d": _security_blowfish,
+    "network_patricia": _network_patricia,
+    "consumer_bzip2d": _consumer_bzip2d,
+}
+
+
+def cbench_names() -> List[str]:
+    """Sorted names of the cBench-like programs."""
+    return sorted(CBENCH)
+
+
+def cbench_program(name: str) -> Program:
+    """Build a fresh instance of the named program."""
+    try:
+        return CBENCH[name]()
+    except KeyError:
+        raise KeyError(f"unknown cBench program {name!r}; have {cbench_names()}") from None

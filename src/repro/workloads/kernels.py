@@ -1,0 +1,294 @@
+"""Reusable IR kernel builders.
+
+Each helper emits front-end style (``-O0``) code — locals in allocas, loops
+with memory-resident induction variables — so the optimisation passes have
+realistic work to do.  The kernels are chosen to exercise distinct pass
+interactions:
+
+================  ============================================================
+kernel            passes it rewards / punishes
+================  ============================================================
+dot product       mem2reg -> slp-vectorizer; destroyed by instcombine widening
+saxpy loop        loop-vectorize (after mem2reg + indvars)
+sum loop          loop-vectorize with reduction; licm for bound loads
+init loop         loop-idiom (memset)
+copy loop         loop-idiom (memcpy)
+branchy abs       simplifycfg / sink / select-formation pressure
+table mix         gvn / early-cse of repeated loads, not vectorisable
+shift mix         sequential dependence; instcombine chains, reassociate
+divmod loop       div-rem-pairs; expensive scalar ops
+helper calls      inline + function-attrs -> gvn across calls
+================  ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.ir import (
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    Const,
+    GlobalVar,
+    Module,
+    Type,
+)
+
+__all__ = [
+    "lcg_values",
+    "add_data_global",
+    "emit_dot_product_unrolled",
+    "emit_saxpy_loop",
+    "emit_sum_loop",
+    "emit_init_loop",
+    "emit_copy_loop",
+    "emit_branchy_abs_loop",
+    "emit_table_mix_loop",
+    "emit_shift_mix_loop",
+    "emit_divmod_loop",
+    "emit_stencil_loop",
+]
+
+
+def lcg_values(seed: int, n: int, lo: int = -99, hi: int = 100) -> List[int]:
+    """Deterministic pseudo-random data for global initialisers."""
+    out = []
+    state = (seed * 2654435761 + 12345) & 0xFFFFFFFF
+    span = hi - lo
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out.append(lo + (state >> 16) % span)
+    return out
+
+
+def add_data_global(
+    module: Module, name: str, elem_ty: Type, n: int, seed: int, lo: int = -99, hi: int = 100
+) -> GlobalVar:
+    """Add a module global initialised with deterministic pseudo-random data."""
+    vals = lcg_values(seed, n, lo, hi)
+    if elem_ty.is_float:
+        vals = [float(v) / 7.0 for v in vals]
+    return module.add_global(GlobalVar(name, elem_ty, vals))
+
+
+def emit_dot_product_unrolled(
+    b: FunctionBuilder,
+    w_ptr: str,
+    d_ptr: str,
+    lanes: int = 8,
+    elem_ty: Type = I16,
+    mul_ty: Type = I32,
+    acc_ty: Type = I64,
+) -> str:
+    """The Fig 5.1 pattern: manually unrolled widening dot product.
+
+    ``result += (acc_ty)((mul_ty)w[i] * (mul_ty)d[i])`` for i in 0..lanes,
+    accumulated through a stack slot.  Returns the register holding the
+    final accumulator value.
+    """
+    acc = b.alloca(acc_ty, hint="dot.acc")
+    b.store(Const(0, acc_ty), acc)
+    for i in range(lanes):
+        wv = b.load(elem_ty, b.gep(w_ptr, c(i, I64), elem_ty))
+        dv = b.load(elem_ty, b.gep(d_ptr, c(i, I64), elem_ty))
+        ws = b.sext(wv, mul_ty)
+        ds = b.sext(dv, mul_ty)
+        m = b.mul(ws, ds, mul_ty)
+        mw = b.sext(m, acc_ty) if acc_ty.bits > mul_ty.bits else m
+        cur = b.load(acc_ty, acc)
+        b.store(b.add(cur, mw, acc_ty), acc)
+    return b.load(acc_ty, acc)
+
+
+def emit_saxpy_loop(
+    b: FunctionBuilder,
+    dst: str,
+    src_a: str,
+    src_b: str,
+    n: int,
+    k: int = 3,
+    elem_ty: Type = I32,
+    tag: str = "saxpy",
+) -> None:
+    """``dst[i] = a[i]*k + b[i]`` — the canonical loop-vectorise target."""
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        av = bb.load(elem_ty, bb.gep(src_a, i, elem_ty))
+        bv = bb.load(elem_ty, bb.gep(src_b, i, elem_ty))
+        prod = bb.mul(av, c(k, elem_ty), elem_ty)
+        bb.store(bb.add(prod, bv, elem_ty), bb.gep(dst, i, elem_ty))
+
+    b.counted_loop(c(0, I32), c(n, I32), body, tag=tag)
+
+
+def emit_sum_loop(
+    b: FunctionBuilder,
+    src: str,
+    n: int,
+    elem_ty: Type = I32,
+    tag: str = "sum",
+) -> str:
+    """``acc += src[i]`` reduction; returns the final accumulator register."""
+    acc = b.alloca(elem_ty, hint=f"{tag}.acc")
+    b.store(Const(0, elem_ty), acc)
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        v = bb.load(elem_ty, bb.gep(src, i, elem_ty))
+        cur = bb.load(elem_ty, acc)
+        bb.store(bb.add(cur, v, elem_ty), acc)
+
+    b.counted_loop(c(0, I32), c(n, I32), body, tag=tag)
+    return b.load(elem_ty, acc)
+
+
+def emit_init_loop(
+    b: FunctionBuilder, dst: str, n: int, value: int = 0, elem_ty: Type = I32, tag: str = "init"
+) -> None:
+    """``dst[i] = value`` — loop-idiom's memset target."""
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        bb.store(c(value, elem_ty), bb.gep(dst, i, elem_ty))
+
+    b.counted_loop(c(0, I32), c(n, I32), body, tag=tag)
+
+
+def emit_copy_loop(
+    b: FunctionBuilder, dst: str, src: str, n: int, elem_ty: Type = I32, tag: str = "copy"
+) -> None:
+    """``dst[i] = src[i]`` — loop-idiom's memcpy target."""
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        bb.store(bb.load(elem_ty, bb.gep(src, i, elem_ty)), bb.gep(dst, i, elem_ty))
+
+    b.counted_loop(c(0, I32), c(n, I32), body, tag=tag)
+
+
+def emit_branchy_abs_loop(
+    b: FunctionBuilder, src: str, n: int, elem_ty: Type = I32, tag: str = "babs"
+) -> str:
+    """``acc += x<0 ? -x : x`` with a real branch, plus a threshold branch."""
+    acc = b.alloca(elem_ty, hint=f"{tag}.acc")
+    b.store(Const(0, elem_ty), acc)
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        v = bb.load(elem_ty, bb.gep(src, i, elem_ty))
+        neg = bb.icmp("slt", v, c(0, elem_ty))
+        slot = bb.alloca(elem_ty, hint=f"{tag}.t")
+
+        def then_b(bt: FunctionBuilder) -> None:
+            bt.store(bt.sub(c(0, elem_ty), v, elem_ty), slot)
+
+        def else_b(bt: FunctionBuilder) -> None:
+            bt.store(v, slot)
+
+        bb.if_then(neg, then_b, else_b, tag=f"{tag}.if")
+        av = bb.load(elem_ty, slot)
+        big = bb.icmp("sgt", av, c(64, elem_ty))
+
+        def clamp_b(bt: FunctionBuilder) -> None:
+            cur2 = bt.load(elem_ty, acc)
+            bt.store(bt.add(cur2, c(64, elem_ty), elem_ty), acc)
+
+        def keep_b(bt: FunctionBuilder) -> None:
+            cur2 = bt.load(elem_ty, acc)
+            bt.store(bt.add(cur2, av, elem_ty), acc)
+
+        bb.if_then(big, clamp_b, keep_b, tag=f"{tag}.cl")
+
+    b.counted_loop(c(0, I32), c(n, I32), body, tag=tag)
+    return b.load(elem_ty, acc)
+
+
+def emit_table_mix_loop(
+    b: FunctionBuilder, src: str, table: str, n: int, tag: str = "tmix"
+) -> str:
+    """S-box style mixing: ``acc ^= T[x & 15] + T[(x >> 4) & 15]``."""
+    acc = b.alloca(I32, hint=f"{tag}.acc")
+    b.store(Const(0x5A5A, I32), acc)
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        x = bb.load(I32, bb.gep(src, i, I32))
+        lo = bb.and_(x, c(15, I32), I32)
+        hi = bb.and_(bb.ashr(x, c(4, I32), I32), c(15, I32), I32)
+        t0 = bb.load(I32, bb.gep(table, lo, I32))
+        t1 = bb.load(I32, bb.gep(table, hi, I32))
+        # the repeated `T[x & 15]` read rewards load CSE
+        t0b = bb.load(I32, bb.gep(table, lo, I32))
+        cur = bb.load(I32, acc)
+        mixed = bb.xor(cur, bb.add(t0, bb.add(t1, t0b, I32), I32), I32)
+        bb.store(mixed, acc)
+
+    b.counted_loop(c(0, I32), c(n, I32), body, tag=tag)
+    return b.load(I32, acc)
+
+
+def emit_shift_mix_loop(
+    b: FunctionBuilder, src: str, n: int, tag: str = "smix"
+) -> str:
+    """SHA-flavoured sequential mixing (rotate/xor/add chains)."""
+    acc = b.alloca(I32, hint=f"{tag}.h")
+    b.store(Const(0x6745, I32), acc)
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        h = bb.load(I32, acc)
+        x = bb.load(I32, bb.gep(src, i, I32))
+        r1 = bb.shl(h, c(5, I32), I32)
+        r2 = bb.ashr(h, c(27, I32), I32)
+        rot = bb.or_(r1, r2, I32)
+        t = bb.add(rot, x, I32)
+        t = bb.xor(t, bb.and_(h, c(0x7FFF, I32), I32), I32)
+        t = bb.add(t, c(0x7999, I32), I32)
+        # redundant recomputation for GVN to clean
+        r1b = bb.shl(h, c(5, I32), I32)
+        t = bb.add(t, bb.xor(r1b, r1, I32), I32)
+        bb.store(t, acc)
+
+    b.counted_loop(c(0, I32), c(n, I32), body, tag=tag)
+    return b.load(I32, acc)
+
+
+def emit_divmod_loop(
+    b: FunctionBuilder, src: str, n: int, divisor: int = 7, tag: str = "dvm"
+) -> str:
+    """``acc += x/d + x%d`` — div-rem-pairs and strength reduction target."""
+    acc = b.alloca(I32, hint=f"{tag}.acc")
+    b.store(Const(0, I32), acc)
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        x = bb.load(I32, bb.gep(src, i, I32))
+        q = bb.sdiv(x, c(divisor, I32), I32)
+        r = bb.srem(x, c(divisor, I32), I32)
+        cur = bb.load(I32, acc)
+        bb.store(bb.add(cur, bb.add(q, r, I32), I32), acc)
+
+    b.counted_loop(c(0, I32), c(n, I32), body, tag=tag)
+    return b.load(I32, acc)
+
+
+def emit_stencil_loop(
+    b: FunctionBuilder,
+    dst: str,
+    src: str,
+    n: int,
+    elem_ty: Type = I32,
+    tag: str = "sten",
+) -> None:
+    """3-point stencil ``dst[i] = src[i-1] + 2*src[i] + src[i+1]`` over
+    1..n-1; neighbour indexing defeats the (strict-legality) loop
+    vectoriser, leaving unroll + scalar optimisations to fight over it."""
+
+    def body(bb: FunctionBuilder, i: str) -> None:
+        im1 = bb.sub(i, c(1, I32), I32)
+        ip1 = bb.add(i, c(1, I32), I32)
+        a = bb.load(elem_ty, bb.gep(src, im1, elem_ty))
+        m = bb.load(elem_ty, bb.gep(src, i, elem_ty))
+        z = bb.load(elem_ty, bb.gep(src, ip1, elem_ty))
+        two_m = bb.mul(m, c(2, elem_ty), elem_ty)
+        s = bb.add(a, bb.add(two_m, z, elem_ty), elem_ty)
+        bb.store(s, bb.gep(dst, i, elem_ty))
+
+    b.counted_loop(c(1, I32), c(n - 1, I32), body, tag=tag)

@@ -1,0 +1,72 @@
+"""The :class:`Program` abstraction: a named set of linked source modules.
+
+A program owns its *unoptimised* (front-end style) modules; tuners compile
+clones of individual modules with candidate pass sequences and link them
+against the remaining originals.  The reference output (computed once from
+the unoptimised program) anchors differential testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.ir import Module
+from repro.compiler.opt_tool import CompileResult, run_opt
+from repro.compiler.pass_manager import TargetInfo
+from repro.machine.interp import ExecutionResult, run_program
+
+__all__ = ["Program"]
+
+
+@dataclass
+class Program:
+    """A multi-module benchmark program."""
+
+    name: str
+    modules: List[Module]
+    suite: str = "misc"
+    entry: str = "main"
+    #: interpreter fuel needed for one execution (safety margin included)
+    fuel: int = 5_000_000
+    _ref: Optional[ExecutionResult] = field(default=None, repr=False)
+
+    def module_names(self) -> List[str]:
+        """Names of the program's modules, in link order."""
+        return [m.name for m in self.modules]
+
+    def get_module(self, name: str) -> Module:
+        """Look up a source module by name."""
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise KeyError(f"no module {name!r} in program {self.name!r}")
+
+    def reference_output(self) -> ExecutionResult:
+        """Execution result of the unoptimised program (cached)."""
+        if self._ref is None:
+            self._ref = run_program(self.modules, self.entry, fuel=self.fuel)
+        return self._ref
+
+    def compile(
+        self,
+        sequences: Dict[str, Sequence[str]],
+        target: Optional[TargetInfo] = None,
+    ) -> Tuple[List[Module], Dict[str, CompileResult]]:
+        """Compile each module with its per-module sequence.
+
+        ``sequences`` maps module name -> pass sequence; modules without an
+        entry are compiled as-is (``-O0``).  Returns the linked module list
+        plus per-module compile results (statistics).
+        """
+        linked: List[Module] = []
+        results: Dict[str, CompileResult] = {}
+        for mod in self.modules:
+            seq = sequences.get(mod.name)
+            if seq is None:
+                linked.append(mod)
+            else:
+                cr = run_opt(mod, seq, target=target)
+                results[mod.name] = cr
+                linked.append(cr.module)
+        return linked, results

@@ -1,0 +1,250 @@
+"""SPEC-CPU-2017-like benchmark programs (Table 5.4, SPEC column).
+
+Larger multi-module programs with deliberately skewed per-module hotness,
+which is what the adaptive multi-module budget allocator (§5.3/§1.3) needs
+to show its 2.5× convergence advantage over round-robin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.ir import F64, GlobalVar, I16, I32, I64, PTR, Module
+from repro.workloads.kernels import (
+    add_data_global,
+    emit_branchy_abs_loop,
+    emit_copy_loop,
+    emit_divmod_loop,
+    emit_dot_product_unrolled,
+    emit_init_loop,
+    emit_shift_mix_loop,
+    emit_stencil_loop,
+    emit_sum_loop,
+    emit_table_mix_loop,
+)
+from repro.workloads.program import Program
+
+__all__ = ["SPEC", "spec_program", "spec_names"]
+
+
+def _lbm() -> Program:
+    """519.lbm flavour: stencil sweeps dominate; a light collision module."""
+    stream = Module("lbm_stream")
+    b = FunctionBuilder(stream, "stream_row", [("dst", PTR), ("src", PTR)], I32)
+    emit_stencil_loop(b, "dst", "src", 96, tag="sweep")
+    s = emit_sum_loop(b, "dst", 48, tag="chk")
+    b.ret(s)
+
+    collide = Module("lbm_collide")
+    b = FunctionBuilder(collide, "collide_row", [("cells", PTR), ("n", I32)], I32)
+    v = emit_branchy_abs_loop(b, "cells", 32, tag="relax")
+    b.ret(v)
+
+    main = Module("lbm_main")
+    add_data_global(main, "grid_a", I32, 96, seed=211, lo=-50, hi=50)
+    main.add_global(GlobalVar("grid_b", I32, [0] * 96))
+    b = FunctionBuilder(main, "main", [], I32)
+    ga = b.gaddr("grid_a")
+    gb = b.gaddr("grid_b")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def step(bb: FunctionBuilder, i: str) -> None:
+        v1 = bb.call("stream_row", [gb, ga], I32)
+        v2 = bb.call("collide_row", [gb, c(32, I32)], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.add(cur, bb.add(v1, v2, I32), I32), total)
+
+    b.counted_loop(c(0, I32), c(8, I32), step, tag="steps")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("519.lbm_r", [stream, collide, main], suite="spec")
+
+
+def _mcf() -> Program:
+    """505.mcf flavour: integer network simplex — pointer-ish scans, branches."""
+    pbeampp = Module("mcf_pbeampp")
+    b = FunctionBuilder(pbeampp, "price_arcs", [("cost", PTR), ("flow", PTR), ("n", I32)], I32)
+    acc = b.alloca(I32, hint="basket")
+    b.store(c(0, I32), acc)
+
+    def arc(bb: FunctionBuilder, i: str) -> None:
+        cv = bb.load(I32, bb.gep("cost", i, I32))
+        fv = bb.load(I32, bb.gep("flow", i, I32))
+        red = bb.sub(cv, fv, I32)
+        neg = bb.icmp("slt", red, c(0, I32))
+
+        def take(bt: FunctionBuilder) -> None:
+            cur = bt.load(I32, acc)
+            bt.store(bt.sub(cur, red, I32), acc)
+
+        bb.if_then(neg, take, None, tag="price")
+
+    b.counted_loop(c(0, I32), c(112, I32), arc, tag="arcs")
+    b.ret(b.load(I32, acc))
+
+    implicit = Module("mcf_implicit")
+    b = FunctionBuilder(implicit, "refresh_potential", [("pot", PTR), ("n", I32)], I32)
+    v = emit_divmod_loop(b, "pot", 48, divisor=3, tag="pot")
+    b.ret(v)
+
+    main = Module("mcf_main")
+    add_data_global(main, "arc_cost", I32, 112, seed=221, lo=-400, hi=400)
+    add_data_global(main, "arc_flow", I32, 112, seed=222, lo=-100, hi=100)
+    add_data_global(main, "potential", I32, 48, seed=223, lo=1, hi=900)
+    b = FunctionBuilder(main, "main", [], I32)
+    cost = b.gaddr("arc_cost")
+    flow = b.gaddr("arc_flow")
+    pot = b.gaddr("potential")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def iteration(bb: FunctionBuilder, i: str) -> None:
+        v1 = bb.call("price_arcs", [cost, flow, c(112, I32)], I32)
+        v2 = bb.call("refresh_potential", [pot, c(48, I32)], I32)
+        cur = bb.load(I32, total)
+        bb.store(bb.add(cur, bb.xor(v1, v2, I32), I32), total)
+
+    b.counted_loop(c(0, I32), c(6, I32), iteration, tag="simplex")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("505.mcf_r", [pbeampp, implicit, main], suite="spec")
+
+
+def _xz() -> Program:
+    """557.xz flavour: match-length scans, range-coder mixing, buffer moves."""
+    lzma = Module("xz_lzma")
+    b = FunctionBuilder(lzma, "match_len", [("a", PTR), ("bp", PTR), ("n", I32)], I32)
+    acc = b.alloca(I32, hint="len")
+    b.store(c(0, I32), acc)
+
+    def cmp_body(bb: FunctionBuilder, i: str) -> None:
+        x = bb.load(I16, bb.gep("a", i, I16))
+        y = bb.load(I16, bb.gep("bp", i, I16))
+        same = bb.icmp("eq", x, y)
+        inc = bb.select(same, c(1, I32), c(0, I32), I32)
+        cur = bb.load(I32, acc)
+        bb.store(bb.add(cur, inc, I32), acc)
+
+    b.counted_loop(c(0, I32), c(96, I32), cmp_body, tag="cmp")
+    b.ret(b.load(I32, acc))
+
+    rangecoder = Module("xz_rangecoder")
+    b = FunctionBuilder(rangecoder, "rc_mix", [("w", PTR), ("n", I32)], I32)
+    v = emit_shift_mix_loop(b, "w", 48, tag="rc")
+    b.ret(v)
+
+    buffer_mod = Module("xz_buffer")
+    b = FunctionBuilder(buffer_mod, "buf_move", [("dst", PTR), ("src", PTR), ("n", I32)], I32)
+    emit_copy_loop(b, "dst", "src", 64, tag="mv")
+    emit_init_loop(b, "dst", 8, value=0, tag="pad")
+    s = emit_sum_loop(b, "dst", 16, tag="chk")
+    b.ret(s)
+
+    main = Module("xz_main")
+    add_data_global(main, "dict_a", I16, 96, seed=231, lo=0, hi=255)
+    add_data_global(main, "dict_b", I16, 96, seed=232, lo=0, hi=255)
+    add_data_global(main, "stream", I32, 64, seed=233, lo=0, hi=65536)
+    main.add_global(GlobalVar("outbuf", I32, [0] * 72))
+    b = FunctionBuilder(main, "main", [], I32)
+    da = b.gaddr("dict_a")
+    db = b.gaddr("dict_b")
+    st = b.gaddr("stream")
+    ob = b.gaddr("outbuf")
+    total = b.alloca(I32, hint="total")
+    b.store(c(0, I32), total)
+
+    def block(bb: FunctionBuilder, i: str) -> None:
+        v1 = bb.call("match_len", [da, db, c(96, I32)], I32)
+        v2 = bb.call("rc_mix", [st, c(48, I32)], I32)
+        v3 = bb.call("buf_move", [ob, st, c(64, I32)], I32)
+        cur = bb.load(I32, total)
+        mix = bb.add(v1, bb.xor(v2, v3, I32), I32)
+        bb.store(bb.add(cur, mix, I32), total)
+
+    b.counted_loop(c(0, I32), c(6, I32), block, tag="blocks")
+    t = b.load(I32, total)
+    b.output(t)
+    b.ret(t)
+    return Program("557.xz_r", [lzma, rangecoder, buffer_mod, main], suite="spec")
+
+
+def _x264() -> Program:
+    """525.x264 flavour: SAD over blocks (dominant), DCT rows, CABAC-ish mix."""
+    me = Module("x264_me")
+    b = FunctionBuilder(me, "sad8", [("cur", PTR), ("ref", PTR)], I32)
+    acc = b.alloca(I32, hint="sad")
+    b.store(c(0, I32), acc)
+    for i in range(8):
+        x = b.load(I16, b.gep("cur", c(i, I64), I16))
+        y = b.load(I16, b.gep("ref", c(i, I64), I16))
+        dx = b.sub(b.sext(x, I32), b.sext(y, I32), I32)
+        neg = b.icmp("slt", dx, c(0, I32))
+        ad = b.select(neg, b.sub(c(0, I32), dx, I32), dx, I32)
+        cur = b.load(I32, acc)
+        b.store(b.add(cur, ad, I32), acc)
+    b.ret(b.load(I32, acc))
+
+    dct = Module("x264_dct")
+    b = FunctionBuilder(dct, "dct_dot", [("w", PTR), ("d", PTR)], I64)
+    v = emit_dot_product_unrolled(b, "w", "d", lanes=8, elem_ty=I16, mul_ty=I32, acc_ty=I64)
+    b.ret(v)
+
+    cabac = Module("x264_cabac")
+    b = FunctionBuilder(cabac, "cabac_mix", [("sym", PTR), ("tbl", PTR), ("n", I32)], I32)
+    v = emit_table_mix_loop(b, "sym", "tbl", 40, tag="ctx")
+    b.ret(v)
+
+    main = Module("x264_main")
+    add_data_global(main, "frame_cur", I16, 64, seed=241, lo=0, hi=255)
+    add_data_global(main, "frame_ref", I16, 64, seed=242, lo=0, hi=255)
+    add_data_global(main, "symbols", I32, 40, seed=243, lo=0, hi=4096)
+    add_data_global(main, "ctx_table", I32, 16, seed=244, lo=1, hi=128)
+    b = FunctionBuilder(main, "main", [], I64)
+    fc = b.gaddr("frame_cur")
+    fr = b.gaddr("frame_ref")
+    sym = b.gaddr("symbols")
+    tbl = b.gaddr("ctx_table")
+    total = b.alloca(I64, hint="total")
+    b.store(c(0, I64), total)
+
+    def mb(bb: FunctionBuilder, i: str) -> None:
+        off = bb.and_(i, c(55, I32), I32)
+        cp = bb.gep(fc, off, I16)
+        rp = bb.gep(fr, off, I16)
+        sad = bb.call("sad8", [cp, rp], I32)
+        dot = bb.call("dct_dot", [cp, rp], I64)
+        cur = bb.load(I64, total)
+        bb.store(bb.add(cur, bb.add(bb.sext(sad, I64), dot, I64), I64), total)
+
+    b.counted_loop(c(0, I32), c(32, I32), mb, tag="mb")
+    cb = b.call("cabac_mix", [sym, tbl, c(40, I32)], I32)
+    t = b.load(I64, total)
+    out = b.add(t, b.sext(cb, I64), I64)
+    b.output(out)
+    b.ret(out)
+    return Program("525.x264_r", [me, dct, cabac, main], suite="spec")
+
+
+SPEC: Dict[str, Callable[[], Program]] = {
+    "519.lbm_r": _lbm,
+    "505.mcf_r": _mcf,
+    "557.xz_r": _xz,
+    "525.x264_r": _x264,
+}
+
+
+def spec_names() -> List[str]:
+    """Sorted names of the SPEC-like programs."""
+    return sorted(SPEC)
+
+
+def spec_program(name: str) -> Program:
+    """Build a fresh instance of the named program."""
+    try:
+        return SPEC[name]()
+    except KeyError:
+        raise KeyError(f"unknown SPEC program {name!r}; have {spec_names()}") from None

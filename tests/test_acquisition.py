@@ -1,0 +1,100 @@
+"""Tests for acquisition functions and the AF maximiser."""
+
+import numpy as np
+import pytest
+
+from repro.bo.acquisition import (
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+    make_acquisition,
+    mc_qei,
+    mc_qucb,
+)
+from repro.bo.gp import GaussianProcess
+from repro.bo.maximizer import gradient_maximize, multi_start_maximize
+
+
+@pytest.fixture
+def fitted_gp(rng):
+    X = rng.random((25, 3))
+    y = ((X - 0.4) ** 2).sum(1)
+    return GaussianProcess(3, seed=0).fit(X, y)
+
+
+class TestAnalyticAFs:
+    def test_ucb_formula(self, fitted_gp, rng):
+        x = rng.random((4, 3))
+        mu, sigma = fitted_gp.predict(x)
+        af = UpperConfidenceBound(fitted_gp, beta=4.0)
+        assert np.allclose(af(x), -mu + 2.0 * sigma)
+
+    def test_ei_nonnegative(self, fitted_gp, rng):
+        af = ExpectedImprovement(fitted_gp)
+        vals = af(rng.random((50, 3)))
+        assert (vals >= -1e-12).all()
+
+    def test_pi_in_unit_interval(self, fitted_gp, rng):
+        af = ProbabilityOfImprovement(fitted_gp)
+        vals = af(rng.random((50, 3)))
+        assert (vals >= 0).all() and (vals <= 1).all()
+
+    def test_ei_highest_near_optimum_region(self, fitted_gp):
+        af = ExpectedImprovement(fitted_gp)
+        near = af(np.full((1, 3), 0.4))[0]
+        far = af(np.full((1, 3), 0.95))[0]
+        assert near != far  # landscape is non-trivial
+
+    @pytest.mark.parametrize("name", ["ucb", "ei", "pi"])
+    def test_gradients_match_numeric(self, name, fitted_gp, rng):
+        af = make_acquisition(name, fitted_gp)
+        x0 = rng.random(3)
+        v, g = af.value_and_grad(x0)
+        assert v == pytest.approx(af(x0[None])[0], rel=1e-6, abs=1e-9)
+        eps = 1e-4
+        for d in range(3):
+            xp, xm = x0.copy(), x0.copy()
+            xp[d] += eps
+            xm[d] -= eps
+            numeric = (af(xp[None])[0] - af(xm[None])[0]) / (2 * eps)
+            assert abs(g[d] - numeric) < 2e-3, f"{name} dim {d}"
+
+    def test_factory_rejects_unknown(self, fitted_gp):
+        with pytest.raises(KeyError):
+            make_acquisition("thompson", fitted_gp)
+
+
+class TestMonteCarloAFs:
+    def test_qei_matches_analytic_at_q1(self, fitted_gp, rng):
+        af = ExpectedImprovement(fitted_gp)
+        x = rng.random((1, 3))
+        analytic = af(x)[0]
+        mc = mc_qei(fitted_gp, x, n_samples=20000, rng=0)
+        assert mc == pytest.approx(analytic, abs=0.02)
+
+    def test_qei_monotone_in_batch(self, fitted_gp, rng):
+        x1 = rng.random((1, 3))
+        x2 = np.vstack([x1, rng.random((1, 3))])
+        v1 = mc_qei(fitted_gp, x1, n_samples=4000, rng=0)
+        v2 = mc_qei(fitted_gp, x2, n_samples=4000, rng=0)
+        assert v2 >= v1 - 0.01  # adding a point can only help (noise slack)
+
+    def test_qucb_positive_spread(self, fitted_gp, rng):
+        v = mc_qucb(fitted_gp, rng.random((3, 3)), n_samples=2000, rng=0)
+        assert np.isfinite(v)
+
+
+class TestMaximizer:
+    def test_gradient_ascent_improves(self, fitted_gp, rng):
+        af = make_acquisition("ucb", fitted_gp)
+        x0 = rng.random(3)
+        x, v = gradient_maximize(af, x0)
+        assert v >= af(x0[None])[0] - 1e-9
+        assert (x >= 0).all() and (x <= 1).all()
+
+    def test_multi_start_returns_best(self, fitted_gp, rng):
+        af = make_acquisition("ucb", fitted_gp)
+        starts = rng.random((6, 3))
+        x, v = multi_start_maximize(af, starts)
+        singles = [gradient_maximize(af, s)[1] for s in starts]
+        assert v == pytest.approx(max(singles), rel=1e-9)

@@ -1,0 +1,148 @@
+"""Tests for AIBO, BOGrad, TuRBO, HeSBO and the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.bo import AIBO, BOGrad, HeSBO, RandomForestRegressor, TuRBO
+from repro.synthetic import make_task
+
+
+def sphere(x):
+    return float(((np.asarray(x) - 0.35) ** 2).sum())
+
+
+class TestAIBO:
+    def test_improves_over_initial_design(self):
+        opt = AIBO(6, seed=0, n_init=10, k=30)
+        res = opt.minimize(sphere, 40)
+        assert res.best_y < res.y[:10].min()
+        assert len(res.y) == 40
+        assert res.best_history[-1] == res.y.min()
+
+    def test_diagnostics_populated(self):
+        opt = AIBO(4, seed=0, n_init=8, k=20)
+        res = opt.minimize(sphere, 20)
+        d = res.diagnostics
+        n_iter = len(d["winner"])
+        assert n_iter > 0
+        assert set(d["winner"]) <= {"cmaes", "ga", "random"}
+        assert len(d["af_values"]) == n_iter
+        assert all(set(v) == {"cmaes", "ga", "random"} for v in d["af_values"])
+
+    def test_batch_mode_counts(self):
+        opt = AIBO(4, seed=0, n_init=6, k=20, batch_size=5)
+        res = opt.minimize(sphere, 26)
+        assert len(res.y) == 26
+
+    def test_maximizer_none_variant(self):
+        opt = AIBO(4, seed=0, n_init=6, k=20, maximizer="none")
+        res = opt.minimize(sphere, 16)
+        assert len(res.y) == 16
+
+    def test_single_strategy_variants(self):
+        for strat in (("ga",), ("cmaes",), ("random",)):
+            opt = AIBO(3, seed=0, n_init=5, k=15, strategies=strat)
+            res = opt.minimize(sphere, 12)
+            assert len(res.y) == 12
+
+    def test_alternative_init_strategies(self):
+        for strat in ("boltzmann", "gaussian-spray", "cmaes-on-af"):
+            opt = AIBO(3, seed=0, n_init=5, k=10, strategies=(strat,))
+            res = opt.minimize(sphere, 10)
+            assert len(res.y) == 10
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(KeyError):
+            AIBO(3, strategies=("simulated-annealing",))
+
+    def test_different_afs(self):
+        for af in ("ucb", "ei", "pi"):
+            opt = AIBO(3, seed=0, n_init=5, k=10, af=af)
+            res = opt.minimize(sphere, 12)
+            assert len(res.y) == 12
+
+    def test_callback_invoked(self):
+        seen = []
+        opt = AIBO(3, seed=0, n_init=4, k=10)
+        opt.minimize(sphere, 10, callback=lambda i, x, y: seen.append(i))
+        assert seen and seen[-1] == 10
+
+    def test_reproducible_with_seed(self):
+        r1 = AIBO(3, seed=99, n_init=5, k=10).minimize(sphere, 12)
+        r2 = AIBO(3, seed=99, n_init=5, k=10).minimize(sphere, 12)
+        assert np.allclose(r1.y, r2.y)
+
+    def test_aibo_beats_pure_random_sampling_on_ackley(self):
+        task = make_task("ackley", 10)
+        res = AIBO(10, seed=1, n_init=15, k=40, refit_every=2).minimize(task, 80)
+        rng = np.random.default_rng(1)
+        rand_best = min(task(x) for x in rng.random((80, 10)))
+        assert res.best_y < rand_best
+
+
+class TestBOGrad:
+    def test_is_random_only(self):
+        bo = BOGrad(4, seed=0, n_init=5)
+        assert list(bo.optimizers) == ["random"]
+        res = bo.minimize(sphere, 12)
+        assert len(res.y) == 12
+
+
+class TestTuRBO:
+    def test_runs_and_improves(self):
+        res = TuRBO(6, seed=0, n_init=10).minimize(sphere, 40)
+        assert len(res.y) == 40
+        assert res.best_y < res.y[:10].min()
+
+    def test_restart_on_collapse(self):
+        # tiny tolerance forces shrinkage; should never error or stall
+        t = TuRBO(3, seed=0, n_init=5, length_init=0.1, length_min=0.05, fail_tol=1)
+        res = t.minimize(sphere, 30)
+        assert len(res.y) == 30
+
+
+class TestHeSBO:
+    def test_embedding_dimensions(self):
+        h = HeSBO(50, low_dim=6, seed=0, n_init=5)
+        z = np.random.default_rng(0).random(6)
+        x = h.lift(z)
+        assert x.shape == (50,)
+        assert (x >= 0).all() and (x <= 1).all()
+
+    def test_minimize_runs(self):
+        h = HeSBO(20, low_dim=4, seed=0, n_init=5, k=20)
+        res = h.minimize(sphere, 15)
+        assert len(res.y) == 15
+        assert res.X.shape == (15, 20)
+
+
+class TestRandomForest:
+    def test_fits_step_function(self, rng):
+        X = rng.random((200, 2))
+        y = (X[:, 0] > 0.5).astype(float) * 10
+        rf = RandomForestRegressor(n_trees=10, seed=0).fit(X, y)
+        mu, _ = rf.predict(np.array([[0.9, 0.5], [0.1, 0.5]]))
+        assert mu[0] > 8 and mu[1] < 2
+
+    def test_uncertainty_zero_on_constant(self, rng):
+        X = rng.random((50, 2))
+        y = np.full(50, 3.0)
+        rf = RandomForestRegressor(n_trees=5, seed=0).fit(X, y)
+        mu, sigma = rf.predict(X[:5])
+        assert np.allclose(mu, 3.0)
+        assert np.allclose(sigma, 0.0)
+
+    def test_uncertainty_positive_off_distribution(self, rng):
+        X = rng.random((100, 2))
+        y = X[:, 0] * 5 + rng.standard_normal(100) * 0.1
+        rf = RandomForestRegressor(n_trees=15, seed=0).fit(X, y)
+        _, sigma = rf.predict(rng.random((10, 2)))
+        assert sigma.mean() > 0
+
+    def test_respects_min_samples_leaf(self, rng):
+        X = rng.random((20, 1))
+        y = rng.standard_normal(20)
+        rf = RandomForestRegressor(n_trees=3, min_samples_leaf=10, seed=0).fit(X, y)
+        # with huge leaves, predictions are coarse averages
+        mu, _ = rf.predict(X)
+        assert len(np.unique(np.round(mu, 6))) <= 8

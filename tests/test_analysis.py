@@ -1,0 +1,185 @@
+"""Tests for CFG / dominator / loop analyses."""
+
+import pytest
+
+from repro.compiler.analysis import (
+    constant_trip_count,
+    dominators,
+    escaped_allocas,
+    find_loops,
+    function_may_read,
+    function_may_write,
+    has_side_effects,
+    immediate_dominators,
+    is_pure_instr,
+    reachable_blocks,
+    rpo_order,
+)
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.ir import Const, I1, I32, I64, Instr, Module, PTR, VOID
+from repro.compiler.opt_tool import run_opt
+
+
+def diamond():
+    mod = Module("m")
+    b = FunctionBuilder(mod, "f", [("x", I32)], I32)
+    cond = b.icmp("slt", "x", c(0, I32))
+    b.br(cond, "l", "r")
+    b.block("l")
+    b.jmp("exit")
+    b.block("r")
+    b.jmp("exit")
+    b.block("exit")
+    p = b.phi(I32, [("l", c(1, I32)), ("r", c(2, I32))])
+    b.ret(p)
+    return mod, b.fn
+
+
+class TestCFG:
+    def test_rpo_starts_at_entry(self):
+        _, fn = diamond()
+        order = rpo_order(fn)
+        assert order[0] == "entry"
+        assert order[-1] == "exit"
+
+    def test_reachable_excludes_orphans(self):
+        mod, fn = diamond()
+        orphan = fn.add_block("orphan")
+        orphan.instrs.append(Instr("ret", None, VOID, (Const(0, I32),)))
+        assert "orphan" not in reachable_blocks(fn)
+
+    def test_idoms_of_diamond(self):
+        _, fn = diamond()
+        idom = immediate_dominators(fn)
+        assert idom["l"] == "entry"
+        assert idom["r"] == "entry"
+        assert idom["exit"] == "entry"
+        assert idom["entry"] is None
+
+    def test_dominator_sets(self):
+        _, fn = diamond()
+        doms = dominators(fn)
+        assert doms["exit"] == {"entry", "exit"}
+        assert doms["l"] == {"entry", "l"}
+
+
+class TestLoops:
+    def test_loop_detection_and_preheader(self, sum_loop_module):
+        # promote first so the loop is in canonical phi form
+        cr = run_opt(sum_loop_module, ["mem2reg"])
+        fn = cr.module.functions["main"]
+        loops = find_loops(fn)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header.startswith("loop.header")
+        assert loop.preheader == "entry"
+        assert len(loop.latches) == 1
+
+    def test_constant_trip_count(self, sum_loop_module):
+        cr = run_opt(sum_loop_module, ["mem2reg"])
+        fn = cr.module.functions["main"]
+        loop = find_loops(fn)[0]
+        tc = constant_trip_count(fn, loop)
+        assert tc is not None
+        _iv, start, step, trips = tc
+        assert (start, step, trips) == (0, 1, 16)
+
+    def test_non_constant_bound_gives_none(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "f", [("n", I32)], VOID)
+        b.counted_loop(c(0, I32), "n", lambda bb, i: None)
+        b.ret()
+        cr = run_opt(mod, ["mem2reg", "dce"])
+        fn = cr.module.functions["f"]
+        loops = find_loops(fn)
+        assert loops and constant_trip_count(fn, loops[0]) is None
+
+    def test_nested_loop_depths(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "f", [], VOID)
+
+        def outer(bb, i):
+            bb.counted_loop(c(0, I32), c(3, I32), lambda b2, j: None, tag="inner")
+
+        b.counted_loop(c(0, I32), c(3, I32), outer, tag="outer")
+        b.ret()
+        cr = run_opt(mod, ["mem2reg"])
+        fn = cr.module.functions["f"]
+        loops = find_loops(fn)
+        depths = sorted(l.depth for l in loops)
+        assert depths == [1, 2]
+
+
+class TestPurity:
+    def test_loads_and_stores(self):
+        ld = Instr("load", "%x", I32, ("%p",))
+        st = Instr("store", None, VOID, (Const(1, I32), "%p"))
+        assert not is_pure_instr(ld)  # value depends on memory
+        assert not has_side_effects(ld)  # but removable when unused
+        assert has_side_effects(st)
+
+    def test_div_by_const_nonzero_is_pure(self):
+        good = Instr("sdiv", "%x", I32, ("%a", Const(2, I32)))
+        bad = Instr("sdiv", "%x", I32, ("%a", "%b"))
+        assert is_pure_instr(good)
+        assert not is_pure_instr(bad)
+        assert has_side_effects(bad)
+
+    def test_readnone_call_is_pure(self):
+        mod = Module("m")
+        fb = FunctionBuilder(mod, "g", [("x", I32)], I32)
+        fb.ret(fb.add("x", "x", I32))
+        call = Instr("call", "%r", I32, (Const(1, I32),), callee="g")
+        assert not is_pure_instr(call, mod)
+        mod.functions["g"].attrs.add("readnone")
+        assert is_pure_instr(call, mod)
+        assert not has_side_effects(call, mod)
+
+    def test_function_may_write_transitive(self):
+        mod = Module("m")
+        w = FunctionBuilder(mod, "writer", [("p", PTR)], VOID)
+        w.store(c(1, I32), "p")
+        w.ret()
+        caller = FunctionBuilder(mod, "outer", [("p", PTR)], VOID)
+        caller.call("writer", ["p"])
+        caller.ret()
+        assert function_may_write(mod.functions["outer"], mod)
+        assert not function_may_read(mod.functions["outer"], mod)
+
+
+class TestEscapes:
+    def test_direct_load_store_private(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "f", [], I32)
+        p = b.alloca(I32)
+        b.store(c(1, I32), p)
+        b.ret(b.load(I32, p))
+        assert escaped_allocas(b.fn) == set()
+
+    def test_passed_to_call_escapes(self):
+        mod = Module("m")
+        g = FunctionBuilder(mod, "g", [("p", PTR)], VOID)
+        g.ret()
+        b = FunctionBuilder(mod, "f", [], VOID)
+        p = b.alloca(I32)
+        b.call("g", [p])
+        b.ret()
+        assert p in escaped_allocas(b.fn)
+
+    def test_address_stored_escapes(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "f", [], VOID)
+        p = b.alloca(I32)
+        q = b.alloca(PTR)
+        b.store(p, q)  # stores the address itself
+        b.ret()
+        assert p in escaped_allocas(b.fn)
+
+    def test_gep_derived_use_tracked(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "f", [], I32)
+        arr = b.alloca(I32, count=4)
+        el = b.gep(arr, c(1, I64), I32)
+        b.store(c(5, I32), el)
+        b.ret(b.load(I32, el))
+        assert escaped_allocas(b.fn) == set()

@@ -1,0 +1,81 @@
+"""Property-based differential testing of the whole pass zoo.
+
+The central correctness property of the compiler substrate: *any* pass
+sequence applied to *any* program preserves observable behaviour.  This is
+the same differential-testing methodology the paper applies to its tuned
+binaries (§1.1), run here as a hypothesis property over random programs
+and random sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.opt_tool import run_opt
+from repro.compiler.pipelines import SEARCH_PASSES, pipeline
+from repro.compiler.verify import verify_module
+from repro.machine.interp import run_program
+from repro.workloads import cbench_program, random_program
+
+_SETTINGS = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _apply_and_compare(program, sequence):
+    ref = program.reference_output().output_signature()
+    linked = []
+    for mod in program.modules:
+        cr = run_opt(mod, sequence, verify_each=True)
+        verify_module(cr.module)
+        linked.append(cr.module)
+    out = run_program(linked, program.entry, fuel=program.fuel)
+    assert out.output_signature() == ref, (
+        f"sequence {sequence} changed semantics of {program.name}"
+    )
+
+
+@given(
+    prog_seed=st.integers(0, 10**6),
+    seq_seed=st.integers(0, 10**6),
+)
+@settings(**_SETTINGS)
+def test_random_program_random_sequence(prog_seed, seq_seed):
+    program = random_program(seed=prog_seed, n_modules=1)
+    rng = np.random.default_rng(seq_seed)
+    length = int(rng.integers(1, 25))
+    sequence = [SEARCH_PASSES[i] for i in rng.integers(0, len(SEARCH_PASSES), length)]
+    _apply_and_compare(program, sequence)
+
+
+@given(prog_seed=st.integers(0, 10**6))
+@settings(**_SETTINGS)
+def test_random_program_o3(prog_seed):
+    program = random_program(seed=prog_seed, n_modules=2)
+    _apply_and_compare(program, pipeline("-O3"))
+
+
+@given(seq_seed=st.integers(0, 10**6))
+@settings(deadline=None, max_examples=10,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_gsm_random_sequences(seq_seed):
+    program = cbench_program("telecom_gsm")
+    rng = np.random.default_rng(seq_seed)
+    length = int(rng.integers(1, 40))
+    sequence = [SEARCH_PASSES[i] for i in rng.integers(0, len(SEARCH_PASSES), length)]
+    _apply_and_compare(program, sequence)
+
+
+@pytest.mark.parametrize("level", ["-O1", "-O2", "-O3", "-Oz"])
+def test_pipeline_levels_on_random_programs(level):
+    for seed in range(6):
+        program = random_program(seed=7000 + seed, n_modules=2)
+        _apply_and_compare(program, pipeline(level))
+
+
+def test_repeated_o3_idempotent_semantics():
+    program = cbench_program("security_sha")
+    _apply_and_compare(program, pipeline("-O3") * 3)

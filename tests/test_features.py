@@ -1,0 +1,115 @@
+"""Tests for the feature extraction layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.opt_tool import run_opt
+from repro.features import (
+    AUTOPHASE_KEYS,
+    StatsVectorizer,
+    autophase_features,
+    sequence_features,
+    sequence_histogram,
+    token_histogram,
+)
+from repro.workloads import cbench_program
+
+from tests.conftest import build_dot_kernel
+
+
+class TestStatsVectorizer:
+    def test_registry_grows(self):
+        v = StatsVectorizer()
+        v.fit([{"a.X": 1}, {"b.Y": 2}])
+        assert v.dim == 2
+        v.fit([{"a.X": 1}, {"c.Z": 3}])
+        assert v.dim == 3  # keys are never forgotten
+
+    def test_log_scaling_and_clipping(self):
+        v = StatsVectorizer()
+        X = v.fit([{"a.X": 0}, {"a.X": 9}])
+        assert X.min() == pytest.approx(0.0)
+        assert X.max() == pytest.approx(1.0)
+        t = v.transform({"a.X": 100})  # beyond observed range: clipped
+        assert t[0] == pytest.approx(1.0)
+
+    def test_coverage_full_for_seen_values(self):
+        v = StatsVectorizer()
+        v.fit([{"a.X": 1, "b.Y": 4}, {"a.X": 5}])
+        assert v.coverage({"a.X": 3}) == pytest.approx(1.0)
+
+    def test_coverage_penalises_novel_dims(self):
+        v = StatsVectorizer()
+        v.fit([{"a.X": 1}, {"a.X": 5}])
+        cov = v.coverage({"a.X": 3, "new.K": 7})
+        assert cov == pytest.approx(0.5)
+
+    def test_coverage_out_of_range_value(self):
+        v = StatsVectorizer()
+        v.fit([{"a.X": 1}, {"a.X": 5}])
+        assert v.coverage({"a.X": 500}) < 1.0
+
+    def test_zero_only_candidate_fully_covered(self):
+        v = StatsVectorizer()
+        v.fit([{"a.X": 1}])
+        assert v.coverage({}) == pytest.approx(1.0)
+
+    def test_signature_ignores_zeros_and_order(self):
+        v = StatsVectorizer()
+        s1 = v.signature({"a.X": 1, "b.Y": 0, "c.Z": 2})
+        s2 = v.signature({"c.Z": 2, "a.X": 1})
+        assert s1 == s2
+
+    @given(st.dictionaries(st.sampled_from(["p.A", "p.B", "q.C"]), st.integers(0, 50), max_size=3))
+    @settings(deadline=None, max_examples=30)
+    def test_transform_stays_in_unit_box(self, stats):
+        v = StatsVectorizer()
+        v.fit([{"p.A": 3, "p.B": 7, "q.C": 2}, {"p.A": 0}])
+        t = v.transform(stats)
+        assert (t >= 0).all() and (t <= 1).all()
+
+
+class TestAutophase:
+    def test_counts_respond_to_compilation(self):
+        mod = build_dot_kernel()
+        before = autophase_features(mod)
+        after = autophase_features(run_opt(mod, ["mem2reg", "instcombine", "dce"]).module)
+        assert before["num_load"] > after["num_load"]
+        assert before["num_instructions"] > after["num_instructions"]
+
+    def test_keys_stable(self):
+        mod = build_dot_kernel()
+        feats = autophase_features(mod)
+        assert set(feats) == set(AUTOPHASE_KEYS)
+
+    def test_blind_to_function_attrs(self):
+        # the deficiency the paper highlights: function-attrs is invisible
+        prog = cbench_program("telecom_gsm")
+        mod = prog.get_module("long_term")
+        plain = autophase_features(run_opt(mod, []).module)
+        attred = autophase_features(run_opt(mod, ["function-attrs"]).module)
+        assert plain == attred
+
+
+class TestSequenceFeatures:
+    def test_positional_encoding_range(self):
+        f = sequence_features([0, 5, 39], 40)
+        assert (f > 0).all() and (f < 1).all()
+        assert len(f) == 3
+
+    def test_histogram_sums_to_one(self):
+        h = sequence_histogram([1, 1, 2, 3], 5)
+        assert h.sum() == pytest.approx(1.0)
+        assert h[1] == pytest.approx(0.5)
+
+
+class TestTokens:
+    def test_bigrams_counted(self):
+        mod = build_dot_kernel()
+        hist = token_histogram(mod)
+        assert sum(hist.values()) == sum(
+            f.num_instrs() - len(f.blocks) for f in mod.functions.values()
+        ) + sum(len(f.blocks) - 1 for f in mod.functions.values())
+        assert any(k.startswith("bi_load_") for k in hist)

@@ -1,0 +1,208 @@
+"""Tests for GP regression, kernels and transforms."""
+
+import numpy as np
+import pytest
+
+from repro.bo.gp import GaussianProcess
+from repro.bo.kernels import Matern52, RBF
+from repro.bo.transforms import Standardizer, YeoJohnson
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.random((30, 4))
+    y = np.sin(4 * X[:, 0]) + X[:, 1] ** 2 + 0.01 * rng.standard_normal(30)
+    return X, y
+
+
+class TestKernels:
+    @pytest.mark.parametrize("K", [RBF, Matern52])
+    def test_psd_and_diag(self, K, rng):
+        k = K(3)
+        X = rng.random((20, 3))
+        M = k(X, X)
+        assert np.allclose(M, M.T)
+        vals = np.linalg.eigvalsh(M + 1e-10 * np.eye(20))
+        assert vals.min() > -1e-8
+        assert np.allclose(np.diag(M), k.diag(X))
+
+    @pytest.mark.parametrize("K", [RBF, Matern52])
+    def test_hyper_gradients_match_numeric(self, K, rng):
+        k = K(3)
+        X = rng.random((8, 3))
+        eps = 1e-6
+        grads = dict(k.grad_hyper(X))
+        theta0 = k.get_params()
+        for idx in range(k.n_params()):
+            tp = theta0.copy()
+            tp[idx] += eps
+            k.set_params(tp)
+            Kp = k(X, X)
+            tp[idx] -= 2 * eps
+            k.set_params(tp)
+            Km = k(X, X)
+            k.set_params(theta0)
+            numeric = (Kp - Km) / (2 * eps)
+            assert np.abs(grads[idx] - numeric).max() < 1e-4, f"param {idx}"
+
+    @pytest.mark.parametrize("K", [RBF, Matern52])
+    def test_grad_x_matches_numeric(self, K, rng):
+        k = K(3)
+        Z = rng.random((6, 3))
+        x = rng.random(3)
+        g = k.grad_x(x, Z)
+        eps = 1e-6
+        for d in range(3):
+            xp, xm = x.copy(), x.copy()
+            xp[d] += eps
+            xm[d] -= eps
+            numeric = (k(xp[None], Z)[0] - k(xm[None], Z)[0]) / (2 * eps)
+            assert np.abs(g[:, d] - numeric).max() < 1e-5
+
+    def test_ard_lengthscales_independent(self):
+        k = Matern52(2)
+        k.set_params(np.array([np.log(0.1), np.log(10.0), 0.0]))
+        X = np.array([[0.0, 0.0]])
+        near_dim0 = np.array([[0.2, 0.0]])
+        near_dim1 = np.array([[0.0, 0.2]])
+        # the short-lengthscale dimension decays much faster
+        assert k(X, near_dim0)[0, 0] < k(X, near_dim1)[0, 0]
+
+
+class TestTransforms:
+    def test_yeojohnson_roundtrip(self, rng):
+        y = np.exp(rng.standard_normal(50) * 2)  # skewed
+        yj = YeoJohnson()
+        z = yj.fit_transform(y)
+        back = yj.inverse(z)
+        assert np.allclose(back, y, rtol=1e-6)
+
+    def test_yeojohnson_negative_values(self, rng):
+        y = rng.standard_normal(40) - 2.0
+        yj = YeoJohnson()
+        assert np.allclose(yj.inverse(yj.fit_transform(y)), y, rtol=1e-6)
+
+    def test_yeojohnson_reduces_skew(self, rng):
+        from scipy import stats
+
+        y = np.exp(rng.standard_normal(300) * 1.5)
+        z = YeoJohnson().fit_transform(y)
+        assert abs(stats.skew(z)) < abs(stats.skew(y))
+
+    def test_yeojohnson_degenerate(self):
+        yj = YeoJohnson()
+        z = yj.fit_transform(np.ones(5))
+        assert np.allclose(yj.inverse(z), 1.0)
+
+    def test_standardizer_roundtrip(self, rng):
+        y = rng.standard_normal(30) * 7 + 3
+        s = Standardizer()
+        z = s.fit_transform(y)
+        assert abs(z.mean()) < 1e-12 and abs(z.std() - 1) < 1e-9
+        assert np.allclose(s.inverse(z), y)
+
+
+class TestGP:
+    def test_interpolates_training_data(self, data):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        mu, sigma = gp.predict(X)
+        assert np.corrcoef(mu, gp._z)[0, 1] > 0.99
+        assert sigma.max() < 0.5
+
+    def test_uncertainty_grows_away_from_data(self, data, rng):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        _, s_near = gp.predict(X[:3])
+        far = np.full((1, 4), 3.0)  # outside the unit box entirely
+        _, s_far = gp.predict(far)
+        assert s_far[0] > s_near.max()
+
+    def test_nll_gradient_matches_numeric(self, data):
+        X, y = data
+        gp = GaussianProcess(4, seed=0)
+        gp._X = X
+        gp._z = gp._transform_y(y, refit=True)
+        theta = gp._pack()
+        _, g = gp._nll_and_grad(theta.copy())
+        eps = 1e-5
+        for i in range(len(theta)):
+            tp = theta.copy()
+            tp[i] += eps
+            fp, _ = gp._nll_and_grad(tp)
+            tp[i] -= 2 * eps
+            fm, _ = gp._nll_and_grad(tp)
+            numeric = (fp - fm) / (2 * eps)
+            assert abs(g[i] - numeric) < 1e-3 * max(1.0, abs(numeric)), f"theta[{i}]"
+
+    def test_predict_grad_matches_numeric(self, data, rng):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        x0 = rng.random(4)
+        mu, sigma, dmu, dsigma = gp.predict_grad(x0)
+        # eps can't be too small: the variance path loses ~1e-10 absolute
+        # precision through the cached inverse, which finite differences
+        # amplify by 1/(2 eps)
+        eps = 1e-4
+        for d in range(4):
+            xp, xm = x0.copy(), x0.copy()
+            xp[d] += eps
+            xm[d] -= eps
+            mp, sp = gp.predict(xp[None])
+            mm, sm = gp.predict(xm[None])
+            assert abs(dmu[d] - (mp[0] - mm[0]) / (2 * eps)) < 1e-3
+            assert abs(dsigma[d] - (sp[0] - sm[0]) / (2 * eps)) < 1e-3
+
+    def test_fantasize_matches_full_recondition(self, data, rng):
+        X, y = data
+        gp = GaussianProcess(4, seed=0, power_transform=False).fit(X, y)
+        x_new = rng.random(4)
+        z_new = 0.1
+        fant = gp.fantasize(x_new, z_new)
+        # brute-force: recondition on the extended transformed dataset
+        gp2 = GaussianProcess(4, seed=0, power_transform=False)
+        gp2.kernel.set_params(gp.kernel.get_params())
+        gp2.log_noise = gp.log_noise
+        gp2._X = np.vstack([gp._X, x_new[None, :]])
+        gp2._z = np.concatenate([gp._z, [z_new]])
+        gp2._factorise()
+        Xq = rng.random((5, 4))
+        m1, s1 = fant.predict(Xq)
+        m2, s2 = gp2.predict(Xq)
+        assert np.allclose(m1, m2, atol=1e-8)
+        assert np.allclose(s1, s2, atol=1e-6)
+
+    def test_fantasize_leaves_original_untouched(self, data, rng):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        n_before = gp.n
+        gp.fantasize(rng.random(4), 0.0)
+        assert gp.n == n_before
+
+    def test_hyperparameter_bounds_respected(self, data):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y, n_restarts=2)
+        ls = gp.kernel.lengthscales
+        assert (ls >= 5e-3 - 1e-9).all() and (ls <= 20.0 + 1e-9).all()
+        assert 1e-6 - 1e-12 <= gp.noise <= 1e-2 + 1e-12
+
+    def test_posterior_samples_statistics(self, data, rng):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        Xq = rng.random((3, 4))
+        draws = gp.posterior_samples(Xq, 4000, rng)
+        mu, sigma = gp.predict(Xq)
+        assert np.allclose(draws.mean(0), mu, atol=0.08)
+        assert np.allclose(draws.std(0), sigma, atol=0.08)
+
+    def test_untransform_mean_roundtrip(self, data):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        mu, _ = gp.predict(X)
+        back = gp.untransform_mean(mu)
+        assert np.corrcoef(back, y)[0, 1] > 0.98
+
+    def test_empty_gp_predicts_prior(self):
+        gp = GaussianProcess(3)
+        mu, sigma = gp.predict(np.zeros((2, 3)))
+        assert np.allclose(mu, 0.0) and np.allclose(sigma, 1.0)

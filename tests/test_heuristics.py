@@ -1,0 +1,183 @@
+"""Tests for the heuristic optimisers and genetic operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heuristics import (
+    CMAES,
+    ContinuousGA,
+    DiscreteES,
+    HillClimbing,
+    PSO,
+    RandomSearch,
+    RandomSequenceSearch,
+    SequenceGA,
+    SequenceHillClimbing,
+    SequenceSimulatedAnnealing,
+)
+from repro.heuristics.operators import (
+    polynomial_mutation,
+    sbx_crossover,
+    seq_point_mutation,
+    seq_two_point_crossover,
+    tournament_select,
+)
+
+
+def sphere(x):
+    return float(((x - 0.3) ** 2).sum())
+
+
+def run_continuous(opt, budget=300, batch=10):
+    for _ in range(budget // batch):
+        X = opt.ask(batch)
+        y = np.array([sphere(x) for x in X])
+        opt.tell(X, y)
+    return opt.best_y
+
+
+def seq_objective(seq):
+    """Minimised when the sequence matches a hidden target prefix."""
+    target = np.arange(len(seq)) % 7
+    return float((np.asarray(seq) != target).sum())
+
+
+def run_sequence(opt, budget=300, batch=10):
+    for _ in range(budget // batch):
+        X = opt.ask(batch)
+        y = np.array([seq_objective(x) for x in X])
+        opt.tell(X, y)
+    return opt.best_y
+
+
+class TestOperators:
+    @given(st.integers(0, 10**6))
+    @settings(deadline=None, max_examples=25)
+    def test_sbx_stays_in_unit_box(self, seed):
+        rng = np.random.default_rng(seed)
+        p1, p2 = rng.random(8), rng.random(8)
+        c1, c2 = sbx_crossover(p1, p2, rng)
+        for child in (c1, c2):
+            assert (child >= 0).all() and (child <= 1).all()
+
+    @given(st.integers(0, 10**6))
+    @settings(deadline=None, max_examples=25)
+    def test_polynomial_mutation_in_box(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random(10)
+        y = polynomial_mutation(x, rng)
+        assert (y >= 0).all() and (y <= 1).all()
+
+    @given(st.integers(0, 10**6))
+    @settings(deadline=None, max_examples=25)
+    def test_seq_mutation_changes_at_least_one_gene(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 40, size=12)
+        y = seq_point_mutation(x, 40, rng)
+        assert len(y) == len(x)
+        assert ((y >= 0) & (y < 40)).all()
+
+    def test_two_point_crossover_preserves_multiset_union(self):
+        rng = np.random.default_rng(0)
+        p1 = np.arange(10)
+        p2 = np.arange(10, 20)
+        c1, c2 = seq_two_point_crossover(p1, p2, rng)
+        assert sorted(np.concatenate([c1, c2])) == sorted(np.concatenate([p1, p2]))
+
+    def test_tournament_prefers_fitter(self):
+        rng = np.random.default_rng(0)
+        fitness = np.array([10.0, 0.1, 5.0, 8.0])
+        idx = tournament_select(fitness, 500, rng)
+        counts = np.bincount(idx, minlength=4)
+        assert counts[1] == counts.max()
+
+
+class TestContinuousOptimizers:
+    def test_cmaes_converges_on_sphere(self):
+        assert run_continuous(CMAES(8, seed=0)) < 0.05
+
+    def test_ga_converges_on_sphere(self):
+        assert run_continuous(ContinuousGA(8, seed=0)) < 0.1
+
+    def test_pso_improves(self):
+        assert run_continuous(PSO(8, seed=0)) < 0.2
+
+    def test_hill_climbing_improves(self):
+        assert run_continuous(HillClimbing(8, seed=0)) < 0.1
+
+    def test_random_search_tracks_best(self):
+        rs = RandomSearch(4, seed=0)
+        best = run_continuous(rs, budget=100)
+        assert best == rs.best_y and rs.best_x is not None
+
+    def test_cmaes_ask_within_box(self):
+        es = CMAES(5, seed=0)
+        X = es.ask(50)
+        assert (X >= 0).all() and (X <= 1).all()
+
+    def test_cmaes_adapts_distribution(self):
+        es = CMAES(4, seed=0, lam=8)
+        sigma0 = es.sigma
+        run_continuous(es, budget=160, batch=8)
+        assert es.generation > 0
+        assert es.sigma != sigma0
+
+    def test_ga_population_capped(self):
+        ga = ContinuousGA(4, pop_size=10, seed=0)
+        run_continuous(ga, budget=100)
+        assert len(ga.pop_x) == 10
+
+    def test_ga_diversity_metric(self):
+        ga = ContinuousGA(4, seed=0)
+        assert ga.population_diversity() == 0.0
+        run_continuous(ga, budget=60)
+        assert ga.population_diversity() > 0.0
+
+
+class TestSequenceOptimizers:
+    def test_sequence_ga_beats_random(self):
+        ga = run_sequence(SequenceGA(12, 10, seed=0))
+        rnd = run_sequence(RandomSequenceSearch(12, 10, seed=0))
+        assert ga <= rnd
+
+    def test_des_improves_parent(self):
+        des = DiscreteES(12, 10, seed=0)
+        best = run_sequence(des)
+        assert best < 12
+        assert des.parent is not None
+        assert seq_objective(des.parent) == des.best_y
+
+    def test_des_seed_parent(self):
+        des = DiscreteES(6, 5, seed=0)
+        seed = np.zeros(6, dtype=int)
+        des.seed_parent(seed)
+        X = des.ask(10)
+        # mutants stay close to the seeded parent
+        assert (X != seed).sum(axis=1).max() <= 4
+
+    def test_hill_climbing_sequences(self):
+        assert run_sequence(SequenceHillClimbing(12, 10, seed=0)) < 12
+
+    def test_simulated_annealing_runs(self):
+        sa = SequenceSimulatedAnnealing(12, 10, seed=0)
+        best = run_sequence(sa)
+        assert best < 12
+        assert sa.temperature < sa.t0
+
+    def test_ask_shapes_and_ranges(self):
+        for opt in (
+            SequenceGA(8, 5, seed=0),
+            DiscreteES(8, 5, seed=0),
+            RandomSequenceSearch(8, 5, seed=0),
+            SequenceHillClimbing(8, 5, seed=0),
+        ):
+            X = opt.ask(7)
+            assert X.shape == (7, 8)
+            assert ((X >= 0) & (X < 5)).all()
+
+    def test_sequence_ga_diversity(self):
+        ga = SequenceGA(8, 5, seed=0)
+        run_sequence(ga, budget=60)
+        assert ga.population_diversity() >= 0.0

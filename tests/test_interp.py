@@ -1,0 +1,278 @@
+"""Interpreter semantics tests: the ground truth everything else rests on."""
+
+import pytest
+
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.ir import (
+    Const,
+    F64,
+    GlobalVar,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    Instr,
+    Module,
+    PTR,
+    vec,
+)
+from repro.machine.interp import FuelExhausted, InterpError, Interpreter, run_program, _wrap
+
+
+def _run_expr(build, ret_ty=I32):
+    mod = Module("m")
+    b = FunctionBuilder(mod, "main", [], ret_ty)
+    res = build(b)
+    b.ret(res)
+    return run_program([mod]).ret
+
+
+class TestWrap:
+    @pytest.mark.parametrize(
+        "value,bits,expected",
+        [
+            (0, 32, 0),
+            (2**31 - 1, 32, 2**31 - 1),
+            (2**31, 32, -(2**31)),
+            (-1, 8, -1),
+            (255, 8, -1),
+            (256, 8, 0),
+            (32768, 16, -32768),
+        ],
+    )
+    def test_wrap(self, value, bits, expected):
+        assert _wrap(value, bits) == expected
+
+
+class TestArithmetic:
+    def test_add_wraps_i32(self):
+        assert _run_expr(lambda b: b.add(c(2**31 - 1, I32), c(1, I32))) == -(2**31)
+
+    def test_mul_i16_wraps(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I16)
+        r = b.mul(c(300, I16), c(300, I16), I16)
+        b.ret(r)
+        assert run_program([mod]).ret == _wrap(300 * 300, 16)
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert _run_expr(lambda b: b.sdiv(c(-7, I32), c(2, I32))) == -3
+
+    def test_srem_sign_follows_dividend(self):
+        assert _run_expr(lambda b: b.srem(c(-7, I32), c(2, I32))) == -1
+        assert _run_expr(lambda b: b.srem(c(7, I32), c(-2, I32))) == 1
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(InterpError):
+            _run_expr(lambda b: b.sdiv(c(1, I32), c(0, I32)))
+
+    def test_shifts(self):
+        assert _run_expr(lambda b: b.shl(c(1, I32), c(4, I32))) == 16
+        assert _run_expr(lambda b: b.ashr(c(-8, I32), c(1, I32))) == -4
+        assert _run_expr(lambda b: b.binop("lshr", c(-1, I32), c(28, I32), I32)) == 15
+
+    def test_bitwise(self):
+        assert _run_expr(lambda b: b.and_(c(0b1100, I32), c(0b1010, I32))) == 0b1000
+        assert _run_expr(lambda b: b.or_(c(0b1100, I32), c(0b1010, I32))) == 0b1110
+        assert _run_expr(lambda b: b.xor(c(0b1100, I32), c(0b1010, I32))) == 0b0110
+
+    def test_float_ops(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], F64)
+        r = b.fdiv(b.fmul(c(3.0, F64), c(4.0, F64), F64), c(2.0, F64), F64)
+        b.ret(r)
+        assert run_program([mod]).ret == pytest.approx(6.0)
+
+
+class TestCasts:
+    def test_sext_preserves_sign(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I64)
+        x = b.add(c(-5, I16), c(0, I16), I16)
+        b.ret(b.sext(x, I64))
+        assert run_program([mod]).ret == -5
+
+    def test_zext_reinterprets_unsigned(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        x = b.add(c(-1, I8), c(0, I8), I8)
+        b.ret(b.zext(x, I32))
+        assert run_program([mod]).ret == 255
+
+    def test_trunc_wraps(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I8)
+        b.ret(b.trunc(c(511, I32), I8))
+        assert run_program([mod]).ret == _wrap(511, 8)
+
+    def test_sitofp_fptosi_roundtrip(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        f = b.sitofp(c(-42, I32), F64)
+        b.ret(b.fptosi(f, I32))
+        assert run_program([mod]).ret == -42
+
+
+class TestMemoryControl:
+    def test_alloca_store_load(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.store(c(99, I32), p)
+        b.ret(b.load(I32, p))
+        assert run_program([mod]).ret == 99
+
+    def test_uninitialised_memory_reads_zero(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.ret(b.load(I32, p))
+        assert run_program([mod]).ret == 0
+
+    def test_gep_scales_by_elem_size(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I16)
+        arr = b.alloca(I16, count=4)
+        b.store(c(7, I16), b.gep(arr, c(2, I64), I16))
+        b.ret(b.load(I16, b.gep(arr, c(2, I64), I16)))
+        assert run_program([mod]).ret == 7
+
+    def test_globals_initialised_and_scoped(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [10, 20, 30]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        g = b.gaddr("g")
+        b.ret(b.load(I32, b.gep(g, c(1, I64), I32)))
+        assert run_program([mod]).ret == 20
+
+    def test_unknown_global_traps(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        g = b.gaddr("missing")
+        b.ret(b.load(I32, g))
+        with pytest.raises(InterpError):
+            run_program([mod])
+
+    def test_branch_and_phi(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        b.br(c(1, I1), "t", "f")
+        b.block("t")
+        b.jmp("merge")
+        b.block("f")
+        b.jmp("merge")
+        b.block("merge")
+        p = b.phi(I32, [("t", c(10, I32)), ("f", c(20, I32))])
+        b.ret(p)
+        assert run_program([mod]).ret == 10
+
+    def test_loop_sums(self, sum_loop_module):
+        r = run_program([sum_loop_module])
+        assert r.ret == sum(range(1, 17))
+        assert r.outputs == [sum(range(1, 17))]
+
+    def test_block_counts_recorded(self, sum_loop_module):
+        r = run_program([sum_loop_module])
+        body_counts = [
+            n for (m, f, blk), n in r.block_counts.items() if "body" in blk
+        ]
+        assert body_counts == [16]
+
+    def test_fuel_exhaustion(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        b.jmp("spin")
+        b.block("spin")
+        b.add(c(0, I32), c(0, I32))  # non-empty block
+        b.jmp("spin")
+        with pytest.raises(FuelExhausted):
+            run_program([mod], fuel=1000)
+
+    def test_select(self):
+        assert _run_expr(lambda b: b.select(c(0, I1), c(1, I32), c(2, I32), I32)) == 2
+
+    def test_output_stream_ordering(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        b.output(c(1, I32))
+        b.output(c(2, I32))
+        b.ret(c(0, I32))
+        assert run_program([mod]).outputs == [1, 2]
+
+
+class TestCalls:
+    def test_cross_module_call(self):
+        lib = Module("lib")
+        lb = FunctionBuilder(lib, "double", [("x", I32)], I32)
+        lb.ret(lb.add("x", "x", I32))
+        mod = Module("main_mod")
+        b = FunctionBuilder(mod, "main", [], I32)
+        b.ret(b.call("double", [c(21, I32)], I32))
+        assert run_program([mod, lib]).ret == 42
+
+    def test_recursion_depth_guard(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "inf", [], I32)
+        b.ret(b.call("inf", [], I32))
+        b2 = FunctionBuilder(mod, "main", [], I32)
+        b2.ret(b2.call("inf", [], I32))
+        with pytest.raises(InterpError):
+            run_program([mod])
+
+    def test_arity_mismatch_traps(self):
+        mod = Module("m")
+        cal = FunctionBuilder(mod, "f", [("a", I32)], I32)
+        cal.ret("a")
+        b = FunctionBuilder(mod, "main", [], I32)
+        b.emit(Instr("call", "%r", I32, (), callee="f"))
+        b.ret("%r")
+        with pytest.raises(InterpError):
+            run_program([mod])
+
+
+class TestVectorOps:
+    def test_vload_vector_add_vstore(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("a", I32, [1, 2, 3, 4]))
+        mod.add_global(GlobalVar("bv", I32, [10, 20, 30, 40]))
+        mod.add_global(GlobalVar("out", I32, [0, 0, 0, 0]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v4 = vec(I32, 4)
+        va = b._emit("vload", v4, (b.gaddr("a"),), elem_ty=I32)
+        vb = b._emit("vload", v4, (b.gaddr("bv"),), elem_ty=I32)
+        vs = b.binop("add", va, vb, v4)
+        b.emit(Instr("vstore", None, args=(vs, b.gaddr("out")), elem_ty=I32))
+        b.ret(b.load(I32, b.gep(b.gaddr("out"), c(3, I64), I32)))
+        assert run_program([mod]).ret == 44
+
+    def test_reduce_and_broadcast(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        v4 = vec(I32, 4)
+        bc = b._emit("broadcast", v4, (c(5, I32),))
+        red = b._emit("reduce", I32, (bc,), rop="add")
+        b.ret(red)
+        assert run_program([mod]).ret == 20
+
+    def test_extract_insert(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        v4 = vec(I32, 4)
+        bc = b._emit("broadcast", v4, (c(1, I32),))
+        ins = b._emit("insert", v4, (bc, c(9, I32), c(2, I64)))
+        ext = b._emit("extract", I32, (ins, c(2, I64)))
+        b.ret(ext)
+        assert run_program([mod]).ret == 9
+
+    def test_memset_memcpy(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("src", I32, [7, 8, 9]))
+        mod.add_global(GlobalVar("dst", I32, [0, 0, 0]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        src, dst = b.gaddr("src"), b.gaddr("dst")
+        b.emit(Instr("memcpy", None, args=(dst, src, c(3, I64)), elem_ty=I32))
+        b.emit(Instr("memset", None, args=(src, c(0, I32), c(3, I64)), elem_ty=I32))
+        total = b.add(b.load(I32, b.gep(dst, c(2, I64), I32)), b.load(I32, src), I32)
+        b.ret(total)
+        assert run_program([mod]).ret == 9

@@ -1,0 +1,114 @@
+"""Tests for platforms, cost model and profiler."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.opt_tool import run_opt
+from repro.compiler.pipelines import pipeline
+from repro.machine.cost_model import estimate_cycles, instr_cycles, static_code_size
+from repro.machine.interp import run_program
+from repro.machine.platforms import PLATFORMS, get_platform
+from repro.machine.profiler import Profiler
+from repro.compiler.ir import Const, I32, I64, Instr, vec
+from repro.workloads import cbench_program, spec_program
+
+from tests.conftest import build_sum_loop_module
+
+
+class TestPlatforms:
+    def test_both_platforms_exist(self):
+        assert set(PLATFORMS) == {"arm-a57", "amd-x86"}
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(KeyError):
+            get_platform("riscv")
+
+    def test_vector_widths_differ(self):
+        assert get_platform("arm-a57").vector_bits == 128
+        assert get_platform("amd-x86").vector_bits == 256
+
+    def test_target_info_derived(self):
+        ti = get_platform("arm-a57").target_info()
+        assert ti.vector_bits == 128
+        assert ti.min_vector_lanes == 4
+
+
+class TestCostModel:
+    def test_div_costs_more_than_add(self):
+        p = get_platform("arm-a57")
+        add = Instr("add", "%x", I32, (Const(1, I32), Const(2, I32)))
+        div = Instr("sdiv", "%y", I32, (Const(1, I32), Const(2, I32)))
+        assert instr_cycles(div, p) > 5 * instr_cycles(add, p)
+
+    def test_vector_splits_charged(self):
+        p = get_platform("arm-a57")  # 128-bit registers
+        v4 = Instr("add", "%v", vec(I32, 4), ("%a", "%b"))
+        v16 = Instr("add", "%w", vec(I32, 16), ("%a", "%b"))
+        assert instr_cycles(v16, p) == pytest.approx(4 * instr_cycles(v4, p))
+
+    def test_memset_scales_with_count(self):
+        p = get_platform("arm-a57")
+        small = Instr("memset", None, args=("%p", Const(0, I32), Const(4, I64)), elem_ty=I32)
+        big = Instr("memset", None, args=("%p", Const(0, I32), Const(64, I64)), elem_ty=I32)
+        assert instr_cycles(big, p) > instr_cycles(small, p)
+
+    def test_estimate_positive_and_o3_faster(self, sum_loop_module):
+        p = get_platform("arm-a57")
+        r0 = run_program([sum_loop_module])
+        c0 = estimate_cycles([sum_loop_module], r0.block_counts, p)
+        opt = run_opt(sum_loop_module, pipeline("-O3")).module
+        r3 = run_program([opt])
+        c3 = estimate_cycles([opt], r3.block_counts, p)
+        assert 0 < c3 < c0
+
+    def test_icache_penalty_kicks_in(self, sum_loop_module):
+        p = get_platform("arm-a57")
+        r = run_program([sum_loop_module])
+        base = estimate_cycles([sum_loop_module], r.block_counts, p)
+        # duplicate the module's static size far past the I$ capacity
+        bloated = sum_loop_module.clone()
+        src_fn = bloated.functions["main"]
+        for k in range(300):
+            clone = src_fn.clone()
+            clone.name = f"pad{k}"
+            bloated.functions[clone.name] = clone
+        assert static_code_size([bloated]) > p.icache_capacity
+        inflated = estimate_cycles([bloated], r.block_counts, p)
+        assert inflated > base
+
+
+class TestProfiler:
+    def test_measurement_noise_bounded_and_seeded(self, sum_loop_module):
+        p1 = Profiler(get_platform("arm-a57"), seed=7)
+        p2 = Profiler(get_platform("arm-a57"), seed=7)
+        m1 = p1.measure([sum_loop_module])
+        m2 = p2.measure([sum_loop_module])
+        assert m1.seconds == pytest.approx(m2.seconds)
+        assert m1.seconds == pytest.approx(m1.cycles / (2.0 * 1e9), rel=0.2)
+
+    def test_execute_noise_free(self, sum_loop_module):
+        p = Profiler(get_platform("arm-a57"), seed=0)
+        r1 = p.execute([sum_loop_module])
+        r2 = p.execute([sum_loop_module])
+        assert r1.output_signature() == r2.output_signature()
+
+    def test_function_profile_finds_hot_module(self):
+        prog = cbench_program("telecom_gsm")
+        p = Profiler(get_platform("arm-a57"), seed=0)
+        prof = p.function_profile(prog.modules)
+        hot = prof.hot_modules(0.9)
+        assert "long_term" in hot
+        assert prof.total_seconds > 0
+
+    def test_hot_modules_coverage_monotone(self):
+        prog = spec_program("525.x264_r")
+        p = Profiler(get_platform("arm-a57"), seed=0)
+        prof = p.function_profile(prog.modules)
+        assert len(prof.hot_modules(0.5)) <= len(prof.hot_modules(0.99))
+
+    def test_platforms_rank_programs_differently(self):
+        # the same binary gets different cycle counts per platform
+        prog = cbench_program("telecom_adpcm_c")
+        arm = Profiler(get_platform("arm-a57"), seed=0).measure(prog.modules)
+        x86 = Profiler(get_platform("amd-x86"), seed=0).measure(prog.modules)
+        assert arm.cycles != x86.cycles

@@ -1,0 +1,238 @@
+"""Integration tests for *pass interactions* — the enabling/disabling
+chains that make phase ordering a real search problem (§5.2).
+
+Each test demonstrates that pass B only achieves its effect after pass A
+(or is defeated by pass C in between), verified both by statistics and by
+measured cycles where relevant.
+"""
+
+import pytest
+
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.ir import Const, GlobalVar, I16, I32, I64, Module, PTR
+from repro.compiler.opt_tool import run_opt
+from repro.machine.interp import run_program
+from repro.machine.cost_model import estimate_cycles
+from repro.machine.platforms import get_platform
+
+from tests.conftest import build_dot_kernel, build_sum_loop_module
+
+
+def _check(mod, seq, target=None):
+    ref = run_program([mod]).output_signature()
+    cr = run_opt(mod, seq, verify_each=True, target=target)
+    assert run_program([cr.module]).output_signature() == ref
+    return cr
+
+
+def _cycles(mod):
+    plat = get_platform("arm-a57")
+    r = run_program([mod])
+    return estimate_cycles([mod], r.block_counts, plat)
+
+
+class TestEnablingChains:
+    def test_unroll_enables_slp(self):
+        """A rolled summation loop has no SLP chains; after full unrolling,
+        CFG merging and instcombine folding the per-iteration index
+        arithmetic to constants, the accumulation chain appears in one
+        block with consecutive constant-indexed loads and SLP packs it —
+        a four-pass enabling chain."""
+        mod = build_sum_loop_module(n=16)
+        without = _check(mod, ["mem2reg", "slp-vectorizer"])
+        assert without.stats.get("slp-vectorizer", "NumVectorInstructions") == 0
+        partial = _check(mod, ["mem2reg", "loop-unroll", "simplifycfg", "slp-vectorizer"])
+        assert partial.stats.get("slp-vectorizer", "NumVectorInstructions") == 0
+        full = _check(
+            mod,
+            ["mem2reg", "loop-unroll", "simplifycfg", "instcombine", "slp-vectorizer"],
+        )
+        assert full.stats.get("slp-vectorizer", "NumVectorInstructions") > 0
+
+    def test_mem2reg_enables_loop_unroll(self, sum_loop_module):
+        no_m2r = _check(sum_loop_module, ["loop-unroll"])
+        assert no_m2r.stats.get("loop-unroll", "NumFullyUnrolled") == 0
+        with_m2r = _check(sum_loop_module, ["mem2reg", "loop-unroll"])
+        assert with_m2r.stats.get("loop-unroll", "NumFullyUnrolled") == 1
+
+    def test_mem2reg_enables_loop_vectorize(self, sum_loop_module):
+        assert _check(sum_loop_module, ["loop-vectorize"]).stats.get(
+            "loop-vectorize", "LoopsVectorized") == 0
+        assert _check(sum_loop_module, ["mem2reg", "loop-vectorize"]).stats.get(
+            "loop-vectorize", "LoopsVectorized") == 1
+
+    def test_function_attrs_enables_licm_of_calls(self):
+        """A pure call inside a loop is only hoistable once function-attrs
+        marks the callee readnone."""
+        mod = Module("m")
+        h = FunctionBuilder(mod, "weight", [("x", I32)], I32)
+        h.fn.attrs.add("noinline")
+        h.ret(h.mul("x", c(17, I32), I32))
+        mod.add_global(GlobalVar("data", I32, list(range(8))))
+        b = FunctionBuilder(mod, "main", [], I32)
+        arr = b.gaddr("data")
+        acc = b.alloca(I32)
+        b.store(c(0, I32), acc)
+        seed = b.load(I32, arr)
+
+        def body(bb, i):
+            w = bb.call("weight", [seed], I32)  # loop-invariant pure call
+            v = bb.load(I32, bb.gep(arr, i, I32))
+            cur = bb.load(I32, acc)
+            bb.store(bb.add(cur, bb.add(w, v, I32), I32), acc)
+
+        b.counted_loop(c(0, I32), c(8, I32), body)
+        out = b.load(I32, acc)
+        b.output(out)
+        b.ret(out)
+
+        no_attrs = _check(mod, ["mem2reg", "licm"])
+        r1 = run_program([no_attrs.module])
+        calls_no = sum(
+            n for (m, f, blk), n in r1.block_counts.items() if f == "weight"
+        )
+        with_attrs = _check(mod, ["mem2reg", "function-attrs", "licm"])
+        r2 = run_program([with_attrs.module])
+        calls_with = sum(
+            n for (m, f, blk), n in r2.block_counts.items() if f == "weight"
+        )
+        assert calls_no == 8 and calls_with == 1
+
+    def test_inline_enables_intraprocedural_folding(self):
+        """Inlining a tiny helper exposes its body to constant folding."""
+        mod = Module("m")
+        h = FunctionBuilder(mod, "addk", [("x", I32)], I32)
+        h.ret(h.add("x", c(5, I32), I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        out = b.call("addk", [c(10, I32)], I32)
+        b.output(out)
+        b.ret(out)
+        no_inline = _check(mod, ["sccp", "instcombine", "dce"])
+        assert any(i.op == "call" for i in no_inline.module.functions["main"].instructions())
+        with_inline = _check(mod, ["inline", "sccp", "instcombine", "dce", "globaldce"])
+        main_fn = with_inline.module.functions["main"]
+        assert all(i.op in ("output", "ret", "jmp") for i in main_fn.instructions())
+
+    def test_rotate_then_licm_reduces_cycles(self):
+        """Rotation + LICM beats LICM alone on a guarded loop with an
+        invariant expression (fewer blocks per iteration)."""
+        mod = Module("m")
+        mod.add_global(GlobalVar("data", I32, list(range(32))))
+        mod.add_global(GlobalVar("k", I32, [3]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        arr = b.gaddr("data")
+        kv = b.load(I32, b.gaddr("k"))
+        acc = b.alloca(I32)
+        b.store(c(0, I32), acc)
+
+        def body(bb, i):
+            heavy = bb.mul(kv, c(1000, I32), I32)
+            v = bb.load(I32, bb.gep(arr, i, I32))
+            cur = bb.load(I32, acc)
+            bb.store(bb.add(cur, bb.add(heavy, v, I32), I32), acc)
+
+        b.counted_loop(c(0, I32), c(32, I32), body)
+        out = b.load(I32, acc)
+        b.output(out)
+        b.ret(out)
+        plain = _check(mod, ["mem2reg", "licm"])
+        rotated = _check(mod, ["mem2reg", "loop-rotate", "licm", "simplifycfg"])
+        assert _cycles(rotated.module) < _cycles(plain.module)
+
+    def test_sroa_enables_slp_like_mem2reg(self):
+        """On the real telecom_gsm kernel (global arrays, so the data stays
+        in memory) sroa promotes the accumulator chain just like mem2reg and
+        unlocks SLP."""
+        from repro.workloads import cbench_program
+
+        mod = cbench_program("telecom_gsm").get_module("long_term")
+        cr = run_opt(mod, ["sroa", "slp-vectorizer"], verify_each=True)
+        assert cr.stats.get("slp-vectorizer", "NumVectorInstructions") > 0
+
+    def test_sroa_scalarisation_defeats_our_slp_on_local_arrays(self):
+        """Conversely, when sroa fully scalarises constant local arrays the
+        loads disappear and the (load-based) SLP matcher finds nothing —
+        order and program shape interact."""
+        mod = build_dot_kernel()
+        cr = _check(mod, ["sroa", "slp-vectorizer"])
+        assert cr.stats.get("sroa", "NumReplaced") == 2
+        assert cr.stats.get("slp-vectorizer", "NumVectorInstructions") == 0
+
+
+class TestDisablingInteractions:
+    def test_widening_is_the_culprit_not_instcombine_itself(self):
+        """Disabling only the widening rule makes instcombine SLP-safe —
+        pinpointing the exact interaction of Fig 5.1."""
+        from repro.compiler.passes.instcombine import InstCombine
+
+        mod = build_dot_kernel()
+        old = InstCombine.widen_arith
+        try:
+            InstCombine.widen_arith = False
+            cr = _check(mod, ["mem2reg", "instcombine", "slp-vectorizer"])
+            assert cr.stats.get("slp-vectorizer", "NumVectorInstructions") > 0
+        finally:
+            InstCombine.widen_arith = old
+
+    def test_aggressive_dce_before_mem2reg_is_harmless(self, sum_loop_module):
+        cr = _check(sum_loop_module, ["adce", "dce", "mem2reg", "loop-unroll"])
+        assert cr.stats.get("loop-unroll", "NumFullyUnrolled") == 1
+
+    def test_unswitch_blows_code_size(self):
+        """Loop unswitching duplicates the loop: a size/speed trade-off the
+        cost model's I-cache term can punish."""
+        mod = Module("m")
+        mod.add_global(GlobalVar("flag", I32, [1]))
+        mod.add_global(GlobalVar("g", I32, list(range(8))))
+        b = FunctionBuilder(mod, "main", [], I32)
+        fl = b.load(I32, b.gaddr("flag"))
+        inv = b.icmp("eq", fl, c(1, I32))
+        g = b.gaddr("g")
+        acc = b.alloca(I32)
+        b.store(c(0, I32), acc)
+
+        def body(bb, i):
+            slot = bb.alloca(I32)
+            bb.if_then(inv, lambda bt: bt.store(bt.load(I32, bt.gep(g, i, I32)), slot),
+                       lambda bt: bt.store(c(0, I32), slot), tag="sw")
+            cur = bb.load(I32, acc)
+            bb.store(bb.add(cur, bb.load(I32, slot), I32), acc)
+
+        b.counted_loop(c(0, I32), c(8, I32), body)
+        out = b.load(I32, acc)
+        b.output(out)
+        b.ret(out)
+        before = _check(mod, ["mem2reg"])
+        after = _check(mod, ["mem2reg", "loop-unswitch"])
+        assert after.module.num_instrs() > before.module.num_instrs()
+
+
+class TestStatisticsExposure:
+    def test_statistics_differ_where_ir_features_do_not(self):
+        """function-attrs changes statistics but not Autophase features —
+        the §3.4 blind spot in one assertion."""
+        from repro.features.autophase import autophase_features
+
+        mod = Module("m")
+        h = FunctionBuilder(mod, "pure", [("x", I32)], I32)
+        h.ret(h.mul("x", "x", I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        out = b.call("pure", [c(3, I32)], I32)
+        b.output(out)
+        b.ret(out)
+
+        plain = run_opt(mod, [])
+        attred = run_opt(mod, ["function-attrs"])
+        assert autophase_features(plain.module) == autophase_features(attred.module)
+        assert plain.stats_json() != attred.stats_json()
+
+    def test_same_binary_same_statistics_signature(self):
+        """Sequences producing identical binaries produce identical
+        statistics signatures — the dedup invariant (§3.1.1)."""
+        from repro.features.stats_features import StatsVectorizer
+
+        mod = build_dot_kernel()
+        v = StatsVectorizer()
+        a = run_opt(mod, ["mem2reg", "dce"])
+        bb = run_opt(mod, ["mem2reg", "dce", "dce"])  # second dce is a no-op
+        assert v.signature(a.stats_json()) == v.signature(bb.stats_json())

@@ -1,0 +1,334 @@
+"""Interprocedural pass tests."""
+
+import pytest
+
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.ir import Const, GlobalVar, I32, I64, Module, PTR, VOID
+from repro.compiler.opt_tool import run_opt
+from repro.machine.interp import run_program
+
+
+def _opcount(mod, op):
+    return sum(1 for f in mod.functions.values() for i in f.instructions() if i.op == op)
+
+
+def _check(mod, seq):
+    ref = run_program([mod]).output_signature()
+    cr = run_opt(mod, seq, verify_each=True)
+    out = run_program([cr.module]).output_signature()
+    assert out == ref, f"{seq} changed semantics: {out} vs {ref}"
+    return cr
+
+
+def _mod_with_helper(helper_rets=None, big=False):
+    mod = Module("m")
+    h = FunctionBuilder(mod, "helper", [("x", I32)], I32)
+    if big:
+        cur = "x"
+        for _ in range(60):
+            cur = h.add(cur, c(1, I32), I32)
+        h.ret(cur)
+    else:
+        h.ret(h.add("x", c(10, I32), I32))
+    b = FunctionBuilder(mod, "main", [], I32)
+    r = b.call("helper", [c(5, I32)], I32)
+    b.output(r)
+    b.ret(r)
+    return mod
+
+
+class TestInline:
+    def test_small_callee_inlined(self):
+        cr = _check(_mod_with_helper(), ["inline"])
+        assert cr.stats.get("inline", "NumInlined") == 1
+        assert _opcount(cr.module, "call") == 0
+        assert run_program([cr.module]).ret == 15
+
+    def test_large_callee_not_inlined(self):
+        cr = _check(_mod_with_helper(big=True), ["inline"])
+        assert cr.stats.get("inline", "NumInlined") == 0
+
+    def test_alwaysinline_overrides_threshold(self):
+        mod = _mod_with_helper(big=True)
+        mod.functions["helper"].attrs.add("alwaysinline")
+        cr = _check(mod, ["inline"])
+        assert cr.stats.get("inline", "NumInlined") == 1
+
+    def test_noinline_respected(self):
+        mod = _mod_with_helper()
+        mod.functions["helper"].attrs.add("noinline")
+        cr = _check(mod, ["inline"])
+        assert cr.stats.get("inline", "NumInlined") == 0
+
+    def test_multi_return_callee(self):
+        mod = Module("m")
+        h = FunctionBuilder(mod, "absv", [("x", I32)], I32)
+        cond = h.icmp("slt", "x", c(0, I32))
+        h.br(cond, "neg", "pos")
+        h.block("neg")
+        h.ret(h.sub(c(0, I32), "x", I32))
+        h.block("pos")
+        h.ret("x")
+        b = FunctionBuilder(mod, "main", [], I32)
+        r1 = b.call("absv", [c(-4, I32)], I32)
+        r2 = b.call("absv", [c(6, I32)], I32)
+        out = b.add(r1, r2, I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["inline"])
+        assert cr.stats.get("inline", "NumInlined") == 2
+        assert run_program([cr.module]).ret == 10
+
+    def test_recursive_not_inlined(self):
+        mod = Module("m")
+        h = FunctionBuilder(mod, "rec", [("x", I32)], I32)
+        done = h.icmp("sle", "x", c(0, I32))
+        h.br(done, "base", "step")
+        h.block("base")
+        h.ret(c(0, I32))
+        h.block("step")
+        r = h.call("rec", [h.sub("x", c(1, I32), I32)], I32)
+        h.ret(h.add(r, c(1, I32), I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        out = b.call("rec", [c(5, I32)], I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["inline"])
+        assert cr.stats.get("inline", "NumInlined") == 0
+
+
+class TestFunctionAttrs:
+    def test_pure_marked_readnone(self):
+        cr = _check(_mod_with_helper(), ["function-attrs"])
+        assert "readnone" in cr.module.functions["helper"].attrs
+        assert cr.stats.get("function-attrs", "NumReadNone") >= 1
+
+    def test_writer_not_readnone(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [0]))
+        w = FunctionBuilder(mod, "w", [], VOID)
+        w.store(c(1, I32), w.gaddr("g"))
+        w.ret()
+        b = FunctionBuilder(mod, "main", [], I32)
+        b.call("w", [])
+        out = b.load(I32, b.gaddr("g"))
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["function-attrs"])
+        assert "readnone" not in cr.module.functions["w"].attrs
+        assert "readonly" not in cr.module.functions["w"].attrs
+
+    def test_reader_marked_readonly(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [3]))
+        r = FunctionBuilder(mod, "r", [], I32)
+        r.ret(r.load(I32, r.gaddr("g")))
+        b = FunctionBuilder(mod, "main", [], I32)
+        out = b.call("r", [], I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["function-attrs"])
+        assert "readonly" in cr.module.functions["r"].attrs
+
+    def test_enables_gvn_of_calls(self):
+        mod = Module("m")
+        h = FunctionBuilder(mod, "f", [("x", I32)], I32)
+        h.fn.attrs.add("noinline")
+        h.ret(h.mul("x", "x", I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        r1 = b.call("f", [c(3, I32)], I32)
+        r2 = b.call("f", [c(3, I32)], I32)
+        out = b.add(r1, r2, I32)
+        b.output(out)
+        b.ret(out)
+        # without function-attrs GVN cannot touch the calls
+        cr1 = _check(mod, ["gvn"])
+        assert _opcount(cr1.module, "call") == 2
+        cr2 = _check(mod, ["function-attrs", "gvn"])
+        assert _opcount(cr2.module, "call") == 1
+
+
+class TestIPSCCP:
+    def test_uniform_const_arg_propagated(self):
+        mod = Module("m")
+        h = FunctionBuilder(mod, "scale", [("x", I32), ("k", I32)], I32)
+        h.fn.attrs.add("internal")
+        h.fn.attrs.add("noinline")
+        h.ret(h.mul("x", "k", I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        r1 = b.call("scale", [c(2, I32), c(7, I32)], I32)
+        r2 = b.call("scale", [c(3, I32), c(7, I32)], I32)
+        out = b.add(r1, r2, I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["ipsccp"])
+        assert cr.stats.get("ipsccp", "IPNumArgsElimed") == 1
+
+    def test_varying_arg_untouched(self):
+        mod = Module("m")
+        h = FunctionBuilder(mod, "scale", [("x", I32)], I32)
+        h.fn.attrs.add("internal")
+        h.ret(h.mul("x", c(2, I32), I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        r1 = b.call("scale", [c(2, I32)], I32)
+        r2 = b.call("scale", [c(3, I32)], I32)
+        out = b.add(r1, r2, I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["ipsccp"])
+        assert cr.stats.get("ipsccp", "IPNumArgsElimed") == 0
+
+
+class TestDeadArgElim:
+    def test_unused_arg_removed_everywhere(self):
+        mod = Module("m")
+        h = FunctionBuilder(mod, "f", [("used", I32), ("dead", I32)], I32)
+        h.fn.attrs.add("internal")
+        h.ret(h.add("used", c(1, I32), I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        r = b.call("f", [c(4, I32), c(999, I32)], I32)
+        b.output(r)
+        b.ret(r)
+        cr = _check(mod, ["deadargelim"])
+        assert cr.stats.get("deadargelim", "NumArgumentsEliminated") == 1
+        assert len(cr.module.functions["f"].params) == 1
+
+    def test_exported_function_untouched(self):
+        mod = Module("m")
+        h = FunctionBuilder(mod, "f", [("dead", I32)], I32)
+        h.ret(c(1, I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        r = b.call("f", [c(4, I32)], I32)
+        b.output(r)
+        b.ret(r)
+        cr = _check(mod, ["deadargelim"])
+        assert cr.stats.get("deadargelim", "NumArgumentsEliminated") == 0
+
+
+class TestArgPromotion:
+    def test_pointer_arg_promoted(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [11]))
+        h = FunctionBuilder(mod, "f", [("p", PTR)], I32)
+        h.fn.attrs.add("internal")
+        h.fn.attrs.add("noinline")
+        v = h.load(I32, "p")
+        h.ret(h.add(v, c(1, I32), I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        r = b.call("f", [b.gaddr("g")], I32)
+        b.output(r)
+        b.ret(r)
+        cr = _check(mod, ["argpromotion"])
+        assert cr.stats.get("argpromotion", "NumArgumentsPromoted") == 1
+        assert cr.module.functions["f"].params[0][1] == I32
+        assert run_program([cr.module]).ret == 12
+
+
+class TestGlobalPasses:
+    def test_globalopt_marks_readonly_global_const(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("tbl", I32, [1, 2, 3]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        out = b.load(I32, b.gep(b.gaddr("tbl"), c(1, I64), I32))
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["globalopt"])
+        assert cr.module.globals["tbl"].const
+        assert cr.stats.get("globalopt", "NumMarked") == 1
+
+    def test_globalopt_keeps_written_global_mutable(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("ctr", I32, [0]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        g = b.gaddr("ctr")
+        b.store(c(5, I32), g)
+        out = b.load(I32, g)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["globalopt"])
+        assert not cr.module.globals["ctr"].const
+
+    def test_globaldce_removes_unreachable_internal(self):
+        mod = Module("m")
+        dead = FunctionBuilder(mod, "never", [], I32)
+        dead.fn.attrs.add("internal")
+        dead.ret(c(1, I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        b.output(c(1, I32))
+        b.ret(c(1, I32))
+        cr = _check(mod, ["globaldce"])
+        assert "never" not in cr.module.functions
+        assert cr.stats.get("globaldce", "NumFunctions") == 1
+
+    def test_constmerge_merges_identical(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("a", I32, [1, 2], const=True))
+        mod.add_global(GlobalVar("bg", I32, [1, 2], const=True))
+        b = FunctionBuilder(mod, "main", [], I32)
+        x = b.load(I32, b.gaddr("a"))
+        y = b.load(I32, b.gaddr("bg"))
+        out = b.add(x, y, I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["constmerge"])
+        assert cr.stats.get("constmerge", "NumMerged") == 1
+        assert len(cr.module.globals) == 1
+
+    def test_mergefunc_dedups_identical_bodies(self):
+        mod = Module("m")
+        for name in ("f1", "f2"):
+            h = FunctionBuilder(mod, name, [("x", I32)], I32)
+            if name == "f2":
+                h.fn.attrs.add("internal")
+            h.ret(h.add("x", c(3, I32), I32))
+        b = FunctionBuilder(mod, "main", [], I32)
+        out = b.add(b.call("f1", [c(1, I32)], I32), b.call("f2", [c(2, I32)], I32), I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["mergefunc"])
+        assert cr.stats.get("mergefunc", "NumFunctionsMerged") == 1
+        assert "f2" not in cr.module.functions
+
+
+class TestTailCallElim:
+    def test_self_recursion_becomes_loop(self):
+        mod = Module("m")
+        h = FunctionBuilder(mod, "count", [("n", I32), ("acc", I32)], I32)
+        done = h.icmp("sle", "n", c(0, I32))
+        h.br(done, "base", "step")
+        h.block("base")
+        h.ret("acc")
+        h.block("step")
+        r = h.call(
+            "count", [h.sub("n", c(1, I32), I32), h.add("acc", c(2, I32), I32)], I32
+        )
+        h.ret(r)
+        b = FunctionBuilder(mod, "main", [], I32)
+        out = b.call("count", [c(300, I32), c(0, I32)], I32)
+        b.output(out)
+        b.ret(out)
+        # depth 300 exceeds the interpreter's recursion guard: the program
+        # only runs at all after tail-call elimination
+        with pytest.raises(Exception):
+            run_program([mod])
+        cr = run_opt(mod, ["tailcallelim"], verify_each=True)
+        assert cr.stats.get("tailcallelim", "NumEliminated") == 1
+        assert run_program([cr.module]).ret == 600
+
+    def test_non_tail_call_untouched(self):
+        mod = Module("m")
+        h = FunctionBuilder(mod, "fact", [("n", I32)], I32)
+        done = h.icmp("sle", "n", c(1, I32))
+        h.br(done, "base", "step")
+        h.block("base")
+        h.ret(c(1, I32))
+        h.block("step")
+        r = h.call("fact", [h.sub("n", c(1, I32), I32)], I32)
+        h.ret(h.mul("n", r, I32))  # multiply AFTER the call: not a tail call
+        b = FunctionBuilder(mod, "main", [], I32)
+        out = b.call("fact", [c(6, I32)], I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["tailcallelim"])
+        assert cr.stats.get("tailcallelim", "NumEliminated") == 0
+        assert run_program([cr.module]).ret == 720

@@ -1,0 +1,511 @@
+"""Unit tests for scalar optimisation passes: mem2reg/sroa, instcombine
+family, DCE family, GVN family, CFG cleanups."""
+
+import pytest
+
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.ir import Const, GlobalVar, I1, I16, I32, I64, Instr, Module, PTR, VOID
+from repro.compiler.opt_tool import run_opt
+from repro.compiler.verify import verify_module
+from repro.machine.interp import run_program
+
+from tests.conftest import build_sum_loop_module
+
+
+def _opcount(mod, op):
+    return sum(1 for f in mod.functions.values() for i in f.instructions() if i.op == op)
+
+
+def _check(mod, seq):
+    """Run ``seq`` with per-pass verification and semantic equivalence."""
+    ref = run_program([mod]).output_signature()
+    cr = run_opt(mod, seq, verify_each=True)
+    out = run_program([cr.module]).output_signature()
+    assert out == ref, f"{seq} changed semantics: {out} vs {ref}"
+    return cr
+
+
+class TestMem2Reg:
+    def test_promotes_simple_slot(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.store(c(5, I32), p)
+        b.output(b.load(I32, p))
+        b.ret(b.load(I32, p))
+        cr = _check(mod, ["mem2reg"])
+        assert _opcount(cr.module, "alloca") == 0
+        assert cr.stats.get("mem2reg", "NumPromoted") == 1
+
+    def test_inserts_phi_at_join(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.store(c(0, I32), p)
+        cond = b.icmp("slt", c(1, I32), c(2, I32))
+        b.if_then(cond, lambda bt: bt.store(c(10, I32), p), lambda bt: bt.store(c(20, I32), p))
+        out = b.load(I32, p)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["mem2reg"])
+        assert cr.stats.get("mem2reg", "NumPHIInsert") == 1
+        assert run_program([cr.module]).ret == 10
+
+    def test_loop_accumulator_becomes_phi(self, sum_loop_module):
+        cr = _check(sum_loop_module, ["mem2reg"])
+        fn = cr.module.functions["main"]
+        assert _opcount(cr.module, "alloca") == 0
+        assert any(i.op == "phi" for i in fn.instructions())
+
+    def test_escaped_alloca_not_promoted(self):
+        mod = Module("m")
+        gfn = FunctionBuilder(mod, "sink_fn", [("p", PTR)], VOID)
+        gfn.store(c(9, I32), "p")
+        gfn.ret()
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.call("sink_fn", [p])
+        out = b.load(I32, p)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["mem2reg"])
+        assert _opcount(cr.module, "alloca") == 1
+        assert run_program([cr.module]).ret == 9
+
+    def test_uninitialised_read_becomes_zero(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        out = b.load(I32, p)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["mem2reg"])
+        assert run_program([cr.module]).ret == 0
+
+    def test_single_store_statistic(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.store(c(3, I32), p)
+        b.output(b.load(I32, p))
+        b.ret(c(0, I32))
+        cr = _check(mod, ["mem2reg"])
+        assert cr.stats.get("mem2reg", "NumSingleStore") == 1
+
+
+class TestSROA:
+    def test_splits_const_indexed_array(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        arr = b.alloca(I32, count=3)
+        for i in range(3):
+            b.store(c(i * 10, I32), b.gep(arr, c(i, I64), I32))
+        out = b.load(I32, b.gep(arr, c(2, I64), I32))
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["sroa"])
+        assert cr.stats.get("sroa", "NumReplaced") == 1
+        assert _opcount(cr.module, "alloca") == 0  # then promoted
+        assert run_program([cr.module]).ret == 20
+
+    def test_dynamic_index_blocks_split(self, sum_loop_module):
+        # the global array is not an alloca, but add one with dynamic gep
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        arr = b.alloca(I32, count=4)
+        idx = b.add(c(1, I32), c(1, I32))
+        b.store(c(7, I32), b.gep(arr, idx, I32))
+        out = b.load(I32, b.gep(arr, idx, I32))
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["sroa"])
+        assert cr.stats.get("sroa", "NumReplaced") == 0
+
+
+class TestInstCombine:
+    def test_constant_folding(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        x = b.add(c(2, I32), c(3, I32))
+        y = b.mul(x, c(4, I32), I32)
+        b.output(y)
+        b.ret(y)
+        cr = _check(mod, ["instcombine"])
+        assert cr.stats.get("instcombine", "NumConstProp") >= 2
+
+    def test_add_zero_identity(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [41]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v = b.load(I32, b.gaddr("g"))
+        y = b.add(v, c(0, I32), I32)
+        b.output(y)
+        b.ret(y)
+        cr = _check(mod, ["instcombine"])
+        assert _opcount(cr.module, "add") == 0
+
+    def test_mul_pow2_becomes_shl(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [5]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v = b.load(I32, b.gaddr("g"))
+        y = b.mul(v, c(8, I32), I32)
+        b.output(y)
+        b.ret(y)
+        cr = _check(mod, ["instcombine"])
+        assert _opcount(cr.module, "mul") == 0
+        assert _opcount(cr.module, "shl") == 1
+
+    def test_sext_chain_merged(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I16, [-7]))
+        b = FunctionBuilder(mod, "main", [], I64)
+        v = b.load(I16, b.gaddr("g"))
+        w = b.sext(b.sext(v, I32), I64)
+        b.output(w)
+        b.ret(w)
+        cr = _check(mod, ["instcombine", "dce"])
+        sexts = [i for f in cr.module.functions.values() for i in f.instructions() if i.op == "sext"]
+        assert len(sexts) == 1
+        assert run_program([cr.module]).ret == -7
+
+    def test_widening_transform_fires_and_is_sound(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("a", I16, [-300]))
+        mod.add_global(GlobalVar("bg", I16, [450]))
+        b = FunctionBuilder(mod, "main", [], I64)
+        av = b.load(I16, b.gaddr("a"))
+        bv = b.load(I16, b.gaddr("bg"))
+        m = b.mul(b.sext(av, I32), b.sext(bv, I32), I32)
+        w = b.sext(m, I64)
+        b.output(w)
+        b.ret(w)
+        cr = _check(mod, ["instcombine", "dce"])
+        assert cr.stats.get("instcombine", "NumWidened") == 1
+        assert run_program([cr.module]).ret == -300 * 450
+
+    def test_widening_skipped_for_wide_sources(self):
+        # i32 x i32 products may overflow: widening must NOT fire
+        mod = Module("m")
+        mod.add_global(GlobalVar("a", I32, [2**30]))
+        b = FunctionBuilder(mod, "main", [], I64)
+        av = b.load(I32, b.gaddr("a"))
+        m = b.mul(av, av, I32)
+        w = b.sext(m, I64)
+        b.output(w)
+        b.ret(w)
+        cr = _check(mod, ["instcombine"])
+        assert cr.stats.get("instcombine", "NumWidened") == 0
+
+    def test_const_canonicalised_right(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [3]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v = b.load(I32, b.gaddr("g"))
+        y = b.add(c(5, I32), v, I32)  # const on the left
+        b.output(y)
+        b.ret(y)
+        cr = _check(mod, ["instcombine"])
+        adds = [i for f in cr.module.functions.values() for i in f.instructions() if i.op == "add"]
+        assert isinstance(adds[0].args[1], Const)
+
+    def test_icmp_self_folds(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [3]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v = b.load(I32, b.gaddr("g"))
+        e = b.icmp("eq", v, v)
+        y = b.select(e, c(1, I32), c(0, I32), I32)
+        b.output(y)
+        b.ret(y)
+        cr = _check(mod, ["instcombine"])
+        assert run_program([cr.module]).ret == 1
+        assert _opcount(cr.module, "icmp") == 0
+
+
+class TestDivRemPairs:
+    def test_recomposes_rem(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [-23]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v = b.load(I32, b.gaddr("g"))
+        q = b.sdiv(v, c(7, I32), I32)
+        r = b.srem(v, c(7, I32), I32)
+        out = b.add(q, r, I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["div-rem-pairs"])
+        assert cr.stats.get("div-rem-pairs", "NumRecomposed") == 1
+        assert _opcount(cr.module, "srem") == 0
+
+
+class TestDCE:
+    def test_removes_unused_pure(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        b.add(c(1, I32), c(2, I32))  # dead
+        b.mul(c(3, I32), c(4, I32), I32)  # dead
+        b.ret(c(0, I32))
+        cr = _check(mod, ["dce"])
+        assert cr.stats.get("dce", "NumDeleted") == 2
+
+    def test_keeps_stores_and_outputs(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.store(c(1, I32), p)
+        b.output(c(9, I32))
+        b.ret(c(0, I32))
+        cr = _check(mod, ["dce"])
+        assert _opcount(cr.module, "store") == 1
+        assert _opcount(cr.module, "output") == 1
+
+    def test_removes_transitive_webs(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        x = b.add(c(1, I32), c(2, I32))
+        y = b.mul(x, c(2, I32), I32)
+        b.sub(y, c(1, I32), I32)  # whole chain dead
+        b.ret(c(0, I32))
+        cr = _check(mod, ["dce"])
+        assert cr.stats.get("dce", "NumDeleted") == 3
+
+    def test_adce_removes_dead_private_stores(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.store(c(1, I32), p)  # never loaded
+        b.ret(c(0, I32))
+        cr = _check(mod, ["adce"])
+        assert _opcount(cr.module, "store") == 0
+
+    def test_dse_removes_overwritten_store(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.store(c(1, I32), p)
+        b.store(c(2, I32), p)  # kills the first
+        out = b.load(I32, p)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["dse"])
+        assert cr.stats.get("dse", "NumFastStores") == 1
+        assert run_program([cr.module]).ret == 2
+
+    def test_dse_blocked_by_intervening_load(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.store(c(1, I32), p)
+        b.output(b.load(I32, p))
+        b.store(c(2, I32), p)
+        b.output(b.load(I32, p))
+        b.ret(c(0, I32))
+        cr = _check(mod, ["dse"])
+        assert cr.stats.get("dse", "NumFastStores") == 0
+
+
+class TestGVNFamily:
+    def test_early_cse_dedups_in_block(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [3]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v = b.load(I32, b.gaddr("g"))
+        a1 = b.add(v, c(1, I32), I32)
+        a2 = b.add(v, c(1, I32), I32)
+        out = b.mul(a1, a2, I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["early-cse"])
+        assert cr.stats.get("early-cse", "NumCSE") == 1
+
+    def test_early_cse_load_forwarding(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        b.store(c(4, I32), p)
+        v1 = b.load(I32, p)  # forwarded from the store
+        v2 = b.load(I32, p)  # CSEd with v1
+        out = b.add(v1, v2, I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["early-cse"])
+        assert cr.stats.get("early-cse", "NumCSELoad") == 2
+        assert run_program([cr.module]).ret == 8
+
+    def test_store_invalidates_other_pointers(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        p = b.alloca(I32)
+        q = b.alloca(I32)
+        b.store(c(1, I32), p)
+        v1 = b.load(I32, p)
+        b.store(c(2, I32), q)  # conservative aliasing clears memory facts
+        v2 = b.load(I32, p)
+        out = b.add(v1, v2, I32)
+        b.output(out)
+        b.ret(out)
+        _check(mod, ["early-cse"])  # correctness is the point
+
+    def test_gvn_across_dominating_blocks(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [3]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v = b.load(I32, b.gaddr("g"))
+        a1 = b.add(v, c(1, I32), I32)
+        b.jmp("next")
+        b.block("next")
+        a2 = b.add(v, c(1, I32), I32)  # redundant with dominating a1
+        out = b.mul(a1, a2, I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["gvn"])
+        assert cr.stats.get("gvn", "NumGVNInstr") == 1
+
+    def test_gvn_respects_scoping(self):
+        # expressions in sibling branches must NOT be merged
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [3]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v = b.load(I32, b.gaddr("g"))
+        cond = b.icmp("slt", v, c(10, I32))
+        p = b.alloca(I32)
+        b.if_then(
+            cond,
+            lambda bt: bt.store(bt.add(v, c(1, I32), I32), p),
+            lambda bt: bt.store(bt.add(v, c(1, I32), I32), p),
+        )
+        out = b.load(I32, p)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["gvn"])
+        assert cr.stats.get("gvn", "NumGVNInstr") == 0
+
+    def test_gvn_commutative_canonical(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [3]))
+        mod.add_global(GlobalVar("h", I32, [4]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        x = b.load(I32, b.gaddr("g"))
+        y = b.load(I32, b.gaddr("h"))
+        a1 = b.add(x, y, I32)
+        a2 = b.add(y, x, I32)  # same value, swapped operands
+        out = b.mul(a1, a2, I32)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["gvn"])
+        assert cr.stats.get("gvn", "NumGVNInstr") == 1
+
+    def test_sccp_folds_constant_branch(self):
+        mod = Module("m")
+        b = FunctionBuilder(mod, "main", [], I32)
+        cond = b.icmp("slt", c(1, I32), c(2, I32))
+        b.br(cond, "t", "f")
+        b.block("t")
+        b.output(c(1, I32))
+        b.ret(c(1, I32))
+        b.block("f")
+        b.output(c(2, I32))
+        b.ret(c(2, I32))
+        cr = _check(mod, ["sccp"])
+        fn = cr.module.functions["main"]
+        assert fn.entry.terminator.op == "jmp"
+
+
+class TestMemCpyOpt:
+    def _mod(self):
+        from repro.compiler.ir import GlobalVar, Instr
+
+        mod = Module("m")
+        mod.add_global(GlobalVar("src", I32, [5, 6, 7, 8]))
+        mod.add_global(GlobalVar("dst", I32, [0] * 4))
+        b = FunctionBuilder(mod, "main", [], I32)
+        return mod, b
+
+    def test_memset_value_forwarded(self):
+        from repro.compiler.ir import Instr
+
+        mod, b = self._mod()
+        p = b.gaddr("dst")
+        b.emit(Instr("memset", None, args=(p, c(9, I32), c(4, I64)), elem_ty=I32))
+        out = b.load(I32, b.gep(p, c(2, I64), I32))
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["memcpyopt", "dce"])
+        assert cr.stats.get("memcpyopt", "NumMemSetInfer") == 1
+        assert run_program([cr.module]).ret == 9
+
+    def test_memcpy_load_redirected_to_source(self):
+        from repro.compiler.ir import Instr
+
+        mod, b = self._mod()
+        src, dst = b.gaddr("src"), b.gaddr("dst")
+        b.emit(Instr("memcpy", None, args=(dst, src, c(4, I64)), elem_ty=I32))
+        out = b.load(I32, b.gep(dst, c(3, I64), I32))
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["memcpyopt"])
+        assert cr.stats.get("memcpyopt", "NumMemCpyInstr") == 1
+        assert run_program([cr.module]).ret == 8
+
+    def test_intervening_store_blocks_forwarding(self):
+        from repro.compiler.ir import Instr
+
+        mod, b = self._mod()
+        src, dst = b.gaddr("src"), b.gaddr("dst")
+        b.emit(Instr("memcpy", None, args=(dst, src, c(4, I64)), elem_ty=I32))
+        b.store(c(99, I32), b.gep(dst, c(3, I64), I32))
+        out = b.load(I32, b.gep(dst, c(3, I64), I32))
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["memcpyopt"])
+        assert cr.stats.get("memcpyopt", "NumMemCpyInstr") == 0
+        assert run_program([cr.module]).ret == 99
+
+    def test_out_of_range_offset_untouched(self):
+        from repro.compiler.ir import Instr
+
+        mod, b = self._mod()
+        src, dst = b.gaddr("src"), b.gaddr("dst")
+        b.emit(Instr("memcpy", None, args=(dst, src, c(2, I64)), elem_ty=I32))
+        out = b.load(I32, b.gep(dst, c(3, I64), I32))  # beyond the copy
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["memcpyopt"])
+        assert cr.stats.get("memcpyopt", "NumMemCpyInstr") == 0
+
+    def test_possible_overlap_not_forwarded(self):
+        from repro.compiler.ir import Instr
+
+        mod, b = self._mod()
+        a = b.gaddr("src")
+        a1 = b.gep(a, c(1, I64), I32)
+        b.emit(Instr("memcpy", None, args=(a1, a, c(2, I64)), elem_ty=I32))
+        out = b.load(I32, b.gep(a1, c(1, I64), I32))
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["memcpyopt"])
+        assert cr.stats.get("memcpyopt", "NumMemCpyInstr") == 0
+
+    def test_idiom_then_memcpyopt_chain(self):
+        """loop-idiom raises the copy loop to memcpy; memcpyopt then
+        redirects the consumer load — a 3-pass enabling chain."""
+        from repro.compiler.ir import GlobalVar
+
+        mod = Module("m")
+        mod.add_global(GlobalVar("a", I32, list(range(8))))
+        mod.add_global(GlobalVar("bg", I32, [0] * 8))
+        b = FunctionBuilder(mod, "main", [], I32)
+        a, dstg = b.gaddr("a"), b.gaddr("bg")
+
+        def body(bb, i):
+            bb.store(bb.load(I32, bb.gep(a, i, I32)), bb.gep(dstg, i, I32))
+
+        b.counted_loop(c(0, I32), c(8, I32), body)
+        out = b.load(I32, b.gep(dstg, c(6, I64), I32))
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["mem2reg", "loop-idiom", "simplifycfg", "memcpyopt"])
+        assert cr.stats.get("loop-idiom", "NumMemCpy") == 1
+        assert cr.stats.get("memcpyopt", "NumMemCpyInstr") == 1
+        assert run_program([cr.module]).ret == 6

@@ -1,0 +1,267 @@
+"""Vectoriser tests, including the paper's Fig 5.1 / Table 5.1 behaviour."""
+
+import pytest
+
+from repro.compiler.builder import FunctionBuilder, c
+from repro.compiler.ir import Const, GlobalVar, I16, I32, I64, Module, PTR
+from repro.compiler.opt_tool import run_opt
+from repro.compiler.pass_manager import TargetInfo
+from repro.machine.interp import run_program
+
+from tests.conftest import build_dot_kernel, build_sum_loop_module
+
+
+def _check(mod, seq, target=None):
+    ref = run_program([mod]).output_signature()
+    cr = run_opt(mod, seq, verify_each=True, target=target)
+    out = run_program([cr.module]).output_signature()
+    assert out == ref, f"{seq} changed semantics: {out} vs {ref}"
+    return cr
+
+
+def _nvi(cr):
+    return cr.stats.get("slp-vectorizer", "NumVectorInstructions")
+
+
+class TestSLPReduction:
+    """The motivating example: Fig 5.1 / Table 5.1 row behaviour."""
+
+    def test_mem2reg_then_slp_vectorises(self):
+        cr = _check(build_dot_kernel(), ["mem2reg", "slp-vectorizer"])
+        assert _nvi(cr) > 0
+        assert cr.stats.get("slp-vectorizer", "NumVecBundle") >= 1
+
+    def test_slp_before_mem2reg_finds_nothing(self):
+        cr = _check(build_dot_kernel(), ["slp-vectorizer", "mem2reg"])
+        assert _nvi(cr) == 0
+
+    def test_instcombine_between_kills_vectorisation(self):
+        cr = _check(build_dot_kernel(), ["mem2reg", "instcombine", "slp-vectorizer"])
+        assert cr.stats.get("instcombine", "NumWidened") > 0
+        assert _nvi(cr) == 0
+        assert cr.stats.get("slp-vectorizer", "NumUnprofitable") >= 1
+
+    def test_instcombine_after_slp_is_harmless(self):
+        cr = _check(build_dot_kernel(), ["mem2reg", "slp-vectorizer", "instcombine"])
+        assert _nvi(cr) > 0
+
+    def test_i64_lanes_unprofitable_on_narrow_vectors(self):
+        # direct i64 multiply chain: only 2 lanes fit 128-bit -> rejected
+        mod = build_dot_kernel(acc_ty=I64, mul_ty=I64, elem_ty=I16)
+        cr = _check(mod, ["mem2reg", "slp-vectorizer"], target=TargetInfo(vector_bits=128))
+        assert _nvi(cr) == 0
+
+    def test_wide_registers_change_profitability(self):
+        # i64 lanes become profitable with 512-bit registers (8 lanes)
+        mod = build_dot_kernel(acc_ty=I64, mul_ty=I64, elem_ty=I16)
+        cr = _check(mod, ["mem2reg", "slp-vectorizer"], target=TargetInfo(vector_bits=512))
+        assert _nvi(cr) > 0
+
+    def test_reduction_value_correct(self):
+        cr = _check(build_dot_kernel(), ["mem2reg", "slp-vectorizer"])
+        r = run_program([cr.module])
+        assert r.ret == sum((i + 1) * (2 * i + 1) for i in range(8))
+
+    def test_store_between_loads_blocks_slp(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("w", I16, [1] * 8))
+        mod.add_global(GlobalVar("d", I16, [2] * 8))
+        b = FunctionBuilder(mod, "main", [], I32)
+        w, d = b.gaddr("w"), b.gaddr("d")
+        acc = b.alloca(I32)
+        b.store(c(0, I32), acc)
+        for i in range(8):
+            wv = b.load(I16, b.gep(w, c(i, I64), I16))
+            dv = b.load(I16, b.gep(d, c(i, I64), I16))
+            if i == 4:  # a store into one of the loaded arrays mid-pattern
+                b.store(c(9, I16), b.gep(w, c(0, I64), I16))
+            m = b.mul(b.sext(wv, I32), b.sext(dv, I32), I32)
+            cur = b.load(I32, acc)
+            b.store(b.add(cur, m, I32), acc)
+        out = b.load(I32, acc)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["mem2reg", "slp-vectorizer"])
+        assert _nvi(cr) == 0
+
+
+class TestSLPStoreGroups:
+    def _store_group_module(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("a", I32, list(range(8))))
+        mod.add_global(GlobalVar("bg", I32, [3] * 8))
+        mod.add_global(GlobalVar("out", I32, [0] * 8))
+        b = FunctionBuilder(mod, "main", [], I32)
+        a, bb_, out = b.gaddr("a"), b.gaddr("bg"), b.gaddr("out")
+        for i in range(8):
+            x = b.load(I32, b.gep(a, c(i, I64), I32))
+            y = b.load(I32, b.gep(bb_, c(i, I64), I32))
+            b.store(b.add(x, y, I32), b.gep(out, c(i, I64), I32))
+        res = b.load(I32, b.gep(out, c(7, I64), I32))
+        b.output(res)
+        b.ret(res)
+        return mod
+
+    def test_parallel_adds_packed(self):
+        cr = _check(self._store_group_module(), ["slp-vectorizer"])
+        assert _nvi(cr) > 0
+        assert run_program([cr.module]).ret == 10
+
+    def test_aliased_destination_blocks_packing(self):
+        mod = Module("m")
+        mod.add_global(GlobalVar("a", I32, list(range(16))))
+        b = FunctionBuilder(mod, "main", [], I32)
+        a = b.gaddr("a")
+        a8 = b.gep(a, c(8, I64), I32)
+        for i in range(8):
+            x = b.load(I32, b.gep(a, c(i, I64), I32))
+            y = b.load(I32, b.gep(a, c(i, I64), I32))
+            b.store(b.add(x, y, I32), b.gep(a8, c(i, I64), I32))
+        res = b.load(I32, b.gep(a, c(15, I64), I32))
+        b.output(res)
+        b.ret(res)
+        # dst (gep of a) and src (a) cannot be proven disjoint -> no packing
+        cr = _check(mod, ["slp-vectorizer"])
+        assert _nvi(cr) == 0
+
+
+class TestLoopVectorize:
+    def _saxpy(self, n=16):
+        mod = Module("m")
+        mod.add_global(GlobalVar("x", I32, list(range(n))))
+        mod.add_global(GlobalVar("y", I32, [5] * n))
+        mod.add_global(GlobalVar("out", I32, [0] * n))
+        b = FunctionBuilder(mod, "main", [], I32)
+        x, y, out = b.gaddr("x"), b.gaddr("y"), b.gaddr("out")
+
+        def body(bb, i):
+            xv = bb.load(I32, bb.gep(x, i, I32))
+            yv = bb.load(I32, bb.gep(y, i, I32))
+            bb.store(bb.add(bb.mul(xv, c(3, I32), I32), yv, I32), bb.gep(out, i, I32))
+
+        b.counted_loop(c(0, I32), c(n, I32), body)
+        res = b.load(I32, b.gep(out, c(n - 1, I64), I32))
+        b.output(res)
+        b.ret(res)
+        return mod
+
+    def test_vectorises_saxpy(self):
+        cr = _check(self._saxpy(), ["mem2reg", "loop-vectorize"])
+        assert cr.stats.get("loop-vectorize", "LoopsVectorized") == 1
+        assert run_program([cr.module]).ret == 15 * 3 + 5
+
+    def test_requires_mem2reg(self):
+        cr = _check(self._saxpy(), ["loop-vectorize"])
+        assert cr.stats.get("loop-vectorize", "LoopsVectorized") == 0
+
+    def test_non_divisible_trip_count_rejected(self):
+        cr = _check(self._saxpy(n=15), ["mem2reg", "loop-vectorize"])
+        assert cr.stats.get("loop-vectorize", "LoopsVectorized") == 0
+
+    def test_reduction_loop(self, sum_loop_module):
+        cr = _check(sum_loop_module, ["mem2reg", "loop-vectorize"])
+        assert cr.stats.get("loop-vectorize", "LoopsVectorized") == 1
+        assert run_program([cr.module]).ret == sum(range(1, 17))
+
+    def test_reduction_unprofitable_on_wide_elems(self):
+        # i64 accumulator: 2 lanes on 128-bit -> below min_vector_lanes
+        mod = Module("m")
+        mod.add_global(GlobalVar("data", I64, list(range(16))))
+        b = FunctionBuilder(mod, "main", [], I64)
+        arr = b.gaddr("data")
+        acc = b.alloca(I64)
+        b.store(c(0, I64), acc)
+
+        def body(bb, i):
+            v = bb.load(I64, bb.gep(arr, i, I64))
+            cur = bb.load(I64, acc)
+            bb.store(bb.add(cur, v, I64), acc)
+
+        b.counted_loop(c(0, I32), c(16, I32), body)
+        out = b.load(I64, acc)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["mem2reg", "loop-vectorize"], target=TargetInfo(vector_bits=128))
+        assert cr.stats.get("loop-vectorize", "LoopsVectorized") == 0
+        assert cr.stats.get("loop-vectorize", "NumUnprofitable") == 1
+
+    def test_stencil_offsets_rejected(self):
+        # src[i-1] style indexing must block the strict-legality vectoriser
+        mod = Module("m")
+        mod.add_global(GlobalVar("a", I32, list(range(18))))
+        mod.add_global(GlobalVar("o", I32, [0] * 18))
+        b = FunctionBuilder(mod, "main", [], I32)
+        a, o = b.gaddr("a"), b.gaddr("o")
+
+        def body(bb, i):
+            im1 = bb.sub(i, c(1, I32), I32)
+            v = bb.load(I32, bb.gep(a, im1, I32))
+            bb.store(v, bb.gep(o, i, I32))
+
+        b.counted_loop(c(1, I32), c(17, I32), body)
+        res = b.load(I32, b.gep(o, c(8, I64), I32))
+        b.output(res)
+        b.ret(res)
+        cr = _check(mod, ["mem2reg", "loop-vectorize"])
+        assert cr.stats.get("loop-vectorize", "LoopsVectorized") == 0
+
+    def test_call_in_body_rejected(self):
+        mod = Module("m")
+        g = FunctionBuilder(mod, "helper", [("v", I32)], I32)
+        g.ret(g.add("v", c(1, I32), I32))
+        mod.add_global(GlobalVar("a", I32, list(range(8))))
+        b = FunctionBuilder(mod, "main", [], I32)
+        a = b.gaddr("a")
+        acc = b.alloca(I32)
+        b.store(c(0, I32), acc)
+
+        def body(bb, i):
+            v = bb.load(I32, bb.gep(a, i, I32))
+            h = bb.call("helper", [v], I32)
+            cur = bb.load(I32, acc)
+            bb.store(bb.add(cur, h, I32), acc)
+
+        b.counted_loop(c(0, I32), c(8, I32), body)
+        out = b.load(I32, acc)
+        b.output(out)
+        b.ret(out)
+        cr = _check(mod, ["mem2reg", "loop-vectorize"])
+        assert cr.stats.get("loop-vectorize", "LoopsVectorized") == 0
+
+
+class TestVectorCombine:
+    def test_extract_of_broadcast_scalarised(self):
+        from repro.compiler.ir import Instr, vec
+
+        mod = Module("m")
+        mod.add_global(GlobalVar("g", I32, [6]))
+        b = FunctionBuilder(mod, "main", [], I32)
+        v = b.load(I32, b.gaddr("g"))
+        v4 = vec(I32, 4)
+        bc = b._emit("broadcast", v4, (v,))
+        ext = b._emit("extract", I32, (bc, c(1, I64)))
+        b.output(ext)
+        b.ret(ext)
+        cr = _check(mod, ["vector-combine", "dce"])
+        assert cr.stats.get("vector-combine", "NumScalarized") == 1
+        assert sum(1 for i in cr.module.functions["main"].instructions() if i.op == "broadcast") == 0
+
+
+class TestSLPRegressions:
+    def test_duplicate_store_offsets_no_crash(self):
+        """Two stores to the same offset used to crash the store-group
+        sorter (Instr is not orderable); they must simply not be packed."""
+        mod = Module("m")
+        mod.add_global(GlobalVar("a", I32, list(range(8))))
+        mod.add_global(GlobalVar("o", I32, [0] * 8))
+        b = FunctionBuilder(mod, "main", [], I32)
+        a, o = b.gaddr("a"), b.gaddr("o")
+        for i in [0, 1, 2, 2, 3]:  # duplicate offset 2
+            x = b.load(I32, b.gep(a, c(i, I64), I32))
+            y = b.load(I32, b.gep(a, c(i, I64), I32))
+            b.store(b.add(x, y, I32), b.gep(o, c(i, I64), I32))
+        res = b.load(I32, b.gep(o, c(2, I64), I32))
+        b.output(res)
+        b.ret(res)
+        cr = _check(mod, ["slp-vectorizer"])
+        assert _nvi(cr) == 0  # non-consecutive offsets: nothing packed

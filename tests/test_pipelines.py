@@ -1,0 +1,140 @@
+"""Tests for pipelines, the opt driver, statistics and the pass manager."""
+
+import pytest
+
+from repro.compiler.opt_tool import CompileResult, available_passes, run_opt
+from repro.compiler.pass_manager import PassManager, TargetInfo, registry
+from repro.compiler.pipelines import LLVM10_PASSES, PIPELINES, SEARCH_PASSES, pipeline
+from repro.compiler.statistics import StatsCollector
+from repro.machine.interp import run_program
+from repro.machine.platforms import get_platform
+from repro.machine.profiler import Profiler
+from repro.workloads import cbench_program
+
+from tests.conftest import build_sum_loop_module
+
+
+class TestStatsCollector:
+    def test_bump_and_get(self):
+        s = StatsCollector()
+        s.bump("p", "X", 3)
+        s.bump("p", "X")
+        assert s.get("p", "X") == 4
+        assert s.get("p", "missing") == 0
+
+    def test_zero_bump_is_noop(self):
+        s = StatsCollector()
+        s.bump("p", "X", 0)
+        assert len(s) == 0
+
+    def test_as_dict_format(self):
+        s = StatsCollector()
+        s.bump("mem2reg", "NumPromoted", 2)
+        assert s.as_dict() == {"mem2reg.NumPromoted": 2}
+
+    def test_to_json_parses(self):
+        import json
+
+        s = StatsCollector()
+        s.bump("a", "B", 1)
+        assert json.loads(s.to_json()) == {"a.B": 1}
+
+    def test_merge(self):
+        a, b = StatsCollector(), StatsCollector()
+        a.bump("p", "X", 1)
+        b.bump("p", "X", 2)
+        b.bump("q", "Y", 5)
+        a.merge(b)
+        assert a.get("p", "X") == 3 and a.get("q", "Y") == 5
+
+    def test_scoped_view(self):
+        s = StatsCollector()
+        s.scoped("gvn").bump("NumGVNInstr", 7)
+        assert s.get("gvn", "NumGVNInstr") == 7
+
+
+class TestPassManager:
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(KeyError):
+            PassManager(["mem2reg", "no-such-pass"])
+
+    def test_repeats_allowed(self, sum_loop_module):
+        pm = PassManager(["mem2reg", "dce", "dce", "dce"])
+        stats = pm.run(sum_loop_module.clone())
+        assert stats.get("mem2reg", "NumPromoted") > 0
+
+    def test_registry_rejects_duplicates(self):
+        from repro.compiler.pass_manager import Pass
+
+        class Dup(Pass):
+            name = "mem2reg"
+
+        with pytest.raises(ValueError):
+            registry.add("mem2reg", Dup)
+
+    def test_target_info_defaults(self):
+        t = TargetInfo()
+        assert t.vector_bits == 128 and t.min_vector_lanes == 4
+
+
+class TestPipelines:
+    def test_levels_exist(self):
+        assert set(PIPELINES) == {"-O0", "-O1", "-O2", "-O3", "-Oz"}
+        assert pipeline("-O0") == []
+        with pytest.raises(KeyError):
+            pipeline("-O4")
+
+    def test_pipeline_returns_copy(self):
+        p = pipeline("-O3")
+        p.append("dce")
+        assert pipeline("-O3") != p or len(pipeline("-O3")) != len(p)
+
+    def test_all_pipeline_passes_registered(self):
+        for level, seq in PIPELINES.items():
+            for p in seq:
+                assert p in registry, f"{level} references unknown pass {p}"
+
+    def test_llvm10_subset(self):
+        assert set(LLVM10_PASSES) < set(SEARCH_PASSES)
+        assert "loop-unswitch" not in LLVM10_PASSES
+
+    def test_o_levels_monotone_on_programs(self):
+        prog = cbench_program("automotive_bitcount")
+        plat = get_platform("arm-a57")
+        prof = Profiler(plat, seed=0)
+        times = {}
+        for level in ("-O0", "-O1", "-O2", "-O3"):
+            linked, _ = prog.compile(
+                {m.name: pipeline(level) for m in prog.modules}, plat.target_info()
+            )
+            times[level] = prof.measure(linked).cycles
+        assert times["-O3"] <= times["-O1"] <= times["-O0"]
+        assert times["-O2"] <= times["-O0"]
+
+    def test_oz_reduces_code_size(self):
+        prog = cbench_program("automotive_qsort1")
+        before = sum(m.num_instrs() for m in prog.modules)
+        linked, _ = prog.compile({m.name: pipeline("-Oz") for m in prog.modules})
+        after = sum(m.num_instrs() for m in linked)
+        assert after < before
+
+
+class TestOptTool:
+    def test_input_module_untouched(self, sum_loop_module):
+        n = sum_loop_module.num_instrs()
+        run_opt(sum_loop_module, pipeline("-O3"))
+        assert sum_loop_module.num_instrs() == n
+
+    def test_stats_json_flat(self, sum_loop_module):
+        cr = run_opt(sum_loop_module, ["mem2reg"])
+        js = cr.stats_json()
+        assert all(isinstance(k, str) and "." in k for k in js)
+
+    def test_available_passes_sorted(self):
+        ps = available_passes()
+        assert ps == sorted(ps)
+        assert len(ps) >= 40
+
+    def test_sequence_recorded(self, sum_loop_module):
+        cr = run_opt(sum_loop_module, ["mem2reg", "dce"])
+        assert cr.sequence == ["mem2reg", "dce"]

@@ -1,0 +1,141 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bo.acquisition import UpperConfidenceBound
+from repro.bo.gp import GaussianProcess
+from repro.bo.transforms import YeoJohnson
+from repro.compiler.ir import Const, I32, Instr
+from repro.machine.cost_model import estimate_cycles, instr_cycles
+from repro.machine.platforms import PLATFORMS
+
+_S = dict(deadline=None, max_examples=25,
+          suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def _dataset(draw):
+    seed = draw(st.integers(0, 10**6))
+    n = draw(st.integers(5, 30))
+    d = draw(st.integers(1, 6))
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    y = np.sin(3 * X[:, 0]) + 0.1 * rng.standard_normal(n)
+    return X, y
+
+
+class TestGPProperties:
+    @given(_dataset())
+    @settings(**_S)
+    def test_posterior_variance_bounded_by_prior(self, data):
+        X, y = data
+        gp = GaussianProcess(X.shape[1], seed=0).fit(X, y, optimize_hypers=False)
+        rng = np.random.default_rng(0)
+        Q = rng.random((10, X.shape[1]))
+        _, sigma = gp.predict(Q)
+        prior_sigma = np.sqrt(gp.kernel.variance)
+        assert (sigma <= prior_sigma + 1e-6).all()
+
+    @given(_dataset())
+    @settings(**_S)
+    def test_training_points_have_low_variance(self, data):
+        X, y = data
+        gp = GaussianProcess(X.shape[1], seed=0).fit(X, y, optimize_hypers=False)
+        _, sigma = gp.predict(X)
+        rng = np.random.default_rng(1)
+        _, sigma_far = gp.predict(rng.random((5, X.shape[1])) + 2.0)
+        assert sigma.mean() <= sigma_far.mean() + 1e-9
+
+    @given(_dataset(), st.floats(0.1, 4.0), st.floats(4.1, 16.0))
+    @settings(**_S)
+    def test_ucb_monotone_in_beta(self, data, beta_lo, beta_hi):
+        X, y = data
+        gp = GaussianProcess(X.shape[1], seed=0).fit(X, y, optimize_hypers=False)
+        rng = np.random.default_rng(2)
+        Q = rng.random((8, X.shape[1]))
+        lo = UpperConfidenceBound(gp, beta=beta_lo)(Q)
+        hi = UpperConfidenceBound(gp, beta=beta_hi)(Q)
+        assert (hi >= lo - 1e-9).all()
+
+    @given(st.integers(0, 10**6))
+    @settings(**_S)
+    def test_fantasize_never_increases_variance_at_fantasy_point(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.random((12, 3))
+        y = X.sum(1)
+        gp = GaussianProcess(3, seed=0).fit(X, y, optimize_hypers=False)
+        x_new = rng.random(3)
+        _, s_before = gp.predict(x_new[None])
+        clone = gp.fantasize(x_new, 0.0)
+        _, s_after = clone.predict(x_new[None])
+        assert s_after[0] <= s_before[0] + 1e-9
+
+
+class TestTransformProperties:
+    @given(st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=4, max_size=40),
+           )
+    @settings(**_S)
+    def test_yeojohnson_roundtrip(self, vals):
+        y = np.asarray(vals)
+        yj = YeoJohnson()
+        z = yj.fit_transform(y)
+        back = yj.inverse(z)
+        assert np.allclose(back, y, rtol=1e-4, atol=1e-6)
+
+
+class TestCostModelProperties:
+    @given(st.sampled_from(sorted(PLATFORMS)), st.integers(1, 1000))
+    @settings(**_S)
+    def test_cycles_scale_with_counts(self, platform_name, count):
+        from repro.machine.platforms import get_platform
+        from tests.conftest import build_sum_loop_module
+
+        plat = get_platform(platform_name)
+        mod = build_sum_loop_module()
+        fn = mod.functions["main"]
+        blk = next(iter(fn.blocks))
+        counts1 = {(mod.name, "main", blk): count}
+        counts2 = {(mod.name, "main", blk): count * 2}
+        c1 = estimate_cycles([mod], counts1, plat)
+        c2 = estimate_cycles([mod], counts2, plat)
+        assert c1 > 0 and c2 == pytest.approx(2 * c1)
+
+    @given(st.sampled_from(sorted(PLATFORMS)))
+    @settings(deadline=None, max_examples=4)
+    def test_every_opcode_has_positive_cost(self, platform_name):
+        from repro.machine.platforms import get_platform
+
+        plat = get_platform(platform_name)
+        for op in ("add", "mul", "load", "store", "sdiv", "fmul", "call", "br"):
+            inst = Instr(op, "%x", I32, (Const(1, I32), Const(2, I32)))
+            assert instr_cycles(inst, plat) > 0
+
+
+class TestSequenceOperatorProperties:
+    @given(st.integers(0, 10**6), st.integers(2, 40), st.integers(4, 30))
+    @settings(**_S)
+    def test_crossover_positions_come_from_parents(self, seed, alphabet, length):
+        from repro.heuristics.operators import seq_two_point_crossover
+
+        rng = np.random.default_rng(seed)
+        p1 = rng.integers(0, alphabet, size=length)
+        p2 = rng.integers(0, alphabet, size=length)
+        c1, c2 = seq_two_point_crossover(p1, p2, rng)
+        for child in (c1, c2):
+            ok = (child == p1) | (child == p2)
+            assert ok.all()
+
+    @given(st.integers(0, 10**6))
+    @settings(**_S)
+    def test_weighted_mutation_respects_alphabet(self, seed):
+        from repro.heuristics.operators import seq_point_mutation
+
+        rng = np.random.default_rng(seed)
+        w = rng.random(10)
+        w /= w.sum()
+        x = rng.integers(0, 10, size=20)
+        y = seq_point_mutation(x, 10, rng, weights=w)
+        assert ((y >= 0) & (y < 10)).all()

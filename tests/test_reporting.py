@@ -1,0 +1,71 @@
+"""Tests for the plain-text reporting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import Measurement, TuningResult
+from repro.reporting import ascii_curve, leaderboard, stats_table, summarize
+
+
+def _result(name, runtimes, o3=1.0):
+    r = TuningResult(program="prog", tuner=name, o3_runtime=o3)
+    for i, rt in enumerate(runtimes):
+        r.measurements.append(Measurement(i, "m", ("mem2reg",), rt, o3 / rt))
+    return r
+
+
+@pytest.fixture
+def results():
+    return {
+        "citroen": _result("citroen", [2.0, 1.0, 0.5, 0.45]),
+        "random": _result("random", [2.0, 1.8, 1.2, 0.9]),
+    }
+
+
+class TestAsciiCurve:
+    def test_contains_legend_and_axes(self, results):
+        art = ascii_curve(results)
+        assert "A = citroen" in art and "B = random" in art
+        assert "measurements" in art
+
+    def test_empty(self):
+        assert ascii_curve({}) == "(no results)"
+
+    def test_runtime_mode(self, results):
+        art = ascii_curve(results, value="runtime")
+        assert "A" in art
+
+    def test_flat_series_no_crash(self):
+        art = ascii_curve({"x": _result("x", [1.0, 1.0, 1.0])})
+        assert "A = x" in art
+
+
+class TestLeaderboard:
+    def test_sorted_descending(self, results):
+        board = leaderboard(results)
+        lines = board.splitlines()
+        assert "citroen" in lines[1]
+        assert "random" in lines[2]
+
+    def test_budget_cut(self, results):
+        board = leaderboard(results, at=1)  # after one measurement: tie
+        assert "0.500x" in board
+
+
+class TestStatsTable:
+    def test_renders_top_k(self):
+        rel = [("m::slp.NVI", 3.2), ("m::gvn.N", 1.1), ("m::dce.N", 0.2)]
+        table = stats_table(rel, k=2)
+        assert "slp.NVI" in table and "dce.N" not in table
+
+
+class TestSummarize:
+    def test_mentions_key_facts(self, results):
+        r = results["citroen"]
+        r.extras["dedup_hits"] = 7
+        r.extras["top_statistics"] = ["m::slp.NVI"]
+        text = summarize(r)
+        assert "citroen on prog" in text
+        assert "4 measurements" in text
+        assert "dedup avoided 7" in text
+        assert "slp.NVI" in text

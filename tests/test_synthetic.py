@@ -1,0 +1,89 @@
+"""Tests for synthetic functions and simulated tasks."""
+
+import numpy as np
+import pytest
+
+from repro.synthetic import (
+    FlagSelectionTask,
+    SYNTHETIC_FUNCTIONS,
+    ackley,
+    griewank,
+    make_task,
+    push_surrogate,
+    rastrigin,
+    rosenbrock,
+    rover_surrogate,
+)
+
+
+class TestFunctions:
+    def test_global_minima(self):
+        assert ackley(np.zeros(10)) == pytest.approx(0.0, abs=1e-9)
+        assert rastrigin(np.zeros(10)) == pytest.approx(0.0, abs=1e-9)
+        assert griewank(np.zeros(10)) == pytest.approx(0.0, abs=1e-9)
+        assert rosenbrock(np.ones(10)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_away_from_optimum(self, rng):
+        for name, (fn, (lo, hi)) in SYNTHETIC_FUNCTIONS.items():
+            x = lo + (hi - lo) * rng.random(8)
+            assert fn(x) >= 0.0 or name == "rosenbrock"
+
+    def test_make_task_maps_unit_box(self):
+        task = make_task("rastrigin", 5)
+        # rastrigin domain is [-5.12, 5.12]: u = 0.5 maps to the origin
+        assert task(np.full(5, 0.5)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_task_name(self):
+        assert make_task("ackley", 20).__name__ == "ackley20"
+
+
+class TestSurrogates:
+    def test_push_sparse_reward_structure(self):
+        task = push_surrogate(dim=8, seed=0)
+        rng = np.random.default_rng(0)
+        vals = np.array([task(rng.random(8)) for _ in range(200)])
+        # most random points sit on the flat plateau; the basin is rare/deep
+        assert np.median(vals) > vals.min() + 1.0
+
+    def test_rover_best_bounded_by_five(self):
+        task = rover_surrogate(dim=20, seed=0)
+        assert task(np.random.default_rng(0).random(20)) >= -5.0
+
+    def test_deterministic(self):
+        t1, t2 = push_surrogate(seed=3), push_surrogate(seed=3)
+        x = np.full(14, 0.4)
+        assert t1(x) == t2(x)
+
+
+class TestFlagSelection:
+    @pytest.fixture(scope="class")
+    def flag_task(self):
+        return FlagSelectionTask(platform="arm-a57", seed=0)
+
+    def test_dimension_matches_o3_pipeline(self, flag_task):
+        from repro.compiler.pipelines import pipeline
+
+        assert flag_task.dim == len(pipeline("-O3"))
+
+    def test_decode_threshold(self, flag_task):
+        u = np.zeros(flag_task.dim)
+        u[0] = 0.9
+        assert flag_task.decode(u) == [flag_task.flags[0]]
+
+    def test_all_on_equals_o3(self, flag_task):
+        base = flag_task.baseline_o3()
+        assert base > 0
+
+    def test_caching_by_bit_pattern(self, flag_task):
+        u = np.zeros(flag_task.dim)
+        u[::2] = 0.7  # a pattern no other test evaluates
+        n0 = flag_task.n_evaluations
+        v1 = flag_task(u)
+        v2 = flag_task(np.clip(u + 0.1, 0, 0.95))  # same decode
+        assert v1 == v2
+        assert flag_task.n_evaluations == n0 + 1
+
+    def test_disabling_everything_is_slower(self, flag_task):
+        off = flag_task(np.zeros(flag_task.dim))
+        on = flag_task.baseline_o3()
+        assert off > on

@@ -1,0 +1,104 @@
+"""Tests for the textual IR printer/parser."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.textual import IRParseError, parse_module, print_function, print_module
+from repro.compiler.opt_tool import run_opt
+from repro.compiler.pipelines import pipeline
+from repro.compiler.verify import verify_module
+from repro.machine.interp import run_program
+from repro.workloads import cbench_program, random_program
+
+from tests.conftest import build_dot_kernel, build_sum_loop_module
+
+
+def _roundtrip_program(program):
+    ref = program.reference_output().output_signature()
+    texts = [print_module(m) for m in program.modules]
+    mods = [parse_module(t) for t in texts]
+    for m in mods:
+        verify_module(m)
+    out = run_program(mods, program.entry, fuel=program.fuel)
+    assert out.output_signature() == ref
+    # printing is a fixed point after one roundtrip
+    assert [print_module(m) for m in mods] == texts
+
+
+class TestRoundtrip:
+    def test_dot_kernel(self, dot_module):
+        m2 = parse_module(print_module(dot_module))
+        assert run_program([m2]).ret == run_program([dot_module]).ret
+
+    def test_sum_loop(self, sum_loop_module):
+        m2 = parse_module(print_module(sum_loop_module))
+        assert run_program([m2]).ret == run_program([sum_loop_module]).ret
+
+    @pytest.mark.parametrize("name", ["telecom_gsm", "automotive_qsort1", "network_dijkstra"])
+    def test_cbench_programs(self, name):
+        _roundtrip_program(cbench_program(name))
+
+    def test_optimised_ir_roundtrips(self, dot_module):
+        """Vector instructions, phis, attrs survive the text format."""
+        cr = run_opt(dot_module, ["mem2reg", "slp-vectorizer", "simplifycfg"])
+        m2 = parse_module(print_module(cr.module))
+        verify_module(m2)
+        assert run_program([m2]).ret == run_program([cr.module]).ret
+
+    def test_o3_ir_roundtrips(self):
+        prog = cbench_program("telecom_adpcm_c")
+        for mod in prog.modules:
+            cr = run_opt(mod, pipeline("-O3"))
+            m2 = parse_module(print_module(cr.module))
+            verify_module(m2)
+
+    @given(st.integers(0, 10**6))
+    @settings(deadline=None, max_examples=15,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_programs_roundtrip(self, seed):
+        _roundtrip_program(random_program(seed=seed, n_modules=2))
+
+    def test_function_attrs_preserved(self):
+        prog = cbench_program("automotive_qsort1")
+        mod = prog.get_module("qsort1")
+        m2 = parse_module(print_module(mod))
+        assert "internal" in m2.functions["clamp"].attrs
+
+    def test_const_global_flag_preserved(self):
+        from repro.compiler.ir import GlobalVar, I32, Module
+
+        mod = Module("m")
+        mod.add_global(GlobalVar("t", I32, [1, 2], const=True))
+        m2 = parse_module(print_module(mod))
+        assert m2.globals["t"].const
+
+
+class TestParserErrors:
+    def test_missing_header(self):
+        with pytest.raises(IRParseError):
+            parse_module("func @f() -> void {\nentry:\n  ret void\n}")
+
+    def test_garbage_line(self):
+        with pytest.raises(IRParseError):
+            parse_module("module @m {\nthis is not ir\n}")
+
+    def test_bad_instruction(self, dot_module):
+        text = print_module(dot_module).replace("alloca i16 x 8", "alloca banana")
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+    def test_instruction_outside_block(self):
+        bad = "module @m {\nfunc @f() -> void {\n  ret void\n}\n}"
+        with pytest.raises(IRParseError):
+            parse_module(bad)
+
+
+class TestPrinting:
+    def test_print_function_standalone(self, sum_loop_module):
+        text = print_function(sum_loop_module.functions["main"])
+        assert text.startswith("func @main()")
+        assert "loop.header" in text
+
+    def test_output_is_stable(self, dot_module):
+        assert print_module(dot_module) == print_module(dot_module)

@@ -1,0 +1,90 @@
+"""Tests for the cross-program pass-correlation prior (§6.3.2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PassCorrelationPrior
+from repro.core.result import Measurement, TuningResult
+
+
+def _result_with(pass_speedups):
+    """Build a synthetic trace: each entry is (sequence_tuple, speedup)."""
+    r = TuningResult(program="p", tuner="t", o3_runtime=1.0)
+    for i, (seq, sp) in enumerate(pass_speedups):
+        r.measurements.append(Measurement(i, "m", tuple(seq), 1.0 / sp, sp))
+    return r
+
+
+class TestPrior:
+    def test_learns_positive_association(self):
+        prior = PassCorrelationPrior()
+        trace = []
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            if rng.random() < 0.5:
+                trace.append((("mem2reg", "slp-vectorizer", "dce"), 1.5 + 0.05 * rng.random()))
+            else:
+                trace.append((("lcssa", "sink", "dce"), 0.9 + 0.05 * rng.random()))
+        prior.observe_run(_result_with(trace))
+        scores = prior.scores()
+        assert scores["mem2reg"] > scores["lcssa"]
+        assert scores["slp-vectorizer"] > scores["sink"]
+        assert prior.top_passes(2)[0] in ("mem2reg", "slp-vectorizer")
+
+    def test_weights_are_distribution_and_favour_good(self):
+        prior = PassCorrelationPrior()
+        prior.observe_run(
+            _result_with([(("a",), 2.0), (("a",), 2.1), (("b",), 0.5), (("b",), 0.6)])
+        )
+        w = prior.pass_weights(["a", "b", "c"])
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] > w[1]
+        assert w[2] > 0  # unseen pass keeps a floor
+
+    def test_short_runs_ignored(self):
+        prior = PassCorrelationPrior()
+        prior.observe_run(_result_with([(("a",), 2.0)]))
+        assert prior.n_runs == 0
+
+    def test_merge_accumulates(self):
+        p1, p2 = PassCorrelationPrior(), PassCorrelationPrior()
+        p1.observe_run(_result_with([(("a",), 2.0), (("b",), 0.5)]))
+        p2.observe_run(_result_with([(("a",), 1.8), (("b",), 0.6)]))
+        p1.merge(p2)
+        assert p1.n_runs == 2
+        assert p1.scores()["a"] > p1.scores()["b"]
+
+    def test_incorrect_measurements_skipped(self):
+        prior = PassCorrelationPrior()
+        r = _result_with([(("a",), 2.0), (("b",), 0.5)])
+        r.measurements.append(Measurement(2, "m", ("crash",), float("inf"), 0.0, correct=False))
+        prior.observe_run(r)
+        assert "crash" not in prior.scores()
+
+
+class TestPriorDrivesGeneration:
+    def test_weighted_random_sequences_biased(self):
+        from repro.heuristics.random_search import RandomSequenceSearch
+
+        w = np.array([0.7, 0.1, 0.1, 0.1])
+        opt = RandomSequenceSearch(16, 4, seed=0, gene_weights=w)
+        X = opt.ask(200)
+        frac0 = (X == 0).mean()
+        assert frac0 > 0.5
+
+    def test_citroen_accepts_prior_end_to_end(self):
+        from repro.core import AutotuningTask, Citroen
+        from repro.workloads import cbench_program
+
+        donor_task = AutotuningTask(
+            cbench_program("telecom_gsm"), platform="arm-a57", seed=0, seq_length=16
+        )
+        donor = Citroen(donor_task, seed=1, n_init=4, per_strategy=2).tune(10)
+        prior = PassCorrelationPrior()
+        prior.observe_run(donor)
+
+        task = AutotuningTask(
+            cbench_program("security_sha"), platform="arm-a57", seed=0, seq_length=16
+        )
+        res = Citroen(task, seed=2, n_init=4, per_strategy=2, pass_prior=prior).tune(10)
+        assert len(res.measurements) == 10

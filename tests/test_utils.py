@@ -1,0 +1,38 @@
+"""Tests for RNG plumbing and miscellaneous utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        g = as_generator(None)
+        assert isinstance(g, np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert as_generator(5).random() == as_generator(5).random()
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        g2 = as_generator(g)
+        assert g2 is g
+
+
+class TestSpawn:
+    def test_children_independent(self):
+        parent = as_generator(7)
+        a, b = spawn(parent, 2)
+        assert a.random() != b.random()
+
+    def test_children_reproducible(self):
+        c1 = spawn(as_generator(7), 3)
+        c2 = spawn(as_generator(7), 3)
+        assert [g.random() for g in c1] == [g.random() for g in c2]
+
+    def test_spawn_does_not_consume_parent_stream(self):
+        p1 = as_generator(7)
+        spawn(p1, 4)
+        p2 = as_generator(7)
+        assert p1.random() == p2.random()

@@ -1,0 +1,80 @@
+"""Tests for the benchmark program suites."""
+
+import pytest
+
+from repro.compiler.verify import verify_module
+from repro.machine.interp import run_program
+from repro.workloads import (
+    CBENCH,
+    SPEC,
+    cbench_names,
+    cbench_program,
+    random_program,
+    spec_names,
+    spec_program,
+)
+
+
+@pytest.mark.parametrize("name", cbench_names())
+def test_cbench_program_valid_and_deterministic(name):
+    p = cbench_program(name)
+    assert p.suite == "cbench"
+    for mod in p.modules:
+        verify_module(mod)
+    r1 = p.reference_output()
+    r2 = run_program(p.modules, fuel=p.fuel)
+    assert r1.output_signature() == r2.output_signature()
+    assert r1.outputs, "programs must produce observable output"
+
+
+@pytest.mark.parametrize("name", spec_names())
+def test_spec_program_valid_and_multimodule(name):
+    p = spec_program(name)
+    assert p.suite == "spec"
+    assert len(p.modules) >= 3, "SPEC-like programs are multi-module"
+    for mod in p.modules:
+        verify_module(mod)
+    assert p.reference_output().outputs
+
+
+def test_factories_produce_fresh_objects():
+    a = cbench_program("telecom_gsm")
+    b = cbench_program("telecom_gsm")
+    assert a.modules[0] is not b.modules[0]
+
+
+def test_unknown_names_raise():
+    with pytest.raises(KeyError):
+        cbench_program("nope")
+    with pytest.raises(KeyError):
+        spec_program("nope")
+
+
+def test_get_module():
+    p = cbench_program("telecom_gsm")
+    assert p.get_module("long_term").name == "long_term"
+    with pytest.raises(KeyError):
+        p.get_module("missing")
+
+
+def test_program_compile_leaves_source_untouched():
+    p = cbench_program("security_sha")
+    before = p.get_module("sha_transform").num_instrs()
+    linked, results = p.compile({"sha_transform": ["mem2reg", "dce"]})
+    assert p.get_module("sha_transform").num_instrs() == before
+    assert "sha_transform" in results
+    # unlisted modules pass through as-is
+    assert linked[-1] is p.modules[-1]
+
+
+def test_random_program_reproducible():
+    a = random_program(seed=42, n_modules=2)
+    b = random_program(seed=42, n_modules=2)
+    assert a.reference_output().output_signature() == b.reference_output().output_signature()
+
+
+def test_random_program_seeds_differ():
+    sigs = {
+        random_program(seed=s).reference_output().output_signature() for s in range(8)
+    }
+    assert len(sigs) > 1
