@@ -36,14 +36,20 @@ def scale() -> int:
 
 
 def make_task(
-    program_name: str, platform: str = "arm-a57", seed: int = 0, seq_length: int = 24
+    program_name: str,
+    platform: str = "arm-a57",
+    seed: int = 0,
+    seq_length: int = 24,
+    **task_kwargs,
 ) -> AutotuningTask:
     prog = (
         cbench_program(program_name)
         if program_name in cbench_names()
         else spec_program(program_name)
     )
-    return AutotuningTask(prog, platform=platform, seed=seed, seq_length=seq_length)
+    return AutotuningTask(
+        prog, platform=platform, seed=seed, seq_length=seq_length, **task_kwargs
+    )
 
 
 TUNERS: Dict[str, Callable] = {

@@ -15,7 +15,7 @@ Quickstart
 True
 """
 
-from repro.core import AutotuningTask, Citroen, CitroenCostModel, TuningResult, differential_test
+from repro.core import AutotuningTask, Citroen, CitroenCostModel, CompileEngine, TuningResult, differential_test
 from repro.baselines import BOCATuner, EnsembleTuner, GATuner, RandomSearchTuner
 from repro.bo import AIBO, BOGrad, GaussianProcess, HeSBO, TuRBO
 from repro.compiler import available_passes, pipeline, run_opt
@@ -31,6 +31,7 @@ __all__ = [
     "BOGrad",
     "Citroen",
     "CitroenCostModel",
+    "CompileEngine",
     "EnsembleTuner",
     "GATuner",
     "GaussianProcess",

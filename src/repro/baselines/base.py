@@ -41,6 +41,16 @@ class BaseTuner:
         index = {p: i for i, p in enumerate(self.task.passes)}
         ids = [index[p] for p in pipeline("-O3") if p in index]
         L = self.task.seq_length
+        if not ids:
+            # pass alphabet disjoint from the -O3 pipeline: nothing to encode
+            import warnings
+
+            warnings.warn(
+                "no -O3 pipeline pass is in the search alphabet; "
+                "seeding with a random sequence instead",
+                stacklevel=2,
+            )
+            return self.random_sequence()
         if len(ids) >= L:
             return np.asarray(ids[:L], dtype=int)
         reps = ids * (L // len(ids) + 1)
@@ -85,10 +95,14 @@ class BaseTuner:
                 seq = self._o3_sequence()
             else:
                 module, seq = self.propose()
-            compiled, _stats = task.compile_module(module, seq)
+            # through the task's CompileEngine: candidates a tuner re-visits
+            # (O3 re-seeds, GA elitism, mutation collisions) are cache hits
+            compiled, _stats = task.compile_batch([(module, seq)])[0]
             link = dict(self._best_compiled)
             link[module] = compiled
             runtime, ok = task.measure(link)
+            full_config = {m: tuple(task.decode(s)) for m, s in self._best_seq.items()}
+            full_config[module] = tuple(task.decode(seq))
             result.measurements.append(
                 Measurement(
                     index=len(result.measurements),
@@ -97,6 +111,7 @@ class BaseTuner:
                     runtime=runtime if ok else float("inf"),
                     speedup_vs_o3=task.o3_runtime / runtime if ok else 0.0,
                     correct=ok,
+                    sequences=full_config,
                 )
             )
             if ok:

@@ -6,6 +6,12 @@ acquisition over a candidate neighbourhood of the incumbent; this adapts
 the same design to phase ordering: per-position sequence features, a
 bagged-tree model, and candidates drawn half from mutations of the best
 sequence and half uniformly at random.
+
+The candidate pool is scored on raw sequence features (no compilation),
+so only the chosen candidate is built — via the task's
+:class:`~repro.core.eval_engine.CompileEngine` (see ``BaseTuner.tune``),
+whose LRU cache absorbs the frequent mutation collisions around the
+incumbent that BOCA's half-mutation pool produces.
 """
 
 from __future__ import annotations

@@ -40,6 +40,13 @@ _TUNERS = {
 }
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
 def _load_program(name: str):
     if name in cbench_names():
         return cbench_program(name)
@@ -56,6 +63,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         platform=args.platform,
         seed=args.seed,
         seq_length=args.seq_length,
+        jobs=args.jobs,
+        compile_cache_size=args.compile_cache_size,
     )
     print(f"program      : {args.program}")
     print(f"platform     : {args.platform}")
@@ -65,6 +74,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     result = tuner.tune(args.budget)
     print(f"\nbest runtime : {result.best_runtime * 1e6:.2f} us")
     print(f"speedup/-O3  : {result.speedup_over_o3():.3f}x")
+    timing = result.timing or task.timing_breakdown()
+    wall = timing.get("compile_wall_seconds", 0.0)
+    cpu = timing.get("compile_seconds", 0.0)
+    print(
+        f"compile      : {timing.get('n_compiles', 0)} compiles, "
+        f"{100 * timing.get('compile_cache_hit_rate', 0.0):.1f}% cache hits, "
+        f"{cpu * 1e3:.1f} ms worker time / {wall * 1e3:.1f} ms wall "
+        f"(jobs={args.jobs})"
+    )
     if args.show_sequences:
         for module, seq in result.best_config.items():
             print(f"\n[{module}]\n  {' '.join(seq)}")
@@ -132,7 +150,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for name in args.tuners.split(","):
         name = name.strip()
         task = AutotuningTask(
-            _load_program(args.program), platform=args.platform, seed=args.seed
+            _load_program(args.program),
+            platform=args.platform,
+            seed=args.seed,
+            jobs=args.jobs,
+            compile_cache_size=args.compile_cache_size,
         )
         results[name] = _TUNERS[name](task, args.seed).tune(args.budget)
     print(ascii_curve(results))
@@ -156,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--seed", type=int, default=0)
     tune.add_argument("--seq-length", type=int, default=32)
     tune.add_argument("--show-sequences", action="store_true")
+    tune.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="parallel compile workers (1 = deterministic serial loop; "
+        "proposals are identical at any setting)",
+    )
+    tune.add_argument(
+        "--compile-cache-size", type=int, default=2048,
+        help="bounded LRU compilation cache entries (0 disables)",
+    )
     tune.set_defaults(func=_cmd_tune)
 
     progs = sub.add_parser("programs", help="list benchmark programs")
@@ -173,6 +204,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--budget", type=int, default=60)
     compare.add_argument("--platform", choices=["arm-a57", "amd-x86"], default="arm-a57")
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--jobs", type=_positive_int, default=1)
+    compare.add_argument("--compile-cache-size", type=int, default=2048)
     compare.set_defaults(func=_cmd_compare)
     return parser
 

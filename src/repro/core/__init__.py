@@ -12,6 +12,7 @@ points:
 """
 
 from repro.core.task import AutotuningTask
+from repro.core.eval_engine import CompileEngine
 from repro.core.result import Measurement, TuningResult
 from repro.core.cost_model import CitroenCostModel
 from repro.core.generator import CandidateGenerator
@@ -24,6 +25,7 @@ __all__ = [
     "CandidateGenerator",
     "Citroen",
     "CitroenCostModel",
+    "CompileEngine",
     "Measurement",
     "PassCorrelationPrior",
     "TuningResult",

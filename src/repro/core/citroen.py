@@ -5,11 +5,19 @@ Per iteration:
 1. every hot module's candidate generator (DES + GA + random, §5.3.5)
    proposes raw pass sequences;
 2. each candidate is **compiled** — cheap and parallelisable — yielding its
-   compilation statistics;
+   compilation statistics; the whole ``per_strategy x strategies x
+   hot_modules`` population goes through ``task.compile_batch`` in one
+   call, so the task's :class:`~repro.core.eval_engine.CompileEngine`
+   fans it out over ``jobs`` workers and serves repeated candidates from
+   its LRU cache;
 3. candidates whose statistics signature matches an already-measured
    configuration are *deduplicated*: identical statistics ≈ identical
    binary, so the known runtime is reused without spending budget
-   (Kulkarni-style redundancy elimination, §3.1.1);
+   (Kulkarni-style redundancy elimination, §3.1.1).  The signature covers
+   the **full configuration** (candidate module + current incumbent on
+   every other module) — runtimes belong to whole programs, so a
+   per-module signature would wrongly reuse a runtime measured under a
+   different incumbent;
 4. the coverage-aware acquisition function (§5.3.4) scores every remaining
    ``(module, candidate)`` pair under the global cost model — candidates
    whose statistics lie outside the observed feature coverage have their
@@ -27,6 +35,7 @@ round-robin in ``benchmarks/test_multimodule_budget.py``.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -136,10 +145,22 @@ class Citroen:
         raise KeyError(f"unknown feature mode {self.feature_mode!r}")
 
     def _o3_seed_sequence(self) -> np.ndarray:
-        """The -O3 pipeline encoded (and padded/cut) to the search length."""
+        """The -O3 pipeline encoded (and padded/cut) to the search length.
+
+        With a pass alphabet disjoint from the -O3 pipeline (custom/reduced
+        subsets, cf. the Fig 5.10 LLVM-10-like config) there is nothing to
+        encode; fall back to a random seed sequence instead of dividing by
+        zero."""
         index = {p: i for i, p in enumerate(self.task.passes)}
         ids = [index[p] for p in pipeline("-O3") if p in index]
         L = self.task.seq_length
+        if not ids:
+            warnings.warn(
+                "no -O3 pipeline pass is in the search alphabet; "
+                "seeding with a random sequence instead",
+                stacklevel=2,
+            )
+            return self.rng.integers(0, self.task.alphabet, size=L)
         if len(ids) >= L:
             return np.asarray(ids[:L], dtype=int)
         reps = ids * (L // len(ids) + 1)
@@ -223,22 +244,30 @@ class Citroen:
         if not self.model.ready or not self._best_seq:
             return None
         modules = self._modules_to_consider()
-        scored = []
+        raw: List[Tuple[str, str, np.ndarray]] = []
         for module_name in modules:
-            gen = self.generators[module_name]
-            for provenance, seq in gen.ask(self.per_strategy):
-                compiled, stats = task.compile_module(module_name, seq)
-                feats = self._features_of(module_name, seq, compiled, stats)
-                per_module = dict(self._best_feats())
-                per_module[module_name] = feats
-                sig = self.model.signature({module_name: feats})
-                if self.use_dedup and sig in self._sig_runtime:
-                    # identical statistics => identical binary: reuse the
-                    # known runtime as generator feedback, skip profiling
-                    gen.tell(seq, self._sig_runtime[sig])
-                    result.extras["dedup_hits"] += 1
-                    continue
-                scored.append((module_name, seq, compiled, stats, provenance, per_module, sig))
+            for provenance, seq in self.generators[module_name].ask(self.per_strategy):
+                raw.append((module_name, provenance, seq))
+        # the whole candidate population compiles in one batch — the engine
+        # fans it out over `jobs` workers and caches repeated candidates
+        batch = task.compile_batch([(m, seq) for m, _prov, seq in raw])
+        scored = []
+        for (module_name, provenance, seq), (compiled, stats) in zip(raw, batch):
+            feats = self._features_of(module_name, seq, compiled, stats)
+            per_module = dict(self._best_feats())
+            per_module[module_name] = feats
+            # full-config signature: the stored runtime belongs to the whole
+            # program, so the key must cover the incumbent on every other
+            # module too — a per-module key would resurrect runtimes
+            # measured under a stale incumbent
+            sig = self.model.signature(per_module)
+            if self.use_dedup and sig in self._sig_runtime:
+                # identical statistics => identical binary: reuse the
+                # known runtime as generator feedback, skip profiling
+                self.generators[module_name].tell(seq, self._sig_runtime[sig])
+                result.extras["dedup_hits"] += 1
+                continue
+            scored.append((module_name, seq, compiled, stats, provenance, per_module, sig))
         if not scored:
             return None
         t0 = time.perf_counter()
@@ -313,24 +342,34 @@ class Citroen:
         compiled: Dict[str, Module] = {}
         stats_all: Dict[str, Dict[str, int]] = {}
         feats_all: Dict[str, Dict[str, int]] = {}
+        missing: List[Tuple[str, np.ndarray]] = []
         for name, seq in cfg.items():
             if precompiled is not None and precompiled[0] == name:
-                mod, stats = precompiled[1], precompiled[2]
-                task_stats = stats
+                compiled[name], stats_all[name] = precompiled[1], precompiled[2]
             elif name in self._best_seq and np.array_equal(seq, self._best_seq[name]) and name in self._best_compiled:
-                mod, task_stats = self._best_compiled[name], self._best_stats[name]
+                compiled[name], stats_all[name] = self._best_compiled[name], self._best_stats[name]
             else:
-                mod, task_stats = task.compile_module(name, seq)
-            compiled[name] = mod
-            stats_all[name] = task_stats
-            feats_all[name] = self._features_of(name, seq, mod, task_stats)
+                missing.append((name, seq))
+        if missing:  # init/fallback configs: compile every module in one batch
+            for (name, _seq), (mod, task_stats) in zip(missing, task.compile_batch(missing)):
+                compiled[name] = mod
+                stats_all[name] = task_stats
+        for name, seq in cfg.items():
+            feats_all[name] = self._features_of(name, seq, compiled[name], stats_all[name])
 
         runtime, ok = task.measure(compiled)
         idx = len(result.measurements)
         changed = module if module is not None else "all"
-        seq_names = tuple(task.decode(cfg[module])) if module is not None else tuple(
-            task.decode(next(iter(cfg.values())))
-        )
+        per_module_seqs = {name: tuple(task.decode(seq)) for name, seq in cfg.items()}
+        if module is not None:
+            seq_names = per_module_seqs[module]
+        else:
+            # whole-config measurement (init/fallback): the flat field holds
+            # every module's passes, not an arbitrary module's presented as
+            # representative
+            seq_names = tuple(
+                p for name in sorted(per_module_seqs) for p in per_module_seqs[name]
+            )
         result.measurements.append(
             Measurement(
                 index=idx,
@@ -339,6 +378,7 @@ class Citroen:
                 runtime=runtime if ok else float("inf"),
                 speedup_vs_o3=task.o3_runtime / runtime if ok else 0.0,
                 correct=ok,
+                sequences=per_module_seqs,
             )
         )
         result.extras["winner_strategies"].append(winner)
@@ -348,9 +388,10 @@ class Citroen:
             return  # differential test failed: discard this configuration
 
         self.model.add_observation(feats_all, runtime)
-        for sig_name, feats in feats_all.items():
-            sig = self.model.signature({sig_name: feats})
-            self._sig_runtime.setdefault(sig, runtime)
+        # dedup table: runtimes are whole-program facts, so the key is the
+        # FULL configuration's statistics signature; assignment (not
+        # setdefault) keeps the entry at the latest measurement
+        self._sig_runtime[self.model.signature(feats_all)] = runtime
         for name, seq in cfg.items():
             self.generators[name].tell(seq, runtime)
         if runtime < self._best_runtime:

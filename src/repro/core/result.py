@@ -12,7 +12,13 @@ __all__ = ["Measurement", "TuningResult"]
 
 @dataclass
 class Measurement:
-    """One expensive runtime measurement."""
+    """One expensive runtime measurement.
+
+    ``sequence`` is the changed module's pass sequence — or, for
+    whole-config measurements (``module == "all"``), every module's passes
+    concatenated in module-name order.  ``sequences`` holds the full
+    per-module configuration when the tuner records it.
+    """
 
     index: int
     module: str
@@ -20,6 +26,7 @@ class Measurement:
     runtime: float
     speedup_vs_o3: float
     correct: bool = True
+    sequences: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
 
 
 @dataclass

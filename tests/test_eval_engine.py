@@ -1,0 +1,342 @@
+"""Tests for the parallel compile engine and the dedup/seed bugfixes.
+
+Covers:
+
+* ``CompileEngine`` — batch order preservation under parallelism, bounded
+  LRU eviction, within-batch dedup, thread-safe counters, wall-vs-worker
+  time accounting;
+* ``AutotuningTask.compile_batch`` — parity with ``compile_module``,
+  cache accounting, jobs-invariant results;
+* the stale cross-config dedup regression (per-module signature keys
+  wrongly reused whole-program runtimes across incumbents);
+* ``_o3_seed_sequence`` fallback when the pass alphabet is disjoint from
+  the -O3 pipeline;
+* truthful per-module sequence logging for whole-config measurements.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import AutotuningTask, Citroen, CompileEngine, cbench_program, spec_program
+from repro.baselines import RandomSearchTuner
+from repro.compiler.opt_tool import available_passes
+from repro.compiler.pipelines import pipeline
+from repro.core.result import TuningResult
+
+
+def _fresh_result(task):
+    """A TuningResult with the extras Citroen._measure_config appends to."""
+    r = TuningResult(program=task.program.name, tuner="t", o3_runtime=task.o3_runtime)
+    r.extras["winner_strategies"] = []
+    r.extras["chosen_modules"] = []
+    r.extras["dedup_hits"] = 0
+    r.extras["chosen_coverage"] = []
+    return r
+
+
+class TestCompileEngine:
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            CompileEngine(lambda n, s: None, jobs=0)
+        with pytest.raises(ValueError):
+            CompileEngine(lambda n, s: None, executor="gpu")
+
+    def test_batch_results_in_input_order_parallel(self):
+        def slow_compile(name, seq):
+            # later items finish first: order must still follow the input
+            time.sleep(0.03 / (int(seq[0]) + 1))
+            return (name, tuple(seq))
+
+        eng = CompileEngine(slow_compile, jobs=4, executor="thread")
+        items = [("m", [i]) for i in range(8)]
+        try:
+            out = eng.compile_batch(items)
+        finally:
+            eng.close()
+        assert out == [("m", (i,)) for i in range(8)]
+
+    def test_lru_eviction_and_counters(self):
+        calls = []
+
+        def compile_fn(name, seq):
+            calls.append((name, tuple(seq)))
+            return sum(seq)
+
+        eng = CompileEngine(compile_fn, jobs=1, cache_size=2)
+        eng.compile_one("a", [1])
+        eng.compile_one("b", [2])
+        eng.compile_one("a", [1])  # hit; refreshes "a" to most-recent
+        eng.compile_one("c", [3])  # evicts "b" (least recently used)
+        eng.compile_one("b", [2])  # miss again: recompiled, evicts "a"
+        eng.compile_one("a", [1])  # miss: "a" was just evicted
+        info = eng.cache_info()
+        assert calls.count(("b", (2,))) == 2
+        assert info["evictions"] >= 2
+        assert info["size"] == 2
+        assert eng.hits == 1
+        assert eng.misses == 5
+        assert eng.n_compiles == 5
+
+    def test_within_batch_duplicates_compile_once(self):
+        calls = []
+
+        def compile_fn(name, seq):
+            calls.append((name, tuple(seq)))
+            return tuple(seq)
+
+        eng = CompileEngine(compile_fn, jobs=1)
+        out = eng.compile_batch([("m", [1]), ("m", [1]), ("m", [2]), ("m", [1])])
+        assert out == [(1,), (1,), (2,), (1,)]
+        assert len(calls) == 2
+        assert eng.hits == 2 and eng.misses == 2
+
+    def test_cache_disabled(self):
+        calls = []
+
+        def compile_fn(name, seq):
+            calls.append(1)
+            return 0
+
+        eng = CompileEngine(compile_fn, cache_size=0)
+        eng.compile_one("m", [1])
+        eng.compile_one("m", [1])
+        assert len(calls) == 2
+        assert eng.cache_info()["size"] == 0
+
+    def test_counters_thread_safe_under_concurrent_clients(self):
+        def compile_fn(name, seq):
+            time.sleep(0.0005)
+            return tuple(seq)
+
+        eng = CompileEngine(compile_fn, jobs=4, executor="thread", cache_size=4096)
+        n_threads, uniques, repeats = 6, 20, 3
+
+        def client(tid):
+            # disjoint key ranges per client so expected counts are exact
+            items = [("m", [tid, i]) for i in range(uniques)] * repeats
+            eng.compile_batch(items)
+
+        threads = [threading.Thread(target=client, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        eng.close()
+        total = n_threads * uniques * repeats
+        assert eng.n_compiles == n_threads * uniques
+        assert eng.misses == n_threads * uniques
+        assert eng.hits == total - n_threads * uniques
+        assert eng.cpu_seconds > 0
+
+    def test_wall_time_below_worker_time_when_parallel(self):
+        def compile_fn(name, seq):
+            time.sleep(0.02)
+            return 0
+
+        par = CompileEngine(compile_fn, jobs=4, executor="thread")
+        par.compile_batch([("m", [i]) for i in range(8)])
+        par.close()
+        assert par.wall_seconds < par.cpu_seconds
+
+        ser = CompileEngine(compile_fn, jobs=1)
+        ser.compile_batch([("m", [i]) for i in range(8)])
+        # serial: wall covers the same work plus bookkeeping
+        assert ser.wall_seconds >= ser.cpu_seconds
+
+
+@pytest.fixture(scope="module")
+def gsm_task():
+    return AutotuningTask(
+        cbench_program("telecom_gsm"), platform="arm-a57", seed=0, seq_length=12
+    )
+
+
+@pytest.fixture(scope="module")
+def x264_task():
+    return AutotuningTask(
+        spec_program("525.x264_r"), platform="arm-a57", seed=0, seq_length=12
+    )
+
+
+class TestTaskCompileBatch:
+    def test_batch_matches_compile_module(self, gsm_task):
+        rng = np.random.default_rng(0)
+        seqs = [rng.integers(0, gsm_task.alphabet, size=12) for _ in range(3)]
+        name = gsm_task.hot_modules[0]
+        batch = gsm_task.compile_batch([(name, s) for s in seqs])
+        for s, (mod, stats) in zip(seqs, batch):
+            mod2, stats2 = gsm_task.compile_module(name, s)
+            assert stats == stats2
+            assert mod.num_instrs() == mod2.num_instrs()
+
+    def test_cache_accounting(self):
+        task = AutotuningTask(
+            cbench_program("security_sha"), platform="arm-a57", seed=0, seq_length=8
+        )
+        name = task.hot_modules[0]
+        seq = [0] * 8
+        before = task.n_compiles
+        task.compile_module(name, seq)
+        task.compile_module(name, seq)  # cache hit: no recompile
+        assert task.n_compiles == before + 1
+        assert task.engine.hits >= 1
+        t = task.timing_breakdown()
+        assert {
+            "compile_wall_seconds",
+            "compile_cache_hits",
+            "compile_cache_misses",
+            "compile_cache_hit_rate",
+            "jobs",
+        } <= set(t)
+
+    def test_parallel_task_counts_deterministically(self):
+        task = AutotuningTask(
+            cbench_program("security_sha"),
+            platform="arm-a57",
+            seed=0,
+            seq_length=8,
+            jobs=4,
+        )
+        name = task.hot_modules[0]
+        rng = np.random.default_rng(1)
+        items = [(name, rng.integers(0, task.alphabet, size=8)) for _ in range(20)]
+        task.compile_batch(items)
+        keys = {(n, tuple(task.decode(s))) for n, s in items}
+        assert task.n_compiles == len(keys)
+        assert task.compile_seconds > 0
+        task.engine.close()
+
+
+class TestJobsDeterminism:
+    def test_tune_identical_at_jobs_1_and_4(self):
+        def run(jobs):
+            task = AutotuningTask(
+                cbench_program("telecom_gsm"),
+                platform="arm-a57",
+                seed=0,
+                seq_length=12,
+                jobs=jobs,
+            )
+            res = Citroen(task, seed=7, n_init=3, per_strategy=2).tune(10)
+            task.engine.close()
+            return [(m.module, m.sequence, m.runtime) for m in res.measurements]
+
+        assert run(1) == run(4)
+
+
+class TestStaleDedupRegression:
+    def test_full_config_signature_prevents_stale_reuse(self, x264_task):
+        """The old per-module dedup key collides across incumbents; the
+        full-config key does not."""
+        task = x264_task
+        assert len(task.hot_modules) >= 2
+        tuner = Citroen(task, seed=1, n_init=2, per_strategy=2)
+        result = _fresh_result(task)
+        m1, m2 = task.hot_modules[:2]
+        rng = np.random.default_rng(3)
+        base = {m: rng.integers(0, task.alphabet, size=12) for m in task.hot_modules}
+        cfg_a = dict(base)
+        cfg_b = dict(base)
+        cfg_b[m2] = rng.integers(0, task.alphabet, size=12)  # new incumbent on m2
+
+        tuner._measure_config(cfg_a, result, winner="t")
+        assert result.measurements[-1].correct
+        runtime_a = result.measurements[-1].runtime
+        tuner._measure_config(cfg_b, result, winner="t")
+        assert result.measurements[-1].correct
+        runtime_b = result.measurements[-1].runtime
+
+        def feats(cfg):
+            out = {}
+            for name, seq in cfg.items():
+                mod, stats = task.compile_module(name, seq)
+                out[name] = tuner._features_of(name, seq, mod, stats)
+            return out
+
+        feats_a, feats_b = feats(cfg_a), feats(cfg_b)
+        # the scenario: m1's module-local statistics are identical in both
+        # configs (same sequence), but the full configurations differ
+        old_key = tuner.model.signature({m1: feats_a[m1]})
+        assert tuner.model.signature({m1: feats_b[m1]}) == old_key
+        assert tuner.model.signature(feats_a) != tuner.model.signature(feats_b)
+        # old behaviour: _sig_runtime held old_key -> runtime_a, so proposing
+        # m1's sequence again under incumbent cfg_b reused runtime_a for a
+        # program whose true runtime is runtime_b.  Fixed table keys by the
+        # full configuration, so the per-module key cannot match at all:
+        assert old_key not in tuner._sig_runtime
+        assert tuner._sig_runtime[tuner.model.signature(feats_a)] == runtime_a
+        assert tuner._sig_runtime[tuner.model.signature(feats_b)] == runtime_b
+
+    def test_remeasurement_updates_entry(self, gsm_task):
+        """setdefault pinned the oldest runtime forever; re-measuring the
+        same configuration must refresh the dedup entry."""
+        task = gsm_task
+        tuner = Citroen(task, seed=2, n_init=2, per_strategy=2)
+        result = _fresh_result(task)
+        cfg = {m: np.zeros(12, dtype=int) for m in task.hot_modules}
+        tuner._measure_config(cfg, result, winner="t")
+        tuner._measure_config(cfg, result, winner="t")
+        assert result.measurements[-1].correct
+        latest = result.measurements[-1].runtime
+        assert len(tuner._sig_runtime) == 1
+        assert next(iter(tuner._sig_runtime.values())) == latest
+
+
+class TestO3SeedFallback:
+    def _reduced_task(self, **kw):
+        non_o3 = [p for p in available_passes() if p not in set(pipeline("-O3"))]
+        assert len(non_o3) >= 2, "pass registry no longer has non-O3 passes"
+        return AutotuningTask(
+            cbench_program("security_sha"),
+            platform="arm-a57",
+            seed=0,
+            passes=non_o3[:4],
+            seq_length=8,
+            **kw,
+        )
+
+    @pytest.mark.filterwarnings("ignore:no -O3 pipeline pass")
+    def test_citroen_seed_falls_back_to_random(self):
+        task = self._reduced_task()
+        tuner = Citroen(task, seed=1, n_init=2, per_strategy=2)
+        with pytest.warns(UserWarning, match="no -O3 pipeline pass"):
+            seq = tuner._o3_seed_sequence()
+        assert seq.shape == (8,)
+        assert ((0 <= seq) & (seq < task.alphabet)).all()
+        res = tuner.tune(4)
+        assert len(res.measurements) == 4
+
+    def test_baseline_seed_falls_back_to_random(self):
+        task = self._reduced_task()
+        tuner = RandomSearchTuner(task, seed=0)
+        with pytest.warns(UserWarning, match="no -O3 pipeline pass"):
+            res = tuner.tune(3)
+        assert len(res.measurements) == 3
+
+
+class TestTruthfulMeasurementLogs:
+    def test_whole_config_measurements_record_every_module(self, x264_task):
+        task = x264_task
+        res = Citroen(task, seed=5, n_init=3, per_strategy=2).tune(8)
+        assert any(m.module == "all" for m in res.measurements)
+        for m in res.measurements:
+            assert m.sequences, "full per-module config must be recorded"
+            if m.module == "all":
+                assert set(m.sequences) == set(task.hot_modules)
+                flat = tuple(
+                    p for name in sorted(m.sequences) for p in m.sequences[name]
+                )
+                assert m.sequence == flat
+            else:
+                assert m.sequence == m.sequences[m.module]
+
+    def test_baseline_measurements_record_config(self, gsm_task):
+        task = AutotuningTask(
+            cbench_program("telecom_gsm"), platform="arm-a57", seed=0, seq_length=12
+        )
+        res = RandomSearchTuner(task, seed=3).tune(5)
+        for m in res.measurements:
+            assert m.sequence == m.sequences[m.module]
