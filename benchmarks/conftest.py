@@ -35,6 +35,11 @@ def scale() -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
 
 
+#: Tasks handed out by make_task since the last cleanup; the autouse
+#: fixture below closes them so no benchmark leaks a worker pool.
+_OPEN_TASKS: List[AutotuningTask] = []
+
+
 def make_task(
     program_name: str,
     platform: str = "arm-a57",
@@ -47,9 +52,19 @@ def make_task(
         if program_name in cbench_names()
         else spec_program(program_name)
     )
-    return AutotuningTask(
+    task = AutotuningTask(
         prog, platform=platform, seed=seed, seq_length=seq_length, **task_kwargs
     )
+    _OPEN_TASKS.append(task)
+    return task
+
+
+@pytest.fixture(autouse=True)
+def _close_open_tasks():
+    """Close every task a benchmark created (idempotent; pool leak guard)."""
+    yield
+    while _OPEN_TASKS:
+        _OPEN_TASKS.pop().close()
 
 
 TUNERS: Dict[str, Callable] = {
@@ -74,9 +89,9 @@ def run_tuner(
     platform: str = "arm-a57",
     tuner_factory: Optional[Callable] = None,
 ) -> TuningResult:
-    task = make_task(program_name, platform=platform, seed=100 + seed)
     factory = tuner_factory if tuner_factory is not None else TUNERS[tuner_name]
-    return factory(task, seed).tune(budget)
+    with make_task(program_name, platform=platform, seed=100 + seed) as task:
+        return factory(task, seed).tune(budget)
 
 
 def mean_speedups(

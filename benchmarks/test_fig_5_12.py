@@ -25,9 +25,8 @@ def _run():
     rows = []
     for prog in PROGRAMS:
         for jobs in (1, 4):
-            task = make_task(prog, seed=101, jobs=jobs)
-            res = Citroen(task, seed=1).tune(budget)
-            task.engine.close()
+            with make_task(prog, seed=101, jobs=jobs) as task:
+                res = Citroen(task, seed=1).tune(budget)
             compile_s = res.timing["compile_seconds"]
             measure_s = res.timing["measure_seconds"]
             model_s = res.timing["model_seconds"]

@@ -15,7 +15,16 @@ Quickstart
 True
 """
 
-from repro.core import AutotuningTask, Citroen, CitroenCostModel, CompileEngine, TuningResult, differential_test
+from repro.core import (
+    AutotuningTask,
+    Citroen,
+    CitroenCostModel,
+    CompileEngine,
+    CompileOutcome,
+    FaultInjector,
+    TuningResult,
+    differential_test,
+)
 from repro.baselines import BOCATuner, EnsembleTuner, GATuner, RandomSearchTuner
 from repro.bo import AIBO, BOGrad, GaussianProcess, HeSBO, TuRBO
 from repro.compiler import available_passes, pipeline, run_opt
@@ -32,7 +41,9 @@ __all__ = [
     "Citroen",
     "CitroenCostModel",
     "CompileEngine",
+    "CompileOutcome",
     "EnsembleTuner",
+    "FaultInjector",
     "GATuner",
     "GaussianProcess",
     "HeSBO",

@@ -76,9 +76,33 @@ class BaseTuner:
         """A uniformly random pass sequence."""
         return self.rng.integers(0, self.task.alphabet, size=self.task.seq_length)
 
+    def _record(self, result, module, seq, runtime, ok, status) -> None:
+        task = self.task
+        full_config = {m: tuple(task.decode(s)) for m, s in self._best_seq.items()}
+        full_config[module] = tuple(task.decode(seq))
+        result.measurements.append(
+            Measurement(
+                index=len(result.measurements),
+                module=module,
+                sequence=tuple(task.decode(seq)),
+                runtime=runtime if ok else float("inf"),
+                speedup_vs_o3=task.o3_runtime / runtime if ok else 0.0,
+                correct=ok,
+                sequences=full_config,
+                status=status,
+            )
+        )
+
     # -- driver ---------------------------------------------------------------------
     def tune(self, budget: int) -> TuningResult:
-        """Run the search for ``budget`` measurements; returns the trace."""
+        """Run the search for ``budget`` measurements; returns the trace.
+
+        Fault-tolerant: a candidate that fails to compile (crash, timeout,
+        quarantined key), crashes during measurement, or miscompiles is
+        recorded as an infeasible measurement with penalty fitness fed to
+        :meth:`observe`; it never becomes the incumbent and the search
+        continues to its full budget.
+        """
         task = self.task
         result = TuningResult(
             program=task.program.name,
@@ -97,22 +121,23 @@ class BaseTuner:
                 module, seq = self.propose()
             # through the task's CompileEngine: candidates a tuner re-visits
             # (O3 re-seeds, GA elitism, mutation collisions) are cache hits
-            compiled, _stats = task.compile_batch([(module, seq)])[0]
+            outcome = task.compile_batch([(module, seq)], outcomes=True)[0]
+            if not outcome.ok:
+                self._record(result, module, seq, float("inf"), False, outcome.status)
+                self.observe(module, seq, task.penalty_runtime)
+                continue
+            compiled, _stats = outcome.value
             link = dict(self._best_compiled)
             link[module] = compiled
-            runtime, ok = task.measure(link)
-            full_config = {m: tuple(task.decode(s)) for m, s in self._best_seq.items()}
-            full_config[module] = tuple(task.decode(seq))
-            result.measurements.append(
-                Measurement(
-                    index=len(result.measurements),
-                    module=module,
-                    sequence=tuple(task.decode(seq)),
-                    runtime=runtime if ok else float("inf"),
-                    speedup_vs_o3=task.o3_runtime / runtime if ok else 0.0,
-                    correct=ok,
-                    sequences=full_config,
-                )
+            cfg = dict(self._best_seq)
+            cfg[module] = seq
+            key = tuple(
+                sorted((n, tuple(int(i) for i in s)) for n, s in cfg.items())
+            )
+            runtime, ok = task.measure(link, config_key=key)
+            self._record(
+                result, module, seq, runtime, ok,
+                "ok" if ok else (task.last_failure or "incorrect"),
             )
             if ok:
                 self.observe(module, seq, runtime)
@@ -120,6 +145,9 @@ class BaseTuner:
                     self._best_runtime = runtime
                     self._best_seq[module] = np.asarray(seq, dtype=int).copy()
                     self._best_compiled[module] = compiled
+            else:
+                # infeasible: penalty feedback, incumbent untouched
+                self.observe(module, seq, task.penalty_runtime)
         result.best_config = {m: tuple(task.decode(s)) for m, s in self._best_seq.items()}
         result.timing = dict(task.timing_breakdown())
         return result

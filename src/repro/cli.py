@@ -47,6 +47,43 @@ def _positive_int(value: str) -> int:
     return n
 
 
+def _fault_injector(args: argparse.Namespace):
+    """Build the chaos injector from the CLI flags (``None`` when off)."""
+    from repro.core.faults import FaultInjector, parse_fault_kinds
+
+    try:
+        kinds = parse_fault_kinds(args.inject_faults)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if not kinds:
+        return None
+    return FaultInjector(
+        rate=args.fault_rate,
+        kinds=kinds,
+        seed=args.fault_seed,
+        hang_seconds=args.fault_hang_seconds,
+    )
+
+
+def _make_task(args: argparse.Namespace, program_name: str):
+    injector = _fault_injector(args)
+    compile_timeout = args.compile_timeout
+    if compile_timeout is None and injector is not None and "hang" in injector.kinds:
+        # chaos run with hangs: default a timeout below the hang delay so
+        # the hang fault actually trips the engine's timeout path
+        compile_timeout = max(0.05, injector.hang_seconds / 2.0)
+    return AutotuningTask(
+        _load_program(program_name),
+        platform=args.platform,
+        seed=args.seed,
+        seq_length=getattr(args, "seq_length", 32),
+        jobs=args.jobs,
+        compile_cache_size=args.compile_cache_size,
+        fault_injector=injector,
+        compile_timeout=compile_timeout,
+    )
+
+
 def _load_program(name: str):
     if name in cbench_names():
         return cbench_program(name)
@@ -58,34 +95,40 @@ def _load_program(name: str):
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
-    task = AutotuningTask(
-        _load_program(args.program),
-        platform=args.platform,
-        seed=args.seed,
-        seq_length=args.seq_length,
-        jobs=args.jobs,
-        compile_cache_size=args.compile_cache_size,
-    )
-    print(f"program      : {args.program}")
-    print(f"platform     : {args.platform}")
-    print(f"hot modules  : {task.hot_modules}")
-    print(f"-O3 runtime  : {task.o3_runtime * 1e6:.2f} us")
-    tuner = _TUNERS[args.tuner](task, args.seed)
-    result = tuner.tune(args.budget)
-    print(f"\nbest runtime : {result.best_runtime * 1e6:.2f} us")
-    print(f"speedup/-O3  : {result.speedup_over_o3():.3f}x")
-    timing = result.timing or task.timing_breakdown()
-    wall = timing.get("compile_wall_seconds", 0.0)
-    cpu = timing.get("compile_seconds", 0.0)
-    print(
-        f"compile      : {timing.get('n_compiles', 0)} compiles, "
-        f"{100 * timing.get('compile_cache_hit_rate', 0.0):.1f}% cache hits, "
-        f"{cpu * 1e3:.1f} ms worker time / {wall * 1e3:.1f} ms wall "
-        f"(jobs={args.jobs})"
-    )
-    if args.show_sequences:
-        for module, seq in result.best_config.items():
-            print(f"\n[{module}]\n  {' '.join(seq)}")
+    with _make_task(args, args.program) as task:
+        print(f"program      : {args.program}")
+        print(f"platform     : {args.platform}")
+        print(f"hot modules  : {task.hot_modules}")
+        print(f"-O3 runtime  : {task.o3_runtime * 1e6:.2f} us")
+        tuner = _TUNERS[args.tuner](task, args.seed)
+        result = tuner.tune(args.budget)
+        print(f"\nbest runtime : {result.best_runtime * 1e6:.2f} us")
+        print(f"speedup/-O3  : {result.speedup_over_o3():.3f}x")
+        timing = result.timing or task.timing_breakdown()
+        wall = timing.get("compile_wall_seconds", 0.0)
+        cpu = timing.get("compile_seconds", 0.0)
+        print(
+            f"compile      : {timing.get('n_compiles', 0)} compiles, "
+            f"{100 * timing.get('compile_cache_hit_rate', 0.0):.1f}% cache hits, "
+            f"{cpu * 1e3:.1f} ms worker time / {wall * 1e3:.1f} ms wall "
+            f"(jobs={args.jobs})"
+        )
+        if task.fault_injector is not None:
+            print(
+                f"faults       : {result.n_infeasible} infeasible of "
+                f"{len(result.measurements)} measurements | "
+                f"{int(timing.get('compile_failures', 0))} compile failures, "
+                f"{int(timing.get('compile_timeouts', 0))} timeouts, "
+                f"{int(timing.get('compile_retries', 0))} retries, "
+                f"{int(timing.get('quarantine_size', 0))} quarantined "
+                f"({int(timing.get('quarantine_hits', 0))} hits), "
+                f"{int(timing.get('measure_crashes', 0))} crashes, "
+                f"{int(timing.get('measure_incorrect', 0))} miscompiles"
+            )
+            print(f"injected     : {task.fault_injector.stats()}")
+        if args.show_sequences:
+            for module, seq in result.best_config.items():
+                print(f"\n[{module}]\n  {' '.join(seq)}")
     return 0
 
 
@@ -149,14 +192,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = {}
     for name in args.tuners.split(","):
         name = name.strip()
-        task = AutotuningTask(
-            _load_program(args.program),
-            platform=args.platform,
-            seed=args.seed,
-            jobs=args.jobs,
-            compile_cache_size=args.compile_cache_size,
-        )
-        results[name] = _TUNERS[name](task, args.seed).tune(args.budget)
+        with _make_task(args, args.program) as task:
+            results[name] = _TUNERS[name](task, args.seed).tune(args.budget)
     print(ascii_curve(results))
     print()
     print(leaderboard(results))
@@ -187,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--compile-cache-size", type=int, default=2048,
         help="bounded LRU compilation cache entries (0 disables)",
     )
+    _add_fault_flags(tune)
     tune.set_defaults(func=_cmd_tune)
 
     progs = sub.add_parser("programs", help="list benchmark programs")
@@ -206,8 +244,37 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--jobs", type=_positive_int, default=1)
     compare.add_argument("--compile-cache-size", type=int, default=2048)
+    _add_fault_flags(compare)
     compare.set_defaults(func=_cmd_compare)
     return parser
+
+
+def _add_fault_flags(sub: argparse.ArgumentParser) -> None:
+    """The chaos/fault-tolerance flag group shared by tune and compare."""
+    grp = sub.add_argument_group("fault tolerance")
+    grp.add_argument(
+        "--inject-faults", default="none", metavar="KINDS",
+        help="comma list of seeded fault classes to inject into candidate "
+        "compiles: crash,hang,transient,miscompile (or 'all'/'none')",
+    )
+    grp.add_argument(
+        "--fault-rate", type=float, default=0.05,
+        help="per-candidate fault probability in [0,1] (default 0.05)",
+    )
+    grp.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="chaos seed: same seed => identical faults, run after run",
+    )
+    grp.add_argument(
+        "--fault-hang-seconds", type=float, default=0.25,
+        help="sleep length of the 'hang' fault (default 0.25s)",
+    )
+    grp.add_argument(
+        "--compile-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-candidate compile timeout; timed-out candidates are "
+        "quarantined (defaults to half the hang delay when hangs are "
+        "injected, otherwise off)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

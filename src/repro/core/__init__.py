@@ -12,7 +12,8 @@ points:
 """
 
 from repro.core.task import AutotuningTask
-from repro.core.eval_engine import CompileEngine
+from repro.core.eval_engine import CompileEngine, CompileError, CompileOutcome
+from repro.core.faults import FaultInjector, corrupt_module, parse_fault_kinds
 from repro.core.result import Measurement, TuningResult
 from repro.core.cost_model import CitroenCostModel
 from repro.core.generator import CandidateGenerator
@@ -26,8 +27,13 @@ __all__ = [
     "Citroen",
     "CitroenCostModel",
     "CompileEngine",
+    "CompileError",
+    "CompileOutcome",
+    "FaultInjector",
     "Measurement",
     "PassCorrelationPrior",
     "TuningResult",
+    "corrupt_module",
     "differential_test",
+    "parse_fault_kinds",
 ]

@@ -180,6 +180,7 @@ class Citroen:
         result.extras["chosen_modules"] = []
         result.extras["dedup_hits"] = 0
         result.extras["chosen_coverage"] = []
+        result.extras["compile_failures"] = 0
 
         # ---- initial design -------------------------------------------------
         n_init = min(self.n_init, budget)
@@ -235,6 +236,7 @@ class Citroen:
         )
         result.extras["relevance"] = self.model.relevance()[:20] if self.model.ready else []
         result.extras["n_incorrect"] = task.n_incorrect
+        result.extras["n_crashes"] = task.n_crashes
         return result
 
     # -- proposal -------------------------------------------------------------------
@@ -250,9 +252,21 @@ class Citroen:
                 raw.append((module_name, provenance, seq))
         # the whole candidate population compiles in one batch — the engine
         # fans it out over `jobs` workers and caches repeated candidates
-        batch = task.compile_batch([(m, seq) for m, _prov, seq in raw])
+        batch = task.compile_batch(
+            [(m, seq) for m, _prov, seq in raw], outcomes=True
+        )
         scored = []
-        for (module_name, provenance, seq), (compiled, stats) in zip(raw, batch):
+        for (module_name, provenance, seq), outcome in zip(raw, batch):
+            if not outcome.ok:
+                # infeasible candidate (crash/timeout/quarantined): penalty
+                # feedback steers its generator away; it never reaches the
+                # cost model, the dedup table, or the acquisition function
+                self.generators[module_name].tell(seq, task.penalty_runtime)
+                result.extras["compile_failures"] = (
+                    result.extras.get("compile_failures", 0) + 1
+                )
+                continue
+            compiled, stats = outcome.value
             feats = self._features_of(module_name, seq, compiled, stats)
             per_module = dict(self._best_feats())
             per_module[module_name] = feats
@@ -350,14 +364,28 @@ class Citroen:
                 compiled[name], stats_all[name] = self._best_compiled[name], self._best_stats[name]
             else:
                 missing.append((name, seq))
+        status = "ok"
         if missing:  # init/fallback configs: compile every module in one batch
-            for (name, _seq), (mod, task_stats) in zip(missing, task.compile_batch(missing)):
-                compiled[name] = mod
-                stats_all[name] = task_stats
-        for name, seq in cfg.items():
-            feats_all[name] = self._features_of(name, seq, compiled[name], stats_all[name])
-
-        runtime, ok = task.measure(compiled)
+            for (name, _seq), outcome in zip(
+                missing, task.compile_batch(missing, outcomes=True)
+            ):
+                if not outcome.ok:
+                    if status == "ok":
+                        status = outcome.status
+                    continue
+                compiled[name], stats_all[name] = outcome.value
+        if status == "ok":
+            for name, seq in cfg.items():
+                feats_all[name] = self._features_of(
+                    name, seq, compiled[name], stats_all[name]
+                )
+            runtime, ok = task.measure(compiled)
+            if not ok:
+                status = task.last_failure or "incorrect"
+        else:
+            # a module failed to compile: the whole configuration is
+            # infeasible — record it and keep searching
+            runtime, ok = task.penalty_runtime, False
         idx = len(result.measurements)
         changed = module if module is not None else "all"
         per_module_seqs = {name: tuple(task.decode(seq)) for name, seq in cfg.items()}
@@ -379,13 +407,20 @@ class Citroen:
                 speedup_vs_o3=task.o3_runtime / runtime if ok else 0.0,
                 correct=ok,
                 sequences=per_module_seqs,
+                status=status,
             )
         )
         result.extras["winner_strategies"].append(winner)
         result.extras["chosen_modules"].append(changed)
         result.extras["chosen_coverage"].append(coverage)
         if not ok:
-            return  # differential test failed: discard this configuration
+            # infeasible (failed compile, crash, or differential mismatch):
+            # penalty feedback to the generators so the search moves away,
+            # but the observation never enters the cost model, the dedup
+            # table, or incumbent selection — and the budget loop continues
+            for name, seq in cfg.items():
+                self.generators[name].tell(seq, task.penalty_runtime)
+            return
 
         self.model.add_observation(feats_all, runtime)
         # dedup table: runtimes are whole-program facts, so the key is the

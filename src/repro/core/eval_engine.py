@@ -22,12 +22,21 @@ that batch explicit:
   (``cpu_seconds``, summed across workers) versus wall-clock spent inside
   engine calls (``wall_seconds``), plus hit/miss/eviction counters, so
   ``timing_breakdown()``/Fig 5.12 can report the parallel speedup and the
-  cache's contribution rather than pretending the batch ran serially.
+  cache's contribution rather than pretending the batch ran serially;
+* **fault tolerance** — real phase orders crash compilers, hang them, and
+  fail transiently.  Every candidate runs through a bounded
+  retry-with-backoff loop, an optional per-candidate ``timeout``, and a
+  *quarantine*: keys that failed deterministically (crashed through every
+  retry, or timed out) are never compiled again — later requests get
+  their failure back instantly.  ``compile_batch(..., outcomes=True)``
+  returns a :class:`CompileOutcome` per candidate instead of raising, so
+  one failing worker can neither drop sibling results nor skew counters;
+  failure/timeout/retry/quarantine counts flow into :meth:`stats`.
 
-All counters and the cache are guarded by one lock; the engine is safe to
-call from concurrent client threads (compiling the same key twice in a
-race is harmless — the compile function is pure — and counters stay
-consistent).
+All counters, the cache and the quarantine are guarded by one lock; the
+engine is safe to call from concurrent client threads (compiling the same
+key twice in a race is harmless — the compile function is pure — and
+counters stay consistent).
 """
 
 from __future__ import annotations
@@ -35,11 +44,49 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass
 from functools import partial
 from threading import Lock
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-__all__ = ["CompileEngine"]
+__all__ = ["CompileEngine", "CompileOutcome", "CompileError"]
+
+
+@dataclass
+class CompileOutcome:
+    """One candidate's compile result, failure included.
+
+    ``status`` is ``"ok"``, ``"error"`` (raised through every retry),
+    ``"timeout"`` (tripped the per-candidate timeout), or ``"quarantined"``
+    (a key that already failed deterministically; never recompiled).
+    ``attempts`` counts compile attempts actually made (0 for cache and
+    quarantine hits); ``seconds`` is the worker time spent on them.
+    """
+
+    status: str
+    value: object = None
+    error: str = ""
+    attempts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class CompileError(RuntimeError):
+    """A candidate failed to compile (legacy raising interface).
+
+    Raised by ``compile_batch(..., outcomes=False)`` after the whole batch
+    has been processed — sibling results are already cached and every
+    counter updated, so nothing is lost besides this call's return value.
+    Prefer ``outcomes=True`` to handle failures gracefully.
+    """
+
+    def __init__(self, outcome: CompileOutcome) -> None:
+        super().__init__(f"compile {outcome.status}: {outcome.error}")
+        self.outcome = outcome
 
 
 def _timed_invoke(fn: Callable, name: str, seq) -> Tuple[object, float]:
@@ -49,6 +96,29 @@ def _timed_invoke(fn: Callable, name: str, seq) -> Tuple[object, float]:
     t0 = time.perf_counter()
     out = fn(name, seq)
     return out, time.perf_counter() - t0
+
+
+def _attempt_invoke(
+    fn: Callable, max_retries: int, backoff: float, name: str, seq
+) -> Tuple[str, object, str, int, float]:
+    """Run ``fn(name, seq)`` with bounded retry-with-backoff, inside the
+    worker (module-level so process pools can pickle it).
+
+    Returns ``(status, value, error, attempts, seconds)`` — never raises,
+    so one bad candidate cannot take its batch siblings down with it.
+    """
+    t0 = time.perf_counter()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            out = fn(name, seq)
+            return ("ok", out, "", attempts, time.perf_counter() - t0)
+        except Exception as exc:  # noqa: BLE001 - fault boundary by design
+            if attempts > max_retries:
+                err = f"{type(exc).__name__}: {exc}"
+                return ("error", None, err, attempts, time.perf_counter() - t0)
+            time.sleep(backoff * (2 ** (attempts - 1)))
 
 
 class CompileEngine:
@@ -70,6 +140,20 @@ class CompileEngine:
     key_fn:
         maps ``(module_name, sequence)`` to the hashable cache key;
         defaults to ``(module_name, tuple(sequence))``.
+    timeout:
+        per-candidate compile timeout in seconds (``None`` disables).
+        Enforcing a timeout requires a pool, so when set the serial path
+        routes through a single worker thread; a candidate that trips it
+        is quarantined (a deterministic hang would only hang again) and
+        its worker is abandoned — the pool is replaced and still-queued
+        siblings are rescued onto the fresh one, so a hung candidate
+        cannot starve the rest of the batch into spurious timeouts.
+    max_retries:
+        extra compile attempts for a candidate whose compile *raised*
+        (transient faults); a candidate still failing after the last retry
+        is quarantined.  Timeouts are never retried.
+    retry_backoff:
+        base sleep between attempts, doubled each retry.
     """
 
     def __init__(
@@ -79,18 +163,29 @@ class CompileEngine:
         cache_size: int = 2048,
         executor: str = "auto",
         key_fn: Optional[Callable[[str, Sequence[int]], Hashable]] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.01,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if executor not in ("auto", "serial", "thread", "process"):
             raise ValueError(f"unknown executor {executor!r}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.compile_fn = compile_fn
         self.jobs = int(jobs)
         self.cache_size = int(cache_size)
         self.executor = executor
         self.key_fn = key_fn or (lambda name, seq: (name, tuple(int(i) for i in seq)))
+        self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
 
         self._cache: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._quarantine: Dict[Hashable, CompileOutcome] = {}
         self._lock = Lock()
         self._pool: Optional[Executor] = None
 
@@ -100,6 +195,10 @@ class CompileEngine:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.n_failures = 0  # candidates that raised through every retry
+        self.n_timeouts = 0  # candidates that tripped the per-candidate timeout
+        self.n_retries = 0  # extra attempts beyond the first, across all candidates
+        self.quarantine_hits = 0  # requests served a stored failure without compiling
 
     # -- executor plumbing ------------------------------------------------------
     def _serial(self) -> bool:
@@ -121,6 +220,12 @@ class CompileEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def __enter__(self) -> "CompileEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __getstate__(self):  # allow pickling compile_fn closures over us (process mode)
         state = self.__dict__.copy()
@@ -163,6 +268,21 @@ class CompileEngine:
             total = self.hits + self.misses
             return self.hits / total if total else 0.0
 
+    # -- quarantine -------------------------------------------------------------
+    def in_quarantine(self, module_name: str, seq: Sequence[int]) -> bool:
+        """Whether this candidate's key holds a stored deterministic failure."""
+        with self._lock:
+            return self.key_fn(module_name, seq) in self._quarantine
+
+    @property
+    def quarantine_size(self) -> int:
+        with self._lock:
+            return len(self._quarantine)
+
+    def quarantine_clear(self) -> None:
+        with self._lock:
+            self._quarantine.clear()
+
     def stats(self) -> Dict[str, float]:
         """Counters for ``timing_breakdown()`` / Fig 5.12 reporting."""
         with self._lock:
@@ -174,24 +294,37 @@ class CompileEngine:
                 "cache_misses": self.misses,
                 "cache_evictions": self.evictions,
                 "jobs": self.jobs,
+                "compile_failures": self.n_failures,
+                "compile_timeouts": self.n_timeouts,
+                "compile_retries": self.n_retries,
+                "quarantine_size": len(self._quarantine),
+                "quarantine_hits": self.quarantine_hits,
             }
 
     # -- evaluation -------------------------------------------------------------------
-    def compile_one(self, module_name: str, seq: Sequence[int]) -> object:
+    def compile_one(self, module_name: str, seq: Sequence[int], outcomes: bool = False):
         """Compile a single candidate (through the cache)."""
-        return self.compile_batch([(module_name, seq)])[0]
+        return self.compile_batch([(module_name, seq)], outcomes=outcomes)[0]
 
     def compile_batch(
-        self, items: Sequence[Tuple[str, Sequence[int]]]
+        self, items: Sequence[Tuple[str, Sequence[int]]], outcomes: bool = False
     ) -> List[object]:
         """Compile a batch of ``(module_name, sequence)`` candidates.
 
         Results come back in input order.  Cache hits (including duplicates
         *within* the batch) are served without recompiling; the remaining
-        unique misses run on the configured executor.
+        unique misses run on the configured executor with retry, timeout
+        and quarantine handling.
+
+        With ``outcomes=True`` every slot is a :class:`CompileOutcome`
+        (failures included) and nothing raises.  With ``outcomes=False``
+        (legacy) slots are the raw compile results; if any candidate
+        failed, :class:`CompileError` is raised — but only *after* the
+        whole batch ran, so sibling results are cached and all counters
+        stay consistent.
         """
         t_wall = time.perf_counter()
-        results: List[object] = [None] * len(items)
+        results: List[Optional[CompileOutcome]] = [None] * len(items)
         # key -> result slots it must fill; insertion order == first-seen order
         pending: "OrderedDict[Hashable, List[int]]" = OrderedDict()
         work: List[Tuple[str, Sequence[int]]] = []
@@ -200,8 +333,11 @@ class CompileEngine:
                 key = self.key_fn(name, seq)
                 if key in self._cache:
                     self._cache.move_to_end(key)
-                    results[i] = self._cache[key]
+                    results[i] = CompileOutcome("ok", value=self._cache[key])
                     self.hits += 1
+                elif key in self._quarantine:
+                    results[i] = self._quarantine[key]
+                    self.quarantine_hits += 1
                 elif key in pending:
                     pending[key].append(i)
                     self.hits += 1  # within-batch duplicate: compiled once
@@ -211,20 +347,82 @@ class CompileEngine:
                     self.misses += 1
 
         if work:
-            if self._serial() or len(work) == 1:
-                outs = [_timed_invoke(self.compile_fn, n, s) for n, s in work]
+            worker = partial(
+                _attempt_invoke, self.compile_fn, self.max_retries, self.retry_backoff
+            )
+            if self.timeout is None:
+                if self._serial() or len(work) == 1:
+                    outs = [worker(n, s) for n, s in work]
+                else:
+                    pool = self._get_pool()
+                    outs = list(pool.map(worker, *zip(*work)))
             else:
-                pool = self._get_pool()
-                fn = partial(_timed_invoke, self.compile_fn)
-                outs = list(pool.map(fn, *zip(*work)))
+                outs = self._run_with_timeout(worker, work)
             with self._lock:
-                for (key, slots), (out, dt) in zip(pending.items(), outs):
-                    self.n_compiles += 1
+                for (key, slots), (status, out, err, attempts, dt) in zip(
+                    pending.items(), outs
+                ):
                     self.cpu_seconds += dt
-                    self._cache_put(key, out)
+                    self.n_retries += max(0, attempts - 1)
+                    if status == "ok":
+                        self.n_compiles += 1
+                        self._cache_put(key, out)
+                        outcome = CompileOutcome("ok", value=out, attempts=attempts, seconds=dt)
+                    else:
+                        if status == "timeout":
+                            self.n_timeouts += 1
+                        else:
+                            self.n_failures += 1
+                        outcome = CompileOutcome(status, error=err, attempts=attempts, seconds=dt)
+                        # deterministic failure: compiling this key again
+                        # would fail again — store the verdict instead
+                        self._quarantine[key] = CompileOutcome(
+                            "quarantined", error=err, attempts=0, seconds=0.0
+                        )
                     for i in slots:
-                        results[i] = out
+                        results[i] = outcome
 
         with self._lock:
             self.wall_seconds += time.perf_counter() - t_wall
-        return results
+        if outcomes:
+            return results
+        failed = next((o for o in results if not o.ok), None)
+        if failed is not None:
+            raise CompileError(failed)
+        return [o.value for o in results]
+
+    def _run_with_timeout(
+        self, worker: Callable, work: List[Tuple[str, Sequence[int]]]
+    ) -> List[Tuple[str, object, str, int, float]]:
+        """Run work items as individual futures with a per-candidate timeout.
+
+        The timeout clock for item *i* starts when the engine begins
+        waiting on it (items are awaited in input order, so earlier waits
+        already covered most of its queue time).  On a timeout the pool is
+        replaced and still-queued futures are resubmitted to the fresh
+        one — the abandoned worker finishes (or sleeps) in the background
+        without blocking anyone, and its late result is discarded.
+        """
+        pool = self._get_pool()
+        futs = [pool.submit(worker, n, s) for n, s in work]
+        outs: List[Tuple[str, object, str, int, float]] = [None] * len(work)
+        for i in range(len(work)):
+            try:
+                outs[i] = futs[i].result(timeout=self.timeout)
+            except _FuturesTimeout:
+                outs[i] = (
+                    "timeout",
+                    None,
+                    f"compile timed out after {self.timeout:.4g}s",
+                    1,
+                    float(self.timeout),
+                )
+                with self._lock:
+                    old, self._pool = self._pool, None
+                pool = self._get_pool()
+                for j in range(i + 1, len(futs)):
+                    if futs[j].cancel():
+                        futs[j] = pool.submit(worker, work[j][0], work[j][1])
+                if old is not None:
+                    old.shutdown(wait=False)
+        return outs

@@ -12,12 +12,20 @@ __all__ = ["Measurement", "TuningResult"]
 
 @dataclass
 class Measurement:
-    """One expensive runtime measurement.
+    """One expensive runtime measurement (or an infeasible attempt).
 
     ``sequence`` is the changed module's pass sequence — or, for
     whole-config measurements (``module == "all"``), every module's passes
     concatenated in module-name order.  ``sequences`` holds the full
     per-module configuration when the tuner records it.
+
+    ``status`` classifies the outcome: ``"ok"``; ``"incorrect"``
+    (differential test failed — a miscompilation); ``"crash"`` (the
+    measured binary crashed or ran out of fuel); ``"error"``/``"timeout"``/
+    ``"quarantined"`` (the candidate never compiled).  Infeasible
+    measurements carry ``runtime == inf`` and ``correct == False`` but
+    still occupy a budget slot — a fault-tolerant tuner records them and
+    keeps searching.
     """
 
     index: int
@@ -27,6 +35,7 @@ class Measurement:
     speedup_vs_o3: float
     correct: bool = True
     sequences: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    status: str = "ok"
 
 
 @dataclass
@@ -49,6 +58,12 @@ class TuningResult:
     @property
     def runtimes(self) -> np.ndarray:
         return np.asarray([m.runtime for m in self.measurements])
+
+    @property
+    def n_infeasible(self) -> int:
+        """Budget slots spent on candidates that failed to compile, crashed,
+        or miscompiled (recorded with ``runtime == inf``)."""
+        return sum(1 for m in self.measurements if not m.correct)
 
     @property
     def best_history(self) -> np.ndarray:

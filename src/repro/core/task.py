@@ -22,6 +22,7 @@ of the build process is needed — the practicality barrier of §1.2.3.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,7 +31,9 @@ import numpy as np
 from repro.compiler.ir import Module
 from repro.compiler.opt_tool import run_opt
 from repro.compiler.pipelines import SEARCH_PASSES, pipeline
-from repro.core.eval_engine import CompileEngine
+from repro.core.eval_engine import CompileEngine, CompileOutcome
+from repro.core.faults import FaultInjector, corrupt_module, parse_fault_kinds
+from repro.machine.interp import InterpError
 from repro.machine.platforms import Platform, get_platform
 from repro.machine.profiler import Profiler
 from repro.utils.rng import SeedLike, as_generator
@@ -56,6 +59,10 @@ class AutotuningTask:
         jobs: int = 1,
         compile_cache_size: int = 2048,
         executor: str = "auto",
+        fault_injector: Optional[FaultInjector] = None,
+        compile_timeout: Optional[float] = None,
+        compile_retries: int = 2,
+        retry_backoff: float = 0.01,
     ) -> None:
         """``objective``: ``"runtime"`` (the paper's focus) or ``"codesize"``
         (the simpler static objective discussed in §1 — evaluated without
@@ -67,7 +74,15 @@ class AutotuningTask:
         :meth:`compile_module`/:meth:`compile_batch`: worker count
         (``jobs=1`` is a deterministic serial loop), the bounded LRU
         compilation cache, and the pool flavour (``"auto"``, ``"serial"``,
-        ``"thread"``, ``"process"``)."""
+        ``"thread"``, ``"process"``).
+
+        ``fault_injector`` wraps candidate compiles with seeded chaos
+        (:mod:`repro.core.faults`); ``compile_timeout``/``compile_retries``/
+        ``retry_backoff`` are the engine's per-candidate timeout and
+        retry-with-backoff knobs.  Absent an explicit injector, the
+        ``REPRO_INJECT_FAULTS``/``REPRO_FAULT_RATE``/``REPRO_FAULT_SEED``/
+        ``REPRO_FAULT_HANG_SECONDS`` environment variables build one — the
+        hook CI's chaos job uses to run whole suites under fault injection."""
         if objective not in ("runtime", "codesize"):
             raise ValueError(f"unknown objective {objective!r}")
         self.objective = objective
@@ -112,29 +127,75 @@ class AutotuningTask:
             for name in self.hot_modules
         }
 
+        # fault injection: an explicit injector wins; otherwise the chaos
+        # environment variables may build one (CI's chaos job)
+        if fault_injector is None:
+            env_kinds = parse_fault_kinds(os.environ.get("REPRO_INJECT_FAULTS", ""))
+            if env_kinds:
+                fault_injector = FaultInjector(
+                    rate=float(os.environ.get("REPRO_FAULT_RATE", "0.02")),
+                    kinds=env_kinds,
+                    seed=int(os.environ.get("REPRO_FAULT_SEED", "0")),
+                    hang_seconds=float(
+                        os.environ.get("REPRO_FAULT_HANG_SECONDS", "0.05")
+                    ),
+                )
+        self.fault_injector = fault_injector
+        if fault_injector is not None and fault_injector.corrupt_fn is None:
+            fault_injector.corrupt_fn = corrupt_module
+        compile_fn = (
+            fault_injector.wrap(self._compile_uncached)
+            if fault_injector is not None
+            else self._compile_uncached
+        )
+
         # compile engine: parallel workers + bounded LRU compilation cache.
         # Keyed by the decoded pass-name tuple so distinct index encodings of
         # the same pipeline share one cache entry.
         self.jobs = int(jobs)
         self.engine = CompileEngine(
-            self._compile_uncached,
+            compile_fn,
             jobs=self.jobs,
             cache_size=compile_cache_size,
             executor=executor,
             key_fn=lambda name, seq: (name, tuple(self.decode(seq))),
+            timeout=compile_timeout,
+            max_retries=compile_retries,
+            retry_backoff=retry_backoff,
         )
 
         # bookkeeping / statistics the benches report (Fig 5.12);
         # n_compiles/compile_seconds live in the engine (thread-safe)
         self.n_measurements = 0
         self.n_incorrect = 0
+        self.n_crashes = 0
         self.measure_seconds = 0.0
-        self._measure_cache: Dict[Tuple, float] = {}
+        self.last_failure = ""
+        self._measure_cache: Dict[Tuple, Tuple[float, bool, str]] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the compile engine's worker pool down (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "AutotuningTask":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- sequence plumbing -----------------------------------------------------
     @property
     def alphabet(self) -> int:
         return len(self.passes)
+
+    @property
+    def penalty_runtime(self) -> float:
+        """Finite fitness assigned to infeasible candidates (compile
+        failures, crashes, miscompilations) — bad enough that no search
+        strategy pursues them, finite so generator/surrogate updates stay
+        numerically sane (AutoPhase-style invalid-sequence masking)."""
+        return 10.0 * max(self.o3_runtime, self.o0_runtime)
 
     def decode(self, seq_indices: Sequence[int]) -> List[str]:
         """Map integer gene indices to pass names."""
@@ -171,13 +232,17 @@ class AutotuningTask:
         return self.engine.compile_one(module_name, seq_indices)
 
     def compile_batch(
-        self, items: Sequence[Tuple[str, Sequence[int]]]
+        self, items: Sequence[Tuple[str, Sequence[int]]], outcomes: bool = False
     ) -> List[Tuple[Module, Dict[str, int]]]:
         """Compile a batch of ``(module_name, sequence)`` candidates.
 
         Results come back in input order regardless of ``jobs``, so tuner
-        behaviour is bit-identical at any parallelism level."""
-        return self.engine.compile_batch(items)
+        behaviour is bit-identical at any parallelism level.  With
+        ``outcomes=True`` each slot is a
+        :class:`~repro.core.eval_engine.CompileOutcome` and candidate
+        failures (crash/timeout/quarantine) are returned, not raised — the
+        fault-tolerant interface every tuner uses."""
+        return self.engine.compile_batch(items, outcomes=outcomes)
 
     def o3_module(self, module_name: str) -> Module:
         """The module's reference -O3 binary."""
@@ -197,41 +262,63 @@ class AutotuningTask:
 
         Modules not present in ``compiled`` use their -O3 binary (the
         default for non-hot modules).  Returns ``(seconds, outputs_ok)``.
+
+        A binary that crashes or exhausts its fuel during execution
+        (``InterpError``/``FuelExhausted`` — rare pass orders really do
+        this, §1.1) is an *infeasible verdict*, not a tuner-killing
+        exception: the return is ``(penalty_runtime, False)`` and
+        :attr:`last_failure` is set to ``"crash"`` (``"incorrect"`` for
+        differential-test mismatches).  Failure verdicts are cached under
+        ``config_key`` alongside successes, so a known-bad configuration is
+        never re-measured on a revisit.
         """
         if config_key is not None and config_key in self._measure_cache:
-            return self._measure_cache[config_key], True
+            value, ok, self.last_failure = self._measure_cache[config_key]
+            return value, ok
         t0 = time.perf_counter()
         linked = [
             compiled.get(m.name, self._o3_modules[m.name]) for m in self.program.modules
         ]
-        if self.objective == "codesize":
-            value = float(sum(mod.num_instrs() for mod in linked))
-            ok = True
-            if self.check_outputs:  # still verify semantics once
-                result = self.profiler.execute(linked)
-                ok = result.output_signature() == self._reference_sig
-                if not ok:
-                    self.n_incorrect += 1
-        else:
-            m = self.profiler.measure(linked, repeats=self.repeats)
-            value = m.seconds
-            ok = True
-            if self.check_outputs:
-                ok = m.result.output_signature() == self._reference_sig
-                if not ok:
-                    self.n_incorrect += 1
+        failure = ""
+        try:
+            if self.objective == "codesize":
+                value = float(sum(mod.num_instrs() for mod in linked))
+                ok = True
+                if self.check_outputs:  # still verify semantics once
+                    result = self.profiler.execute(linked)
+                    ok = result.output_signature() == self._reference_sig
+            else:
+                m = self.profiler.measure(linked, repeats=self.repeats)
+                value = m.seconds
+                ok = True
+                if self.check_outputs:
+                    ok = m.result.output_signature() == self._reference_sig
+            if not ok:
+                failure = "incorrect"
+                self.n_incorrect += 1
+        except InterpError:  # includes FuelExhausted
+            value, ok, failure = self.penalty_runtime, False, "crash"
+            self.n_crashes += 1
         self.n_measurements += 1
         self.measure_seconds += time.perf_counter() - t0
-        if config_key is not None and ok:
-            self._measure_cache[config_key] = value
+        self.last_failure = failure
+        if config_key is not None:
+            self._measure_cache[config_key] = (value, ok, failure)
         return value, ok
 
     def measure_config(self, config: Dict[str, Sequence[int]]) -> Tuple[float, bool]:
-        """Compile every module in ``config`` and measure the linked binary."""
+        """Compile every module in ``config`` and measure the linked binary.
+
+        A configuration containing a candidate that fails to compile
+        (crash, timeout, quarantined key) is infeasible: returns
+        ``(penalty_runtime, False)`` without measuring."""
         compiled = {}
-        for name, seq in config.items():
-            mod, _stats = self.compile_module(name, seq)
-            compiled[name] = mod
+        items = [(name, seq) for name, seq in config.items()]
+        for (name, _seq), outcome in zip(items, self.compile_batch(items, outcomes=True)):
+            if not outcome.ok:
+                self.last_failure = outcome.status
+                return self.penalty_runtime, False
+            compiled[name], _stats = outcome.value
         key = tuple(sorted((n, tuple(int(i) for i in s)) for n, s in config.items()))
         return self.measure(compiled, config_key=key)
 
@@ -242,7 +329,9 @@ class AutotuningTask:
         (summed across workers); ``compile_wall_seconds`` is wall clock
         spent inside the engine — their ratio is the honest parallel
         speedup at ``jobs > 1``.  Cache hits never recompile, so
-        ``n_compiles`` counts real work only."""
+        ``n_compiles`` counts real work only.  The fault-tolerance counters
+        (failures/timeouts/retries/quarantine from the engine, plus crashed
+        and incorrect measurements) make chaos runs auditable."""
         return {
             "compile_seconds": self.compile_seconds,
             "measure_seconds": self.measure_seconds,
@@ -253,4 +342,11 @@ class AutotuningTask:
             "compile_cache_misses": self.engine.misses,
             "compile_cache_hit_rate": self.engine.hit_rate(),
             "jobs": self.jobs,
+            "compile_failures": self.engine.n_failures,
+            "compile_timeouts": self.engine.n_timeouts,
+            "compile_retries": self.engine.n_retries,
+            "quarantine_size": self.engine.quarantine_size,
+            "quarantine_hits": self.engine.quarantine_hits,
+            "measure_crashes": self.n_crashes,
+            "measure_incorrect": self.n_incorrect,
         }
