@@ -29,6 +29,7 @@ from repro.baselines import BOCATuner, EnsembleTuner, GATuner, RandomSearchTuner
 from repro.bo import AIBO, BOGrad, GaussianProcess, HeSBO, TuRBO
 from repro.compiler import available_passes, pipeline, run_opt
 from repro.machine import PLATFORMS, Profiler, get_platform, run_program
+from repro.obs import MetricsRegistry, RunRecorder, Tracer
 from repro.workloads import Program, cbench_names, cbench_program, random_program, spec_names, spec_program
 
 __version__ = "1.0.0"
@@ -47,10 +48,13 @@ __all__ = [
     "GATuner",
     "GaussianProcess",
     "HeSBO",
+    "MetricsRegistry",
     "PLATFORMS",
     "Profiler",
     "Program",
     "RandomSearchTuner",
+    "RunRecorder",
+    "Tracer",
     "TuRBO",
     "TuningResult",
     "available_passes",

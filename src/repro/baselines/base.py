@@ -104,6 +104,7 @@ class BaseTuner:
         continues to its full budget.
         """
         task = self.task
+        tracer = task.tracer
         result = TuningResult(
             program=task.program.name,
             tuner=self.name,
@@ -113,12 +114,15 @@ class BaseTuner:
         while len(result.measurements) < budget:
             # every tuner starts from the default configuration: one O3-seeded
             # measurement per hot module (standard autotuning practice)
-            if self.seed_with_o3 and len(self._o3_seeded) < len(task.hot_modules):
-                module = task.hot_modules[len(self._o3_seeded)]
-                self._o3_seeded.append(module)
-                seq = self._o3_sequence()
-            else:
-                module, seq = self.propose()
+            with tracer.span(
+                "propose", tuner=self.name, iteration=len(result.measurements)
+            ):
+                if self.seed_with_o3 and len(self._o3_seeded) < len(task.hot_modules):
+                    module = task.hot_modules[len(self._o3_seeded)]
+                    self._o3_seeded.append(module)
+                    seq = self._o3_sequence()
+                else:
+                    module, seq = self.propose()
             # through the task's CompileEngine: candidates a tuner re-visits
             # (O3 re-seeds, GA elitism, mutation collisions) are cache hits
             outcome = task.compile_batch([(module, seq)], outcomes=True)[0]

@@ -7,11 +7,19 @@ Commands
 ``passes``     list the phase-ordering pass alphabet
 ``motivate``   print the Table 5.1 motivation rows live
 ``compare``    run several tuners on one program and print the leaderboard
+
+Output goes through :mod:`repro.obs.log` (``--log-level`` selects
+verbosity; the default ``info`` level is byte-compatible with the
+historical ``print()`` output).  ``--trace-out DIR`` (or the
+``REPRO_TRACE`` environment variable) records the run into a directory of
+artifacts — ``manifest.json``, ``events.jsonl``, ``metrics.json``,
+``result.json`` — and prints the per-phase time breakdown.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -28,6 +36,7 @@ from repro import (
     spec_names,
     spec_program,
 )
+from repro.obs import RunRecorder, configure_logging
 
 __all__ = ["main"]
 
@@ -65,7 +74,29 @@ def _fault_injector(args: argparse.Namespace):
     )
 
 
-def _make_task(args: argparse.Namespace, program_name: str):
+def _trace_dir(args: argparse.Namespace) -> Optional[str]:
+    """The run-artifact directory: --trace-out flag, else $REPRO_TRACE."""
+    return getattr(args, "trace_out", None) or os.environ.get("REPRO_TRACE") or None
+
+
+def _recorder(args: argparse.Namespace, out_dir: str, **manifest) -> RunRecorder:
+    base = {
+        "command": args.command,
+        "program": getattr(args, "program", None),
+        "budget": getattr(args, "budget", None),
+        "seed": getattr(args, "seed", None),
+        "platform": getattr(args, "platform", None),
+        "seq_length": getattr(args, "seq_length", None),
+        "jobs": getattr(args, "jobs", None),
+        "inject_faults": getattr(args, "inject_faults", "none"),
+    }
+    base.update(manifest)
+    return RunRecorder(out_dir, manifest=base)
+
+
+def _make_task(
+    args: argparse.Namespace, program_name: str, recorder: Optional[RunRecorder] = None
+):
     injector = _fault_injector(args)
     compile_timeout = args.compile_timeout
     if compile_timeout is None and injector is not None and "hang" in injector.kinds:
@@ -81,6 +112,9 @@ def _make_task(args: argparse.Namespace, program_name: str):
         compile_cache_size=args.compile_cache_size,
         fault_injector=injector,
         compile_timeout=compile_timeout,
+        tracer=recorder.tracer if recorder is not None else None,
+        metrics=recorder.registry if recorder is not None else None,
+        metrics_every=getattr(args, "metrics_every", 0),
     )
 
 
@@ -95,60 +129,79 @@ def _load_program(name: str):
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
-    with _make_task(args, args.program) as task:
-        print(f"program      : {args.program}")
-        print(f"platform     : {args.platform}")
-        print(f"hot modules  : {task.hot_modules}")
-        print(f"-O3 runtime  : {task.o3_runtime * 1e6:.2f} us")
-        tuner = _TUNERS[args.tuner](task, args.seed)
-        result = tuner.tune(args.budget)
-        print(f"\nbest runtime : {result.best_runtime * 1e6:.2f} us")
-        print(f"speedup/-O3  : {result.speedup_over_o3():.3f}x")
-        timing = result.timing or task.timing_breakdown()
-        wall = timing.get("compile_wall_seconds", 0.0)
-        cpu = timing.get("compile_seconds", 0.0)
-        print(
-            f"compile      : {timing.get('n_compiles', 0)} compiles, "
-            f"{100 * timing.get('compile_cache_hit_rate', 0.0):.1f}% cache hits, "
-            f"{cpu * 1e3:.1f} ms worker time / {wall * 1e3:.1f} ms wall "
-            f"(jobs={args.jobs})"
-        )
-        if task.fault_injector is not None:
-            print(
-                f"faults       : {result.n_infeasible} infeasible of "
-                f"{len(result.measurements)} measurements | "
-                f"{int(timing.get('compile_failures', 0))} compile failures, "
-                f"{int(timing.get('compile_timeouts', 0))} timeouts, "
-                f"{int(timing.get('compile_retries', 0))} retries, "
-                f"{int(timing.get('quarantine_size', 0))} quarantined "
-                f"({int(timing.get('quarantine_hits', 0))} hits), "
-                f"{int(timing.get('measure_crashes', 0))} crashes, "
-                f"{int(timing.get('measure_incorrect', 0))} miscompiles"
+    log = configure_logging(args.log_level)
+    trace_dir = _trace_dir(args)
+    recorder = (
+        _recorder(args, trace_dir, tuner=args.tuner) if trace_dir else None
+    )
+    try:
+        with _make_task(args, args.program, recorder) as task:
+            log.info(f"program      : {args.program}")
+            log.info(f"platform     : {args.platform}")
+            log.info(f"hot modules  : {task.hot_modules}")
+            log.info(f"-O3 runtime  : {task.o3_runtime * 1e6:.2f} us")
+            tuner = _TUNERS[args.tuner](task, args.seed)
+            result = tuner.tune(args.budget)
+            log.info(f"\nbest runtime : {result.best_runtime * 1e6:.2f} us")
+            log.info(f"speedup/-O3  : {result.speedup_over_o3():.3f}x")
+            timing = result.timing or task.timing_breakdown()
+            wall = timing.get("compile_wall_seconds", 0.0)
+            cpu = timing.get("compile_seconds", 0.0)
+            log.info(
+                f"compile      : {timing.get('n_compiles', 0)} compiles, "
+                f"{100 * timing.get('compile_cache_hit_rate', 0.0):.1f}% cache hits, "
+                f"{cpu * 1e3:.1f} ms worker time / {wall * 1e3:.1f} ms wall "
+                f"(jobs={args.jobs})"
             )
-            print(f"injected     : {task.fault_injector.stats()}")
-        if args.show_sequences:
-            for module, seq in result.best_config.items():
-                print(f"\n[{module}]\n  {' '.join(seq)}")
+            if task.fault_injector is not None:
+                log.info(
+                    f"faults       : {result.n_infeasible} infeasible of "
+                    f"{len(result.measurements)} measurements | "
+                    f"{int(timing.get('compile_failures', 0))} compile failures, "
+                    f"{int(timing.get('compile_timeouts', 0))} timeouts, "
+                    f"{int(timing.get('compile_retries', 0))} retries, "
+                    f"{int(timing.get('quarantine_size', 0))} quarantined "
+                    f"({int(timing.get('quarantine_hits', 0))} hits), "
+                    f"{int(timing.get('measure_crashes', 0))} crashes, "
+                    f"{int(timing.get('measure_incorrect', 0))} miscompiles"
+                )
+                log.info(f"injected     : {task.fault_injector.stats()}")
+            if args.show_sequences:
+                for module, seq in result.best_config.items():
+                    log.info(f"\n[{module}]\n  {' '.join(seq)}")
+            if recorder is not None:
+                from repro.reporting import span_table
+
+                recorder.write_result(result)
+                recorder.write_metrics()
+                log.info(f"\nwhere did the time go (trace: {recorder.path})")
+                log.info(span_table(recorder.tracer))
+    finally:
+        if recorder is not None:
+            recorder.close()
     return 0
 
 
-def _cmd_programs(_args: argparse.Namespace) -> int:
-    print("cBench-like:")
+def _cmd_programs(args: argparse.Namespace) -> int:
+    log = configure_logging(getattr(args, "log_level", "info"))
+    log.info("cBench-like:")
     for n in cbench_names():
-        print(f"   {n}")
-    print("SPEC-like:")
+        log.info(f"   {n}")
+    log.info("SPEC-like:")
     for n in spec_names():
-        print(f"   {n}")
+        log.info(f"   {n}")
     return 0
 
 
-def _cmd_passes(_args: argparse.Namespace) -> int:
+def _cmd_passes(args: argparse.Namespace) -> int:
+    log = configure_logging(getattr(args, "log_level", "info"))
     for p in available_passes():
-        print(p)
+        log.info(p)
     return 0
 
 
-def _cmd_motivate(_args: argparse.Namespace) -> int:
+def _cmd_motivate(args: argparse.Namespace) -> int:
+    log = configure_logging(getattr(args, "log_level", "info"))
     from repro import pipeline
     from repro.machine import Profiler, get_platform
     from repro.machine.interp import run_program
@@ -169,7 +222,7 @@ def _cmd_motivate(_args: argparse.Namespace) -> int:
         {m.name: pipeline("-O3") for m in program.modules}, target
     )
     o3 = profiler.measure(o3_linked).seconds
-    print(f"{'pass sequence':45s}{'SLP.NVI':>9s}{'widened':>9s}{'speedup':>9s}")
+    log.info(f"{'pass sequence':45s}{'SLP.NVI':>9s}{'widened':>9s}{'speedup':>9s}")
     for seq in sequences:
         config = {m.name: pipeline("-O3") for m in program.modules}
         config["long_term"] = seq
@@ -177,7 +230,7 @@ def _cmd_motivate(_args: argparse.Namespace) -> int:
         assert run_program(linked, fuel=program.fuel).output_signature() == ref
         t = profiler.measure(linked).seconds
         st = results["long_term"].stats_json()
-        print(
+        log.info(
             f"{' '.join(seq):45s}"
             f"{st.get('slp-vectorizer.NumVectorInstructions', 0):9d}"
             f"{st.get('instcombine.NumWidened', 0):9d}"
@@ -187,16 +240,33 @@ def _cmd_motivate(_args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.reporting import ascii_curve, leaderboard
+    from repro.reporting import ascii_curve, leaderboard, span_table
 
+    log = configure_logging(args.log_level)
+    trace_dir = _trace_dir(args)
     results = {}
     for name in args.tuners.split(","):
         name = name.strip()
-        with _make_task(args, args.program) as task:
-            results[name] = _TUNERS[name](task, args.seed).tune(args.budget)
-    print(ascii_curve(results))
-    print()
-    print(leaderboard(results))
+        # one run directory per tuner so traces stay comparable side by side
+        recorder = (
+            _recorder(args, os.path.join(trace_dir, name), tuner=name)
+            if trace_dir
+            else None
+        )
+        try:
+            with _make_task(args, args.program, recorder) as task:
+                results[name] = _TUNERS[name](task, args.seed).tune(args.budget)
+            if recorder is not None:
+                recorder.write_result(results[name])
+                recorder.write_metrics()
+                log.info(f"[{name}] trace: {recorder.path}")
+                log.info(span_table(recorder.tracer, top=8))
+        finally:
+            if recorder is not None:
+                recorder.close()
+    log.info(ascii_curve(results))
+    log.info("")
+    log.info(leaderboard(results))
     return 0
 
 
@@ -225,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded LRU compilation cache entries (0 disables)",
     )
     _add_fault_flags(tune)
+    _add_obs_flags(tune)
     tune.set_defaults(func=_cmd_tune)
 
     progs = sub.add_parser("programs", help="list benchmark programs")
@@ -245,8 +316,31 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--jobs", type=_positive_int, default=1)
     compare.add_argument("--compile-cache-size", type=int, default=2048)
     _add_fault_flags(compare)
+    _add_obs_flags(compare)
     compare.set_defaults(func=_cmd_compare)
     return parser
+
+
+def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
+    """The observability flag group shared by tune and compare."""
+    grp = sub.add_argument_group("observability")
+    grp.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="record run artifacts (manifest.json, events.jsonl, "
+        "metrics.json, result.json) into DIR and print the per-phase "
+        "time breakdown; $REPRO_TRACE is the flag-less equivalent",
+    )
+    grp.add_argument(
+        "--metrics-every", type=int, default=0, metavar="N",
+        help="emit a metrics snapshot trace event (and a debug log line) "
+        "every N measurements (0 disables)",
+    )
+    grp.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="stdout verbosity; 'info' (default) is byte-compatible with "
+        "the historical print() output",
+    )
 
 
 def _add_fault_flags(sub: argparse.ArgumentParser) -> None:

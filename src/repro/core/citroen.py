@@ -182,6 +182,8 @@ class Citroen:
         result.extras["chosen_coverage"] = []
         result.extras["compile_failures"] = 0
 
+        tracer = task.tracer
+
         # ---- initial design -------------------------------------------------
         n_init = min(self.n_init, budget)
         init_configs: List[Dict[str, np.ndarray]] = []
@@ -193,17 +195,21 @@ class Citroen:
                 for m in task.hot_modules
             }
             init_configs.append(cfg)
-        for cfg in init_configs[:n_init]:
-            self._measure_config(cfg, result, winner="init")
+        with tracer.span("init", n_configs=n_init):
+            for cfg in init_configs[:n_init]:
+                self._measure_config(cfg, result, winner="init")
 
         # ---- BO loop ----------------------------------------------------------
         it = 0
         while len(result.measurements) < budget:
             t0 = time.perf_counter()
             if it % self.refit_every == 0 or not self.model.ready:
-                self.model.fit(optimize_hypers=True)
+                with tracer.span("fit", n_observations=self.model.n_observations):
+                    self.model.fit(optimize_hypers=True)
             self.model_seconds += time.perf_counter() - t0
-            chosen = self._propose(result)
+            with tracer.span("propose", iteration=it) as sp:
+                chosen = self._propose(result)
+                sp.set(outcome="fallback" if chosen is None else chosen[4])
             if chosen is None:
                 # model not ready or no fresh candidates: random fallback
                 m = self._pick_module_random()
@@ -243,18 +249,28 @@ class Citroen:
     def _propose(self, result: TuningResult):
         """Generate, compile, dedup and score candidates; return the argmax."""
         task = self.task
+        tracer = task.tracer
         if not self.model.ready or not self._best_seq:
             return None
         modules = self._modules_to_consider()
         raw: List[Tuple[str, str, np.ndarray]] = []
-        for module_name in modules:
-            for provenance, seq in self.generators[module_name].ask(self.per_strategy):
-                raw.append((module_name, provenance, seq))
+        with tracer.span("candidate_gen", modules=len(modules)) as sp:
+            for module_name in modules:
+                for provenance, seq in self.generators[module_name].ask(
+                    self.per_strategy
+                ):
+                    raw.append((module_name, provenance, seq))
+            sp.set(candidates=len(raw))
         # the whole candidate population compiles in one batch — the engine
         # fans it out over `jobs` workers and caches repeated candidates
+        # (the engine traces this as its own `compile_batch` span)
         batch = task.compile_batch(
             [(m, seq) for m, _prov, seq in raw], outcomes=True
         )
+        span_feat = tracer.span("featurize", candidates=len(batch))
+        span_feat.__enter__()
+        dedup_before = result.extras["dedup_hits"]
+        failures_before = result.extras.get("compile_failures", 0)
         scored = []
         for (module_name, provenance, seq), outcome in zip(raw, batch):
             if not outcome.ok:
@@ -282,9 +298,18 @@ class Citroen:
                 result.extras["dedup_hits"] += 1
                 continue
             scored.append((module_name, seq, compiled, stats, provenance, per_module, sig))
+        span_feat.set(
+            scored=len(scored),
+            dedup_hits=result.extras["dedup_hits"] - dedup_before,
+            compile_failures=result.extras.get("compile_failures", 0)
+            - failures_before,
+        )
+        span_feat.__exit__(None, None, None)
         if not scored:
             return None
         t0 = time.perf_counter()
+        span_af = tracer.span("acquisition", candidates=len(scored))
+        span_af.__enter__()
         mu, sigma = self.model.predict([s[5] for s in scored])
         coverages = np.asarray([self.model.coverage(s[5]) for s in scored])
         if self.use_coverage:
@@ -309,6 +334,8 @@ class Citroen:
                 af_novel[~novel_mask] = -np.inf
                 best = int(np.argmax(af_novel))
                 self.model_seconds += time.perf_counter() - t0
+                span_af.set(channel="novelty")
+                span_af.__exit__(None, None, None)
                 module_name, seq, compiled, stats, provenance, _pm, _sig = scored[best]
                 return (
                     module_name,
@@ -321,6 +348,8 @@ class Citroen:
         else:
             af = -mu + np.sqrt(self.beta) * sigma
         self.model_seconds += time.perf_counter() - t0
+        span_af.set(channel="ucb")
+        span_af.__exit__(None, None, None)
         best = int(np.argmax(af))
         module_name, seq, compiled, stats, provenance, _pm, _sig = scored[best]
         return module_name, seq, compiled, stats, provenance, float(coverages[best])

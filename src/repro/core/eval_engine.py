@@ -37,6 +37,16 @@ All counters, the cache and the quarantine are guarded by one lock; the
 engine is safe to call from concurrent client threads (compiling the same
 key twice in a race is harmless — the compile function is pure — and
 counters stay consistent).
+
+Observability: the counters live in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``engine.*`` names, including
+streaming histograms of per-candidate compile seconds, per-batch wall
+time, and queue wait), and every :meth:`compile_batch` runs inside a
+``compile_batch`` span on the engine's
+:class:`~repro.obs.trace.Tracer` carrying that batch's cache/fault
+deltas.  The legacy attribute counters (``engine.hits``,
+``engine.n_compiles``, ...) are retained as read-only properties over the
+registry — prefer ``engine.metrics``/:meth:`stats` in new code.
 """
 
 from __future__ import annotations
@@ -49,6 +59,9 @@ from dataclasses import dataclass
 from functools import partial
 from threading import Lock
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["CompileEngine", "CompileOutcome", "CompileError"]
 
@@ -99,25 +112,30 @@ def _timed_invoke(fn: Callable, name: str, seq) -> Tuple[object, float]:
 
 
 def _attempt_invoke(
-    fn: Callable, max_retries: int, backoff: float, name: str, seq
-) -> Tuple[str, object, str, int, float]:
+    fn: Callable, max_retries: int, backoff: float, submit_t: float, name: str, seq
+) -> Tuple[str, object, str, int, float, float]:
     """Run ``fn(name, seq)`` with bounded retry-with-backoff, inside the
     worker (module-level so process pools can pickle it).
 
-    Returns ``(status, value, error, attempts, seconds)`` — never raises,
-    so one bad candidate cannot take its batch siblings down with it.
+    Returns ``(status, value, error, attempts, seconds, queue_wait)`` —
+    never raises, so one bad candidate cannot take its batch siblings down
+    with it.  ``queue_wait`` is how long the item sat between batch submit
+    (``submit_t``, the caller's ``perf_counter``) and its worker picking it
+    up — on Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, comparable
+    across processes; clamped at zero elsewhere.
     """
     t0 = time.perf_counter()
+    wait = max(0.0, t0 - submit_t)
     attempts = 0
     while True:
         attempts += 1
         try:
             out = fn(name, seq)
-            return ("ok", out, "", attempts, time.perf_counter() - t0)
+            return ("ok", out, "", attempts, time.perf_counter() - t0, wait)
         except Exception as exc:  # noqa: BLE001 - fault boundary by design
             if attempts > max_retries:
                 err = f"{type(exc).__name__}: {exc}"
-                return ("error", None, err, attempts, time.perf_counter() - t0)
+                return ("error", None, err, attempts, time.perf_counter() - t0, wait)
             time.sleep(backoff * (2 ** (attempts - 1)))
 
 
@@ -154,6 +172,15 @@ class CompileEngine:
         is quarantined.  Timeouts are never retried.
     retry_backoff:
         base sleep between attempts, doubled each retry.
+    metrics:
+        the :class:`~repro.obs.metrics.MetricsRegistry` holding the
+        engine's counters/histograms (``engine.*`` names); defaults to a
+        private registry.  Sharing a task-wide registry here makes the
+        engine's numbers land in the run's ``metrics.json``.
+    tracer:
+        the :class:`~repro.obs.trace.Tracer` receiving per-batch
+        ``compile_batch`` spans; defaults to the disabled
+        :data:`~repro.obs.trace.NULL_TRACER` (zero overhead).
     """
 
     def __init__(
@@ -166,6 +193,8 @@ class CompileEngine:
         timeout: Optional[float] = None,
         max_retries: int = 2,
         retry_backoff: float = 0.01,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -189,16 +218,74 @@ class CompileEngine:
         self._lock = Lock()
         self._pool: Optional[Executor] = None
 
-        self.n_compiles = 0
-        self.cpu_seconds = 0.0  # cumulative per-candidate compile time (sum over workers)
-        self.wall_seconds = 0.0  # wall clock spent inside engine calls
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.n_failures = 0  # candidates that raised through every retry
-        self.n_timeouts = 0  # candidates that tripped the per-candidate timeout
-        self.n_retries = 0  # extra attempts beyond the first, across all candidates
-        self.quarantine_hits = 0  # requests served a stored failure without compiling
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = self.metrics
+        self._m_compiles = m.counter("engine.compiles")
+        self._m_cpu = m.counter("engine.compile_cpu_seconds")
+        self._m_wall = m.counter("engine.compile_wall_seconds")
+        self._m_hits = m.counter("engine.cache_hits")
+        self._m_misses = m.counter("engine.cache_misses")
+        self._m_evictions = m.counter("engine.cache_evictions")
+        self._m_failures = m.counter("engine.compile_failures")
+        self._m_timeouts = m.counter("engine.compile_timeouts")
+        self._m_retries = m.counter("engine.compile_retries")
+        self._m_qhits = m.counter("engine.quarantine_hits")
+        self._m_qsize = m.gauge("engine.quarantine_size")
+        self._m_cache_len = m.gauge("engine.cache_size")
+        self._m_compile_hist = m.histogram("engine.compile_seconds")
+        self._m_batch_wall = m.histogram("engine.batch_wall_seconds")
+        self._m_batch_size = m.histogram("engine.batch_size")
+        self._m_queue_wait = m.histogram("engine.queue_wait_seconds")
+
+    # -- legacy counter attributes (now registry-backed, read-only) ------------
+    # Deprecated: these exist for back-compat with pre-observability callers;
+    # prefer `engine.metrics` / `stats()`.
+    @property
+    def n_compiles(self) -> int:
+        return int(self._m_compiles.value)
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Cumulative per-candidate compile time (sum over workers)."""
+        return self._m_cpu.value
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall clock spent inside engine calls."""
+        return self._m_wall.value
+
+    @property
+    def hits(self) -> int:
+        return int(self._m_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._m_misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._m_evictions.value)
+
+    @property
+    def n_failures(self) -> int:
+        """Candidates that raised through every retry."""
+        return int(self._m_failures.value)
+
+    @property
+    def n_timeouts(self) -> int:
+        """Candidates that tripped the per-candidate timeout."""
+        return int(self._m_timeouts.value)
+
+    @property
+    def n_retries(self) -> int:
+        """Extra attempts beyond the first, across all candidates."""
+        return int(self._m_retries.value)
+
+    @property
+    def quarantine_hits(self) -> int:
+        """Requests served a stored failure without compiling."""
+        return int(self._m_qhits.value)
 
     # -- executor plumbing ------------------------------------------------------
     def _serial(self) -> bool:
@@ -246,7 +333,8 @@ class CompileEngine:
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
-            self.evictions += 1
+            self._m_evictions.inc()
+        self._m_cache_len.set(len(self._cache))
 
     def cache_clear(self) -> None:
         with self._lock:
@@ -284,22 +372,27 @@ class CompileEngine:
             self._quarantine.clear()
 
     def stats(self) -> Dict[str, float]:
-        """Counters for ``timing_breakdown()`` / Fig 5.12 reporting."""
+        """Counters for ``timing_breakdown()`` / Fig 5.12 reporting.
+
+        Reads from :attr:`metrics` (the
+        :class:`~repro.obs.metrics.MetricsRegistry`); the dict keys are
+        the historical ones, so Fig 5.12 tooling needs no changes."""
         with self._lock:
-            return {
-                "n_compiles": self.n_compiles,
-                "compile_cpu_seconds": self.cpu_seconds,
-                "compile_wall_seconds": self.wall_seconds,
-                "cache_hits": self.hits,
-                "cache_misses": self.misses,
-                "cache_evictions": self.evictions,
-                "jobs": self.jobs,
-                "compile_failures": self.n_failures,
-                "compile_timeouts": self.n_timeouts,
-                "compile_retries": self.n_retries,
-                "quarantine_size": len(self._quarantine),
-                "quarantine_hits": self.quarantine_hits,
-            }
+            qsize = len(self._quarantine)
+        return {
+            "n_compiles": self.n_compiles,
+            "compile_cpu_seconds": self.cpu_seconds,
+            "compile_wall_seconds": self.wall_seconds,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "jobs": self.jobs,
+            "compile_failures": self.n_failures,
+            "compile_timeouts": self.n_timeouts,
+            "compile_retries": self.n_retries,
+            "quarantine_size": qsize,
+            "quarantine_hits": self.quarantine_hits,
+        }
 
     # -- evaluation -------------------------------------------------------------------
     def compile_one(self, module_name: str, seq: Sequence[int], outcomes: bool = False):
@@ -324,31 +417,43 @@ class CompileEngine:
         stay consistent.
         """
         t_wall = time.perf_counter()
+        span = self.tracer.span("compile_batch", size=len(items))
+        span.__enter__()
         results: List[Optional[CompileOutcome]] = [None] * len(items)
         # key -> result slots it must fill; insertion order == first-seen order
         pending: "OrderedDict[Hashable, List[int]]" = OrderedDict()
         work: List[Tuple[str, Sequence[int]]] = []
+        b_hits = b_misses = b_qhits = 0  # this batch's deltas (span attrs)
+        b_compiles = b_failures = b_timeouts = b_retries = 0
+        b_cpu = b_wait = 0.0
         with self._lock:
             for i, (name, seq) in enumerate(items):
                 key = self.key_fn(name, seq)
                 if key in self._cache:
                     self._cache.move_to_end(key)
                     results[i] = CompileOutcome("ok", value=self._cache[key])
-                    self.hits += 1
+                    b_hits += 1
                 elif key in self._quarantine:
                     results[i] = self._quarantine[key]
-                    self.quarantine_hits += 1
+                    b_qhits += 1
                 elif key in pending:
                     pending[key].append(i)
-                    self.hits += 1  # within-batch duplicate: compiled once
+                    b_hits += 1  # within-batch duplicate: compiled once
                 else:
                     pending[key] = [i]
                     work.append((name, seq))
-                    self.misses += 1
+                    b_misses += 1
+        self._m_hits.inc(b_hits)
+        self._m_misses.inc(b_misses)
+        self._m_qhits.inc(b_qhits)
 
         if work:
             worker = partial(
-                _attempt_invoke, self.compile_fn, self.max_retries, self.retry_backoff
+                _attempt_invoke,
+                self.compile_fn,
+                self.max_retries,
+                self.retry_backoff,
+                time.perf_counter(),
             )
             if self.timeout is None:
                 if self._serial() or len(work) == 1:
@@ -359,20 +464,23 @@ class CompileEngine:
             else:
                 outs = self._run_with_timeout(worker, work)
             with self._lock:
-                for (key, slots), (status, out, err, attempts, dt) in zip(
+                for (key, slots), (status, out, err, attempts, dt, wait) in zip(
                     pending.items(), outs
                 ):
-                    self.cpu_seconds += dt
-                    self.n_retries += max(0, attempts - 1)
+                    b_cpu += dt
+                    b_wait += wait
+                    b_retries += max(0, attempts - 1)
+                    self._m_compile_hist.observe(dt)
+                    self._m_queue_wait.observe(wait)
                     if status == "ok":
-                        self.n_compiles += 1
+                        b_compiles += 1
                         self._cache_put(key, out)
                         outcome = CompileOutcome("ok", value=out, attempts=attempts, seconds=dt)
                     else:
                         if status == "timeout":
-                            self.n_timeouts += 1
+                            b_timeouts += 1
                         else:
-                            self.n_failures += 1
+                            b_failures += 1
                         outcome = CompileOutcome(status, error=err, attempts=attempts, seconds=dt)
                         # deterministic failure: compiling this key again
                         # would fail again — store the verdict instead
@@ -381,9 +489,29 @@ class CompileEngine:
                         )
                     for i in slots:
                         results[i] = outcome
+                self._m_qsize.set(len(self._quarantine))
+            self._m_cpu.inc(b_cpu)
+            self._m_compiles.inc(b_compiles)
+            self._m_failures.inc(b_failures)
+            self._m_timeouts.inc(b_timeouts)
+            self._m_retries.inc(b_retries)
 
-        with self._lock:
-            self.wall_seconds += time.perf_counter() - t_wall
+        batch_wall = time.perf_counter() - t_wall
+        self._m_wall.inc(batch_wall)
+        self._m_batch_wall.observe(batch_wall)
+        self._m_batch_size.observe(len(items))
+        span.set(
+            compiles=b_compiles,
+            cache_hits=b_hits,
+            cache_misses=b_misses,
+            failures=b_failures,
+            timeouts=b_timeouts,
+            retries=b_retries,
+            quarantine_hits=b_qhits,
+            worker_seconds=b_cpu,
+            queue_wait_seconds=b_wait,
+        )
+        span.__exit__(None, None, None)
         if outcomes:
             return results
         failed = next((o for o in results if not o.ok), None)
@@ -393,7 +521,7 @@ class CompileEngine:
 
     def _run_with_timeout(
         self, worker: Callable, work: List[Tuple[str, Sequence[int]]]
-    ) -> List[Tuple[str, object, str, int, float]]:
+    ) -> List[Tuple[str, object, str, int, float, float]]:
         """Run work items as individual futures with a per-candidate timeout.
 
         The timeout clock for item *i* starts when the engine begins
@@ -405,7 +533,7 @@ class CompileEngine:
         """
         pool = self._get_pool()
         futs = [pool.submit(worker, n, s) for n, s in work]
-        outs: List[Tuple[str, object, str, int, float]] = [None] * len(work)
+        outs: List[Tuple[str, object, str, int, float, float]] = [None] * len(work)
         for i in range(len(work)):
             try:
                 outs[i] = futs[i].result(timeout=self.timeout)
@@ -416,6 +544,7 @@ class CompileEngine:
                     f"compile timed out after {self.timeout:.4g}s",
                     1,
                     float(self.timeout),
+                    0.0,
                 )
                 with self._lock:
                     old, self._pool = self._pool, None

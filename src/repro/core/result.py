@@ -83,3 +83,37 @@ class TuningResult:
     def speedup_curve(self, points: Sequence[int]) -> List[float]:
         """Speedups over -O3 at each budget cut in ``points``."""
         return [self.speedup_over_o3(p) for p in points]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-facing form of the full trace (the RunRecorder's
+        ``result.json``).  Non-finite floats are kept as-is here; the
+        recorder stringifies them at serialisation time."""
+        return {
+            "program": self.program,
+            "tuner": self.tuner,
+            "o3_runtime": self.o3_runtime,
+            "o0_runtime": self.o0_runtime,
+            "best_runtime": self.best_runtime if self.measurements else None,
+            "best_config": {m: list(s) for m, s in self.best_config.items()},
+            "n_measurements": len(self.measurements),
+            "n_infeasible": self.n_infeasible,
+            "measurements": [
+                {
+                    "index": m.index,
+                    "module": m.module,
+                    "sequence": list(m.sequence),
+                    "runtime": m.runtime,
+                    "speedup_vs_o3": m.speedup_vs_o3,
+                    "correct": m.correct,
+                    "status": m.status,
+                }
+                for m in self.measurements
+            ],
+            "timing": dict(self.timing),
+            "extras": {
+                k: v
+                for k, v in self.extras.items()
+                # keep result.json scannable: drop the bulky per-iteration lists
+                if k not in ("winner_strategies", "chosen_modules", "chosen_coverage")
+            },
+        }

@@ -34,6 +34,9 @@ from repro.compiler.pipelines import SEARCH_PASSES, pipeline
 from repro.core.eval_engine import CompileEngine, CompileOutcome
 from repro.core.faults import FaultInjector, corrupt_module, parse_fault_kinds
 from repro.machine.interp import InterpError
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.machine.platforms import Platform, get_platform
 from repro.machine.profiler import Profiler
 from repro.utils.rng import SeedLike, as_generator
@@ -63,6 +66,9 @@ class AutotuningTask:
         compile_timeout: Optional[float] = None,
         compile_retries: int = 2,
         retry_backoff: float = 0.01,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_every: int = 0,
     ) -> None:
         """``objective``: ``"runtime"`` (the paper's focus) or ``"codesize"``
         (the simpler static objective discussed in §1 — evaluated without
@@ -82,7 +88,19 @@ class AutotuningTask:
         retry-with-backoff knobs.  Absent an explicit injector, the
         ``REPRO_INJECT_FAULTS``/``REPRO_FAULT_RATE``/``REPRO_FAULT_SEED``/
         ``REPRO_FAULT_HANG_SECONDS`` environment variables build one — the
-        hook CI's chaos job uses to run whole suites under fault injection."""
+        hook CI's chaos job uses to run whole suites under fault injection.
+
+        ``tracer``/``metrics`` wire the observability stack
+        (:mod:`repro.obs`) through the task: measurement spans and
+        ``task.*`` metrics are recorded here, and both are shared with the
+        :class:`~repro.core.eval_engine.CompileEngine` so compile-batch
+        spans land in the same trace and the engine's ``engine.*``
+        counters in the same registry.  ``metrics_every=N`` emits a
+        ``metrics`` trace event (plus a debug log line) every N
+        measurements.  Defaults are the disabled
+        :data:`~repro.obs.trace.NULL_TRACER` and a private registry —
+        tracing consumes no RNG, so instrumented and uninstrumented runs
+        produce bit-identical tuner histories at the same seed."""
         if objective not in ("runtime", "codesize"):
             raise ValueError(f"unknown objective {objective!r}")
         self.objective = objective
@@ -149,6 +167,17 @@ class AutotuningTask:
             else self._compile_uncached
         )
 
+        # observability: one tracer + one registry shared with the engine,
+        # so compile spans and engine counters land in the run's artifacts
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics_every = int(metrics_every)
+        self._m_measurements = self.metrics.counter("task.measurements")
+        self._m_measure_cache_hits = self.metrics.counter("task.measure_cache_hits")
+        self._m_crashes = self.metrics.counter("task.measure_crashes")
+        self._m_incorrect = self.metrics.counter("task.measure_incorrect")
+        self._m_measure_hist = self.metrics.histogram("task.measure_seconds")
+
         # compile engine: parallel workers + bounded LRU compilation cache.
         # Keyed by the decoded pass-name tuple so distinct index encodings of
         # the same pipeline share one cache entry.
@@ -162,6 +191,8 @@ class AutotuningTask:
             timeout=compile_timeout,
             max_retries=compile_retries,
             retry_backoff=retry_backoff,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
 
         # bookkeeping / statistics the benches report (Fig 5.12);
@@ -274,36 +305,58 @@ class AutotuningTask:
         """
         if config_key is not None and config_key in self._measure_cache:
             value, ok, self.last_failure = self._measure_cache[config_key]
+            self._m_measure_cache_hits.inc()
+            self.tracer.event(
+                "measure_cached", status=self.last_failure or "ok"
+            )
             return value, ok
         t0 = time.perf_counter()
-        linked = [
-            compiled.get(m.name, self._o3_modules[m.name]) for m in self.program.modules
-        ]
-        failure = ""
-        try:
-            if self.objective == "codesize":
-                value = float(sum(mod.num_instrs() for mod in linked))
-                ok = True
-                if self.check_outputs:  # still verify semantics once
-                    result = self.profiler.execute(linked)
-                    ok = result.output_signature() == self._reference_sig
-            else:
-                m = self.profiler.measure(linked, repeats=self.repeats)
-                value = m.seconds
-                ok = True
-                if self.check_outputs:
-                    ok = m.result.output_signature() == self._reference_sig
-            if not ok:
-                failure = "incorrect"
-                self.n_incorrect += 1
-        except InterpError:  # includes FuelExhausted
-            value, ok, failure = self.penalty_runtime, False, "crash"
-            self.n_crashes += 1
+        with self.tracer.span(
+            "measure", modules=len(compiled), repeats=self.repeats
+        ) as sp:
+            linked = [
+                compiled.get(m.name, self._o3_modules[m.name])
+                for m in self.program.modules
+            ]
+            failure = ""
+            try:
+                if self.objective == "codesize":
+                    value = float(sum(mod.num_instrs() for mod in linked))
+                    ok = True
+                    if self.check_outputs:  # still verify semantics once
+                        result = self.profiler.execute(linked)
+                        ok = result.output_signature() == self._reference_sig
+                else:
+                    m = self.profiler.measure(linked, repeats=self.repeats)
+                    value = m.seconds
+                    ok = True
+                    if self.check_outputs:
+                        ok = m.result.output_signature() == self._reference_sig
+                if not ok:
+                    failure = "incorrect"
+                    self.n_incorrect += 1
+                    self._m_incorrect.inc()
+            except InterpError:  # includes FuelExhausted
+                value, ok, failure = self.penalty_runtime, False, "crash"
+                self.n_crashes += 1
+                self._m_crashes.inc()
+            sp.set(status=failure or "ok")
+        dt = time.perf_counter() - t0
         self.n_measurements += 1
-        self.measure_seconds += time.perf_counter() - t0
+        self.measure_seconds += dt
+        self._m_measurements.inc()
+        self._m_measure_hist.observe(dt)
         self.last_failure = failure
         if config_key is not None:
             self._measure_cache[config_key] = (value, ok, failure)
+        if self.metrics_every and self.n_measurements % self.metrics_every == 0:
+            flat = self.metrics.flat()
+            self.tracer.event(
+                "metrics", n_measurements=self.n_measurements, metrics=flat
+            )
+            get_logger(__name__).debug(
+                "metrics @ %d measurements: %s", self.n_measurements, flat
+            )
         return value, ok
 
     def measure_config(self, config: Dict[str, Sequence[int]]) -> Tuple[float, bool]:

@@ -1,0 +1,44 @@
+"""Observability for tuning runs: tracing, metrics, run artifacts, logging.
+
+CITROEN's thesis is that *compilation statistics* are the signal worth
+modelling — this package applies the same discipline to the tuner itself.
+Three dependency-free pieces:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` of nestable spans
+  (``with tracer.span("propose", module=m):``) capturing wall/CPU time and
+  attributes, emitting JSONL-serialisable events;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and streaming histograms (p50/p90/p99) that backs the
+  :class:`~repro.core.eval_engine.CompileEngine` counters;
+* :mod:`repro.obs.recorder` — a :class:`RunRecorder` writing a per-run
+  directory (``manifest.json``, ``events.jsonl``, ``metrics.json``,
+  ``result.json``) for every tune;
+
+plus :mod:`repro.obs.log`, the ``logging`` setup the CLI uses.
+
+Everything is off by default: the module-level :data:`NULL_TRACER` is a
+disabled tracer whose spans are shared no-op context managers, so
+uninstrumented runs stay bit-identical to pre-observability behaviour.
+"""
+
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from repro.obs.recorder import RunRecorder, git_revision, read_events
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "RunRecorder",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
+    "git_revision",
+    "read_events",
+]

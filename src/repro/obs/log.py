@@ -1,0 +1,80 @@
+"""``logging`` setup for the CLI and library.
+
+The CLI historically used bare ``print()``; :func:`configure` replaces
+that with the stdlib ``logging`` stack while keeping stdout output
+**byte-compatible** at the default level: the handler formats records as
+``"%(message)s"`` and writes to whatever ``sys.stdout`` currently is
+(resolved per record, so pytest's ``capsys`` redirection keeps working).
+
+* ``configure("info")`` — the default; ``log.info(...)`` lines are
+  byte-identical to the ``print(...)`` calls they replaced.
+* ``configure("debug")`` — adds the library's diagnostic chatter
+  (per-iteration metrics, engine events) prefixed with the logger name.
+* ``configure("warning")`` — silences the normal report entirely.
+
+Library modules grab ``get_logger(__name__)`` and never configure
+handlers themselves — an embedding application keeps full control.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure", "get_logger"]
+
+ROOT_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _StdoutHandler(logging.Handler):
+    """Writes to the *current* ``sys.stdout`` (not a snapshot of it)."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stdout.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - mirrors logging's own policy
+            self.handleError(record)
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The package logger, or a child of it."""
+    if not name or name == ROOT_NAME:
+        return logging.getLogger(ROOT_NAME)
+    if not name.startswith(ROOT_NAME + "."):
+        name = f"{ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def configure(level: str = "info") -> logging.Logger:
+    """Install (or re-level) the stdout handler on the package logger.
+
+    Idempotent: repeated calls adjust the level of the existing handler
+    instead of stacking duplicates.  At ``info`` the format is the bare
+    message (print-compatible); at ``debug`` records carry their logger
+    name so library chatter is attributable.
+    """
+    if level not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+        )
+    logger = logging.getLogger(ROOT_NAME)
+    logger.setLevel(_LEVELS[level])
+    logger.propagate = False
+    handler = next(
+        (h for h in logger.handlers if isinstance(h, _StdoutHandler)), None
+    )
+    if handler is None:
+        handler = _StdoutHandler()
+        logger.addHandler(handler)
+    fmt = "%(message)s" if _LEVELS[level] >= logging.INFO else "[%(name)s] %(message)s"
+    handler.setFormatter(logging.Formatter(fmt))
+    handler.setLevel(_LEVELS[level])
+    return logger

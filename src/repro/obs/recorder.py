@@ -1,0 +1,185 @@
+"""Per-run artifact directory: manifest, trace events, metrics, result.
+
+Every tune invoked with ``--trace-out DIR`` (or ``REPRO_TRACE=DIR``) gets
+a directory::
+
+    DIR/
+      manifest.json    # config, seed, git revision, package version
+      events.jsonl     # one JSON object per trace span / point event
+      metrics.json     # MetricsRegistry snapshot (counters/gauges/p50-p99)
+      result.json      # final TuningResult (measurements, timing, extras)
+
+The manifest is written eagerly at construction so even a crashed run
+leaves an identifiable corpse; it contains no wall-clock timestamp, so
+two runs of the same config+seed produce byte-identical manifests (the
+reproducibility contract the autotuning literature keeps relearning —
+instrumented runs must be comparable run-over-run).
+
+``events.jsonl`` is streamed: the recorder's :attr:`tracer` sinks every
+finished span straight to the file, so a run killed mid-search still
+yields a parseable prefix (each line is a complete JSON object).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["RunRecorder", "git_revision", "read_events"]
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The repo's HEAD revision, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def _package_version() -> str:
+    try:  # local import: repro/__init__ may still be mid-import at call time
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+    except ImportError:  # pragma: no cover
+        return "unknown"
+
+
+def _jsonable(obj):
+    """Best-effort JSON coercion for numpy scalars/arrays and dataclasses."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalar
+        try:
+            return obj.item()
+        except (TypeError, ValueError):
+            pass
+    if hasattr(obj, "tolist") and callable(obj.tolist):  # numpy array
+        return obj.tolist()
+    if isinstance(obj, float) and (obj != obj or obj in (float("inf"), float("-inf"))):
+        return repr(obj)  # "inf"/"-inf"/"nan": valid JSON needs a string
+    return obj
+
+
+class RunRecorder:
+    """Owns one run directory and the tracer/metrics feeding it.
+
+    Parameters
+    ----------
+    out_dir:
+        the run directory; created (parents included) if missing, and
+        stale ``events.jsonl``/``metrics.json``/``result.json`` from a
+        previous run in the same directory are truncated/overwritten.
+    manifest:
+        run identification written to ``manifest.json``; merged over the
+        defaults (``version``, ``git_rev``) with caller keys winning.
+    registry:
+        the :class:`MetricsRegistry` snapshotted into ``metrics.json``
+        (on :meth:`write_metrics`, and automatically at :meth:`close` if
+        not yet written).  ``None`` creates a private registry.
+    keep:
+        in-memory event retention of the attached tracer (for
+        :func:`repro.reporting.span_table` after the run).
+    """
+
+    def __init__(
+        self,
+        out_dir: Union[str, Path],
+        manifest: Optional[Dict[str, object]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        keep: int = 100_000,
+    ) -> None:
+        self.path = Path(out_dir)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._metrics_written = False
+        self._closed = False
+
+        base: Dict[str, object] = {
+            "version": _package_version(),
+            "git_rev": git_revision(),
+        }
+        base.update(manifest or {})
+        self.manifest = base
+        (self.path / "manifest.json").write_text(
+            json.dumps(_jsonable(base), indent=2, sort_keys=True) + "\n"
+        )
+
+        self._events_file = open(self.path / "events.jsonl", "w")
+        self.tracer = Tracer(sink=self.write_event, keep=keep)
+
+    # -- streaming --------------------------------------------------------------
+    def write_event(self, event: Dict[str, object]) -> None:
+        """Append one event as a JSONL line (the tracer's sink)."""
+        self._events_file.write(json.dumps(_jsonable(event), sort_keys=True) + "\n")
+
+    def flush(self) -> None:
+        self._events_file.flush()
+
+    # -- artifacts --------------------------------------------------------------
+    def write_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Snapshot ``registry`` (default: the attached one) to metrics.json."""
+        reg = registry if registry is not None else self.registry
+        (self.path / "metrics.json").write_text(
+            json.dumps(_jsonable(reg.snapshot()), indent=2, sort_keys=True) + "\n"
+        )
+        self._metrics_written = True
+
+    def write_result(self, result) -> None:
+        """Write the final result (a TuningResult, dataclass, or dict)."""
+        if hasattr(result, "to_dict"):
+            payload = result.to_dict()
+        else:
+            payload = result
+        (self.path / "result.json").write_text(
+            json.dumps(_jsonable(payload), indent=2, sort_keys=True) + "\n"
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the event stream (idempotent); writes the
+        metrics snapshot if the caller never did."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._metrics_written:
+            self.write_metrics()
+        self._events_file.flush()
+        self._events_file.close()
+
+    def __enter__(self) -> "RunRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse an ``events.jsonl`` back into a list of event dicts."""
+    events = []
+    with open(Path(path)) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,7 +1,10 @@
 """Plain-text reporting utilities for tuning results.
 
-Terminal-friendly rendering of convergence curves and leaderboards so the
-CLI and examples can show search progress without plotting dependencies.
+Terminal-friendly rendering of convergence curves, leaderboards, and —
+for traced runs — per-phase time breakdowns (:func:`span_table`) and a
+chronological :func:`timeline`, so the CLI and examples can show search
+progress and "where did the time go" (the Fig 5.12 story) without
+plotting dependencies.
 """
 
 from __future__ import annotations
@@ -12,7 +15,14 @@ import numpy as np
 
 from repro.core.result import TuningResult
 
-__all__ = ["ascii_curve", "leaderboard", "stats_table", "summarize"]
+__all__ = [
+    "ascii_curve",
+    "leaderboard",
+    "span_table",
+    "stats_table",
+    "summarize",
+    "timeline",
+]
 
 
 def ascii_curve(
@@ -30,14 +40,24 @@ def ascii_curve(
         return "(no results)"
     series: Dict[str, np.ndarray] = {}
     for name, res in results.items():
-        hist = res.best_history
+        # best-history entries can be the `inf` infeasibility sentinel (or a
+        # penalty runtime) while no feasible binary has been found yet; in
+        # speedup mode those would map to a garbage 0.0 and wreck the scale,
+        # so non-finite runtimes become gaps instead of points
+        hist = np.asarray(res.best_history, dtype=float)
+        vals = np.full(hist.shape, np.nan)
+        finite = np.isfinite(hist)
         if value == "speedup":
-            series[name] = res.o3_runtime / hist
+            vals[finite] = res.o3_runtime / hist[finite]
         else:
-            series[name] = hist
+            vals[finite] = hist[finite]
+        series[name] = vals
     n = max(len(s) for s in series.values())
-    lo = min(float(s.min()) for s in series.values())
-    hi = max(float(s.max()) for s in series.values())
+    finite_all = np.concatenate([s[np.isfinite(s)] for s in series.values()])
+    if finite_all.size == 0:
+        return "(no feasible measurements to plot)"
+    lo = float(finite_all.min())
+    hi = float(finite_all.max())
     if hi - lo < 1e-12:
         hi = lo + 1e-12
     grid = [[" "] * width for _ in range(height)]
@@ -48,6 +68,8 @@ def ascii_curve(
         for col in range(width):
             i = min(len(s) - 1, int(col / (width - 1) * (n - 1)))
             v = float(s[min(i, len(s) - 1)])
+            if not np.isfinite(v):
+                continue
             row = int((v - lo) / (hi - lo) * (height - 1))
             cell = grid[height - 1 - row][col]
             grid[height - 1 - row][col] = ch if cell in (" ", ch) else "*"
@@ -105,3 +127,97 @@ def summarize(result: TuningResult) -> str:
             + ", ".join(result.extras["top_statistics"][:3])
         )
     return "\n".join(lines)
+
+
+# -- trace rendering (repro.obs) ------------------------------------------------
+
+
+def _span_events(events) -> List[Dict]:
+    """Normalise a Tracer, a RunRecorder, or a raw event list to span dicts."""
+    if hasattr(events, "tracer"):  # RunRecorder
+        events = events.tracer
+    if hasattr(events, "events"):  # Tracer
+        events = events.events()
+    return [e for e in events if e.get("type") == "span"]
+
+
+def span_table(events, top: Optional[int] = None) -> str:
+    """Per-phase time breakdown of a traced run (the Fig 5.12 view).
+
+    ``events`` is a :class:`~repro.obs.trace.Tracer`, a
+    :class:`~repro.obs.recorder.RunRecorder`, or a list of event dicts
+    (e.g. from :func:`repro.obs.read_events`).  Aggregates spans by name:
+    call count, total/mean/p50/max wall time, total CPU time, and the
+    share of traced time — percentages are taken against the sum of
+    *top-level* spans only, so nested spans (``compile_batch`` inside
+    ``propose``) are not double counted in the denominator.
+    """
+    spans = _span_events(events)
+    if not spans:
+        return "(no spans recorded)"
+    agg: Dict[str, List] = {}
+    for e in spans:
+        row = agg.setdefault(e["name"], [0, 0.0, 0.0, []])
+        row[0] += 1
+        row[1] += e["wall"]
+        row[2] += e.get("cpu", 0.0)
+        row[3].append(e["wall"])
+    total = sum(e["wall"] for e in spans if e.get("depth", 0) == 0)
+    if total <= 0.0:
+        total = sum(e["wall"] for e in spans) or 1e-12
+    rows = sorted(agg.items(), key=lambda kv: -kv[1][1])
+    if top is not None:
+        rows = rows[:top]
+    name_w = max(12, max(len(n) for n, _ in rows) + 2)
+    out = [
+        f"{'span':{name_w}s}{'count':>7s}{'total s':>10s}{'%':>7s}"
+        f"{'mean ms':>10s}{'p50 ms':>10s}{'max ms':>10s}{'cpu s':>9s}"
+    ]
+    for name, (count, wall, cpu, walls) in rows:
+        walls.sort()
+        p50 = walls[len(walls) // 2]
+        out.append(
+            f"{name:{name_w}s}{count:>7d}{wall:>10.3f}{100 * wall / total:>6.1f}%"
+            f"{1e3 * wall / count:>10.2f}{1e3 * p50:>10.2f}"
+            f"{1e3 * walls[-1]:>10.2f}{cpu:>9.3f}"
+        )
+    out.append(f"{'(traced top-level time)':{name_w}s}{'':>7s}{total:>10.3f}")
+    return "\n".join(out)
+
+
+def timeline(
+    events,
+    width: int = 50,
+    max_rows: int = 40,
+    max_depth: int = 1,
+) -> str:
+    """Chronological view of a traced run: one row per span, with an
+    ASCII bar locating it on the run's wall clock.
+
+    Spans deeper than ``max_depth`` are hidden (the default shows the
+    tuner phases and the compile batches directly under them); output is
+    truncated to ``max_rows`` rows with an ellipsis count.
+    """
+    spans = [e for e in _span_events(events) if e.get("depth", 0) <= max_depth]
+    if not spans:
+        return "(no spans recorded)"
+    spans.sort(key=lambda e: e["ts"])
+    t0 = min(e["ts"] for e in spans)
+    t1 = max(e["ts"] + e["wall"] for e in spans)
+    extent = max(t1 - t0, 1e-12)
+    name_w = max(14, max(len(e["name"]) for e in spans) + 2 * max_depth + 2)
+    out = [f"{'ts':>9s}  {'span':{name_w}s}|{'-' * width}|"]
+    shown = spans[:max_rows]
+    for e in shown:
+        start = int((e["ts"] - t0) / extent * width)
+        length = max(1, round(e["wall"] / extent * width))
+        start = min(start, width - 1)
+        length = min(length, width - start)
+        bar = " " * start + "#" * length + " " * (width - start - length)
+        label = "  " * e.get("depth", 0) + e["name"]
+        out.append(
+            f"{e['ts'] - t0:>8.3f}s  {label:{name_w}s}|{bar}| {1e3 * e['wall']:.1f} ms"
+        )
+    if len(spans) > max_rows:
+        out.append(f"... ({len(spans) - max_rows} more spans)")
+    return "\n".join(out)

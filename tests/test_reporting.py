@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.core.result import Measurement, TuningResult
-from repro.reporting import ascii_curve, leaderboard, stats_table, summarize
+from repro.reporting import (
+    ascii_curve,
+    leaderboard,
+    span_table,
+    stats_table,
+    summarize,
+    timeline,
+)
 
 
 def _result(name, runtimes, o3=1.0):
@@ -39,6 +46,26 @@ class TestAsciiCurve:
         art = ascii_curve({"x": _result("x", [1.0, 1.0, 1.0])})
         assert "A = x" in art
 
+    def test_infeasible_inf_entries_do_not_wreck_scale(self):
+        # PR 2 records infeasible measurements with runtime == inf; a run
+        # whose first slots are infeasible has inf in its best-history
+        res = _result("x", [float("inf"), float("inf"), 0.5, 0.4])
+        art = ascii_curve({"x": res}, value="speedup")
+        assert "A = x" in art
+        # the scale comes from the finite points only (speedups 2.0 and
+        # 2.5), not from a garbage 0.0 mapped from the inf sentinel
+        top_label = float(art.splitlines()[0].split("|")[0])
+        assert 2.0 <= top_label <= 3.0
+
+    def test_runtime_mode_with_inf_entries(self):
+        res = _result("x", [float("inf"), 1.0, 0.5])
+        art = ascii_curve({"x": res}, value="runtime")
+        assert "A = x" in art  # no OverflowError, inf rows skipped
+
+    def test_all_infeasible_run(self):
+        res = _result("x", [float("inf"), float("inf")])
+        assert ascii_curve({"x": res}) == "(no feasible measurements to plot)"
+
 
 class TestLeaderboard:
     def test_sorted_descending(self, results):
@@ -57,6 +84,46 @@ class TestStatsTable:
         rel = [("m::slp.NVI", 3.2), ("m::gvn.N", 1.1), ("m::dce.N", 0.2)]
         table = stats_table(rel, k=2)
         assert "slp.NVI" in table and "dce.N" not in table
+
+
+class TestSpanRendering:
+    def _events(self):
+        return [
+            {"type": "span", "name": "measure", "ts": 0.01, "wall": 0.2,
+             "cpu": 0.2, "id": 2, "parent": None, "depth": 0},
+            {"type": "span", "name": "compile_batch", "ts": 0.22, "wall": 0.05,
+             "cpu": 0.05, "id": 4, "parent": 3, "depth": 1},
+            {"type": "span", "name": "propose", "ts": 0.21, "wall": 0.08,
+             "cpu": 0.08, "id": 3, "parent": None, "depth": 0},
+            {"type": "event", "name": "metrics", "ts": 0.3, "parent": None},
+        ]
+
+    def test_span_table_aggregates_and_ranks(self):
+        table = span_table(self._events())
+        lines = table.splitlines()
+        assert "measure" in lines[1]  # largest total first
+        assert "compile_batch" in table and "propose" in table
+        # % denominator is top-level time only (0.2 + 0.08)
+        assert "71.4%" in lines[1]
+
+    def test_span_table_empty(self):
+        assert span_table([]) == "(no spans recorded)"
+
+    def test_timeline_orders_rows_chronologically(self):
+        tl = timeline(self._events())
+        lines = tl.splitlines()
+        assert lines[1].lstrip().startswith("0.000s")
+        assert "measure" in lines[1] and "propose" in lines[2]
+        assert "#" in lines[1]
+
+    def test_timeline_truncates(self):
+        events = [
+            {"type": "span", "name": f"s{i}", "ts": i * 0.01, "wall": 0.005,
+             "cpu": 0.0, "id": i, "parent": None, "depth": 0}
+            for i in range(30)
+        ]
+        tl = timeline(events, max_rows=10)
+        assert "(20 more spans)" in tl
 
 
 class TestSummarize:
