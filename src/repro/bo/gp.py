@@ -229,6 +229,13 @@ class GaussianProcess:
         return clone
 
     # -- transforms back to the original objective scale --------------------------------
+    def transform_targets(self, y: np.ndarray) -> np.ndarray:
+        """Map raw objective values into the fitted transformed space — the
+        space :meth:`predict` reports in — without refitting the transform
+        (calibration diagnostics compare predictions against realizations
+        under the transform that produced the prediction)."""
+        return self._transform_y(np.asarray(y, dtype=float), refit=False)
+
     def untransform_mean(self, mean_z: np.ndarray) -> np.ndarray:
         """Map transformed-space means back to raw objective values."""
         y = self._std.inverse(mean_z)

@@ -7,6 +7,8 @@ Commands
 ``passes``     list the phase-ordering pass alphabet
 ``motivate``   print the Table 5.1 motivation rows live
 ``compare``    run several tuners on one program and print the leaderboard
+``analyze``    render a markdown report from a recorded run directory
+``diff``       compare two recorded runs; non-zero exit on regression
 
 Output goes through :mod:`repro.obs.log` (``--log-level`` selects
 verbosity; the default ``info`` level is byte-compatible with the
@@ -41,12 +43,20 @@ from repro.obs import RunRecorder, configure_logging
 __all__ = ["main"]
 
 _TUNERS = {
-    "citroen": lambda task, seed: Citroen(task, seed=seed),
-    "random": lambda task, seed: RandomSearchTuner(task, seed=seed),
-    "ga": lambda task, seed: GATuner(task, seed=seed),
-    "ensemble": lambda task, seed: EnsembleTuner(task, seed=seed),
-    "boca": lambda task, seed: BOCATuner(task, seed=seed),
+    "citroen": lambda task, seed, diagnostics=True: Citroen(
+        task, seed=seed, diagnostics=diagnostics
+    ),
+    "random": lambda task, seed, diagnostics=True: RandomSearchTuner(task, seed=seed),
+    "ga": lambda task, seed, diagnostics=True: GATuner(task, seed=seed),
+    "ensemble": lambda task, seed, diagnostics=True: EnsembleTuner(task, seed=seed),
+    "boca": lambda task, seed, diagnostics=True: BOCATuner(task, seed=seed),
 }
+
+
+def _build_tuner(name: str, task, args: argparse.Namespace):
+    return _TUNERS[name](
+        task, args.seed, diagnostics=not getattr(args, "no_diagnostics", False)
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -140,7 +150,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             log.info(f"platform     : {args.platform}")
             log.info(f"hot modules  : {task.hot_modules}")
             log.info(f"-O3 runtime  : {task.o3_runtime * 1e6:.2f} us")
-            tuner = _TUNERS[args.tuner](task, args.seed)
+            tuner = _build_tuner(args.tuner, task, args)
             result = tuner.tune(args.budget)
             log.info(f"\nbest runtime : {result.best_runtime * 1e6:.2f} us")
             log.info(f"speedup/-O3  : {result.speedup_over_o3():.3f}x")
@@ -176,6 +186,20 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                 recorder.write_metrics()
                 log.info(f"\nwhere did the time go (trace: {recorder.path})")
                 log.info(span_table(recorder.tracer))
+                from repro.obs.diagnostics import (
+                    attribution_table,
+                    calibration_table,
+                    decision_records,
+                )
+
+                if decision_records(result):
+                    log.info("\nsurrogate calibration")
+                    log.info(calibration_table(result))
+                    log.info("\ngenerator provenance")
+                    log.info(attribution_table(result))
+                log.info(
+                    f"\nfull report: python -m repro analyze {recorder.path}"
+                )
     finally:
         if recorder is not None:
             recorder.close()
@@ -255,7 +279,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
         try:
             with _make_task(args, args.program, recorder) as task:
-                results[name] = _TUNERS[name](task, args.seed).tune(args.budget)
+                results[name] = _build_tuner(name, task, args).tune(args.budget)
             if recorder is not None:
                 recorder.write_result(results[name])
                 recorder.write_metrics()
@@ -267,7 +291,87 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     log.info(ascii_curve(results))
     log.info("")
     log.info(leaderboard(results))
+    if trace_dir:
+        # the shared parent gets the machine-readable leaderboard, so the
+        # offline analyzer can consume a baseline comparison as one unit
+        _write_compare_json(trace_dir, args, results)
+        log.info(f"\nfull report: python -m repro analyze {trace_dir}")
     return 0
+
+
+def _write_compare_json(trace_dir: str, args: argparse.Namespace, results) -> None:
+    """Write the ``compare.json`` leaderboard into the shared parent dir."""
+    import json
+
+    from repro.obs.recorder import _jsonable
+
+    board = sorted(
+        (
+            {
+                "tuner": name,
+                "best_runtime": res.best_runtime if res.measurements else None,
+                "speedup_vs_o3": res.speedup_over_o3() if res.measurements else None,
+                "n_measurements": len(res.measurements),
+                "n_infeasible": res.n_infeasible,
+                "run_dir": name,
+            }
+            for name, res in results.items()
+        ),
+        key=lambda e: -(e["speedup_vs_o3"] or 0.0),
+    )
+    payload = {
+        "command": "compare",
+        "program": args.program,
+        "budget": args.budget,
+        "seed": args.seed,
+        "tuners": [e["tuner"] for e in board],
+        "leaderboard": board,
+    }
+    path = os.path.join(trace_dir, "compare.json")
+    with open(path, "w") as fh:
+        json.dump(_jsonable(payload), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import analyze_run
+
+    log = configure_logging(args.log_level)
+    try:
+        report = analyze_run(args.run_dir)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+    log.info(report.rstrip())
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.analysis import DiffThresholds, diff_runs
+    from repro.obs.recorder import _jsonable
+
+    log = configure_logging(args.log_level)
+    thresholds = DiffThresholds(
+        max_runtime_ratio=args.max_runtime_ratio,
+        max_wall_ratio=args.max_wall_ratio,
+        max_cache_hit_drop=args.max_cache_hit_drop,
+        max_calibration_ratio=args.max_calibration_ratio,
+    )
+    try:
+        verdict = diff_runs(args.run_a, args.run_b, thresholds)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc))
+    text = json.dumps(_jsonable(verdict), indent=2, sort_keys=True)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(text + "\n")
+    log.info(text)
+    # the regression gate: CI can run `repro diff base candidate` directly
+    return 1 if verdict["regressed"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -318,6 +422,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(compare)
     _add_obs_flags(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="render a markdown report (spans, calibration, provenance, "
+        "convergence) from a recorded run directory",
+    )
+    analyze.add_argument("run_dir", help="a --trace-out directory (tune or compare)")
+    analyze.add_argument(
+        "--out", default=None, metavar="FILE", help="also write the report to FILE"
+    )
+    analyze.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default="info"
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two recorded runs; prints a verdict JSON and exits "
+        "non-zero when run B regresses past the thresholds (CI gate)",
+    )
+    diff.add_argument("run_a", help="baseline run directory")
+    diff.add_argument("run_b", help="candidate run directory, judged against A")
+    diff.add_argument(
+        "--max-runtime-ratio", type=float, default=1.05, metavar="R",
+        help="fail if B's best runtime exceeds R x A's (default 1.05)",
+    )
+    diff.add_argument(
+        "--max-wall-ratio", type=float, default=2.0, metavar="R",
+        help="fail if B's traced wall time exceeds R x A's (default 2.0)",
+    )
+    diff.add_argument(
+        "--max-cache-hit-drop", type=float, default=0.2, metavar="D",
+        help="fail if B's compile-cache hit rate drops more than D below "
+        "A's (default 0.2)",
+    )
+    diff.add_argument(
+        "--max-calibration-ratio", type=float, default=1.5, metavar="R",
+        help="fail if B's surrogate-calibration RMSE exceeds R x A's "
+        "(default 1.5)",
+    )
+    diff.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="also write the verdict JSON to FILE",
+    )
+    diff.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default="info"
+    )
+    diff.set_defaults(func=_cmd_diff)
     return parser
 
 
@@ -334,6 +486,12 @@ def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
         "--metrics-every", type=int, default=0, metavar="N",
         help="emit a metrics snapshot trace event (and a debug log line) "
         "every N measurements (0 disables)",
+    )
+    grp.add_argument(
+        "--no-diagnostics", action="store_true",
+        help="disable CITROEN's per-iteration decision records and "
+        "generator provenance counters (histories are bit-identical "
+        "either way; this only drops the introspection data)",
     )
     grp.add_argument(
         "--log-level", choices=["debug", "info", "warning", "error"],

@@ -16,7 +16,7 @@ from repro.core.eval_engine import CompileEngine, CompileError, CompileOutcome
 from repro.core.faults import FaultInjector, corrupt_module, parse_fault_kinds
 from repro.core.result import Measurement, TuningResult
 from repro.core.cost_model import CitroenCostModel
-from repro.core.generator import CandidateGenerator
+from repro.core.generator import CandidateGenerator, base_strategy
 from repro.core.citroen import Citroen
 from repro.core.differential import differential_test
 from repro.core.transfer import PassCorrelationPrior
@@ -33,6 +33,7 @@ __all__ = [
     "Measurement",
     "PassCorrelationPrior",
     "TuningResult",
+    "base_strategy",
     "corrupt_module",
     "differential_test",
     "parse_fault_kinds",

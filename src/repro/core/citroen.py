@@ -43,7 +43,7 @@ import numpy as np
 from repro.compiler.ir import Module
 from repro.compiler.pipelines import pipeline
 from repro.core.cost_model import CitroenCostModel
-from repro.core.generator import CandidateGenerator
+from repro.core.generator import CandidateGenerator, base_strategy
 from repro.core.result import Measurement, TuningResult
 from repro.core.task import AutotuningTask
 from repro.utils.rng import SeedLike, as_generator, spawn
@@ -72,6 +72,7 @@ class Citroen:
         seed_with_o3: bool = True,
         module_policy: str = "adaptive",
         pass_prior=None,
+        diagnostics: bool = True,
     ) -> None:
         """
         Parameters
@@ -86,6 +87,14 @@ class Citroen:
             optional :class:`~repro.core.transfer.PassCorrelationPrior`
             trained on previous programs; biases candidate generation
             (§6.3.2 cross-program transfer).
+        diagnostics:
+            record per-iteration *decision records* (GP prediction vs
+            realized speedup, acquisition value, winning provenance,
+            coverage — the raw material of
+            :mod:`repro.obs.diagnostics`) plus per-generator
+            proposal/win/improvement counters.  Consumes no RNG either
+            way, so tuner histories are bit-identical at the same seed
+            whether on or off; off leaves every counter untouched.
         """
         self.task = task
         self.rng = as_generator(seed)
@@ -101,6 +110,8 @@ class Citroen:
         self.refit_every = refit_every
         self.seed_with_o3 = seed_with_o3
         self.module_policy = module_policy
+        self.diagnostics = bool(diagnostics)
+        self._pending_decision: Optional[Dict[str, object]] = None
 
         gene_weights = (
             pass_prior.pass_weights(task.passes) if pass_prior is not None else None
@@ -113,6 +124,7 @@ class Citroen:
                 seed=r,
                 strategies=generators,
                 gene_weights=gene_weights,
+                track_provenance=self.diagnostics,
             )
             for name, r in zip(task.hot_modules, children)
         }
@@ -181,6 +193,8 @@ class Citroen:
         result.extras["dedup_hits"] = 0
         result.extras["chosen_coverage"] = []
         result.extras["compile_failures"] = 0
+        if self.diagnostics:
+            result.extras["decisions"] = []
 
         tracer = task.tracer
 
@@ -210,12 +224,14 @@ class Citroen:
             with tracer.span("propose", iteration=it) as sp:
                 chosen = self._propose(result)
                 sp.set(outcome="fallback" if chosen is None else chosen[4])
+            prev_best = self._best_runtime
             if chosen is None:
                 # model not ready or no fresh candidates: random fallback
                 m = self._pick_module_random()
                 cfg = dict(self._best_seq)
                 cfg[m] = self.rng.integers(0, task.alphabet, size=task.seq_length)
                 self._measure_config(cfg, result, winner="random-fallback", module=m)
+                self._record_decision(result, it, m, "random-fallback", prev_best)
             else:
                 module_name, seq, compiled, stats, provenance, cov = chosen
                 cfg = dict(self._best_seq)
@@ -228,6 +244,7 @@ class Citroen:
                     precompiled=(module_name, compiled, stats),
                     coverage=cov,
                 )
+                self._record_decision(result, it, module_name, provenance, prev_best)
             it += 1
 
         result.best_config = {
@@ -243,13 +260,88 @@ class Citroen:
         result.extras["relevance"] = self.model.relevance()[:20] if self.model.ready else []
         result.extras["n_incorrect"] = task.n_incorrect
         result.extras["n_crashes"] = task.n_crashes
+        if self.diagnostics:
+            result.extras["provenance"] = self.provenance_summary()
         return result
+
+    # -- search-introspection (repro.obs.diagnostics feeds on these) --------------
+    def provenance_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-strategy proposal/win/improvement counters summed over the
+        hot modules' generators (the live Fig 5.9 ablation)."""
+        summary: Dict[str, Dict[str, int]] = {}
+        for gen in self.generators.values():
+            for name, counts in gen.provenance_stats().items():
+                agg = summary.setdefault(
+                    name, {"proposals": 0, "wins": 0, "improvements": 0}
+                )
+                for key, value in counts.items():
+                    agg[key] = agg.get(key, 0) + value
+        return summary
+
+    def _record_decision(
+        self,
+        result: TuningResult,
+        iteration: int,
+        module: str,
+        provenance: str,
+        prev_best: float,
+    ) -> None:
+        """Complete this iteration's decision record with the realized
+        outcome, credit the winning generator, and emit the record to the
+        trace/metrics stream.  No RNG is consumed, so histories stay
+        bit-identical whether diagnostics are on or off."""
+        pending, self._pending_decision = self._pending_decision, None
+        if not self.diagnostics:
+            return
+        meas = result.measurements[-1]
+        improved = meas.correct and meas.runtime < prev_best
+        record: Dict[str, object] = {
+            "iteration": iteration,
+            "measurement": meas.index,
+            "module": module,
+            "provenance": provenance,
+            "strategy": base_strategy(provenance),
+            "channel": "fallback",
+            "pred_mu": None,
+            "pred_sigma": None,
+            "acq": None,
+            "coverage": None,
+            "coverage_damp": None,
+            "n_candidates": None,
+            "proposed": {},
+        }
+        if pending is not None:
+            record.update(pending)
+        record.update(
+            runtime=float(meas.runtime),
+            speedup_vs_o3=float(meas.speedup_vs_o3),
+            status=meas.status,
+            improved=bool(improved),
+            realized_z=(
+                self.model.transform_runtime(meas.runtime) if meas.correct else None
+            ),
+        )
+        gen = self.generators.get(module)
+        if gen is not None:
+            gen.credit_win(provenance)
+            if improved:
+                gen.credit_improvement(provenance)
+        metrics = self.task.metrics
+        metrics.counter("citroen.decisions").inc()
+        strategy = record["strategy"]
+        if strategy is not None:
+            metrics.counter(f"citroen.wins.{strategy}").inc()
+            if improved:
+                metrics.counter(f"citroen.improvements.{strategy}").inc()
+        self.task.tracer.event("decision", **record)
+        result.extras["decisions"].append(record)
 
     # -- proposal -------------------------------------------------------------------
     def _propose(self, result: TuningResult):
         """Generate, compile, dedup and score candidates; return the argmax."""
         task = self.task
         tracer = task.tracer
+        self._pending_decision = None
         if not self.model.ready or not self._best_seq:
             return None
         modules = self._modules_to_consider()
@@ -261,6 +353,9 @@ class Citroen:
                 ):
                     raw.append((module_name, provenance, seq))
             sp.set(candidates=len(raw))
+        proposed: Dict[str, int] = {}
+        for _m, prov, _s in raw:
+            proposed[prov] = proposed.get(prov, 0) + 1
         # the whole candidate population compiles in one batch — the engine
         # fans it out over `jobs` workers and caches repeated candidates
         # (the engine traces this as its own `compile_batch` span)
@@ -337,6 +432,17 @@ class Citroen:
                 span_af.set(channel="novelty")
                 span_af.__exit__(None, None, None)
                 module_name, seq, compiled, stats, provenance, _pm, _sig = scored[best]
+                if self.diagnostics:
+                    self._pending_decision = {
+                        "channel": "novelty",
+                        "pred_mu": float(mu[best]),
+                        "pred_sigma": float(sigma[best]),
+                        "acq": float(af_novel[best]),
+                        "coverage": float(coverages[best]),
+                        "coverage_damp": float(damp[best]),
+                        "n_candidates": len(scored),
+                        "proposed": proposed,
+                    }
                 return (
                     module_name,
                     seq,
@@ -352,6 +458,17 @@ class Citroen:
         span_af.__exit__(None, None, None)
         best = int(np.argmax(af))
         module_name, seq, compiled, stats, provenance, _pm, _sig = scored[best]
+        if self.diagnostics:
+            self._pending_decision = {
+                "channel": "ucb",
+                "pred_mu": float(mu[best]),
+                "pred_sigma": float(sigma[best]),
+                "acq": float(af[best]),
+                "coverage": float(coverages[best]),
+                "coverage_damp": float(damp[best]) if self.use_coverage else None,
+                "n_candidates": len(scored),
+                "proposed": proposed,
+            }
         return module_name, seq, compiled, stats, provenance, float(coverages[best])
 
     def _modules_to_consider(self) -> List[str]:

@@ -110,6 +110,16 @@ class CitroenCostModel:
         assert self.ready
         return self.gp.transformed_best()
 
+    def transform_runtime(self, runtime: float) -> Optional[float]:
+        """A raw runtime in the GP's transformed target space, or ``None``
+        when no transform has been fitted yet (or the runtime is the
+        infeasibility sentinel).  Unlike :meth:`predict` this stays usable
+        right after :meth:`add_observation` marks the fit stale — the
+        transforms themselves only change on :meth:`fit`."""
+        if self.gp is None or self.gp._X is None or not np.isfinite(runtime):
+            return None
+        return float(self.gp.transform_targets(np.asarray([runtime]))[0])
+
     # -- interpretability (Table 5.5) ------------------------------------------------
     def relevance(self) -> List[Tuple[str, float]]:
         """Statistics ranked by ARD relevance (inverse length-scale),

@@ -10,7 +10,7 @@ categorical space)."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +19,21 @@ from repro.heuristics.ga import SequenceGA
 from repro.heuristics.random_search import RandomSequenceSearch
 from repro.utils.rng import SeedLike, as_generator, spawn
 
-__all__ = ["CandidateGenerator"]
+__all__ = ["CandidateGenerator", "base_strategy"]
+
+
+def base_strategy(provenance: Optional[str]) -> Optional[str]:
+    """Map a winner-provenance label back to its generator strategy.
+
+    ``"novel-des"`` → ``"des"`` (the novelty channel decorates, it does not
+    generate); labels that no generator produced — ``"init"``,
+    ``"random-fallback"`` — map to ``None`` so provenance accounting never
+    credits a strategy for budget it did not earn.
+    """
+    if not provenance:
+        return None
+    name = provenance[len("novel-"):] if provenance.startswith("novel-") else provenance
+    return name if name in ("des", "ga", "random") else None
 
 
 class CandidateGenerator:
@@ -34,9 +48,14 @@ class CandidateGenerator:
         des_lambda_share: float = 0.5,
         ga_pop: int = 20,
         gene_weights=None,
+        track_provenance: bool = False,
     ) -> None:
+        """``track_provenance=True`` keeps per-strategy proposal / win /
+        incumbent-improvement counters (the live Fig 5.9 ablation); off by
+        default so undiagnosed runs carry no accounting at all."""
         self.length = length
         self.alphabet = alphabet
+        self.track_provenance = bool(track_provenance)
         rng = as_generator(seed)
         children = spawn(rng, len(strategies))
         self.strategies: Dict[str, object] = {}
@@ -55,6 +74,10 @@ class CandidateGenerator:
                 )
             else:
                 raise KeyError(f"unknown sequence strategy {name!r}")
+        self.provenance_counts: Dict[str, Dict[str, int]] = {
+            name: {"proposals": 0, "wins": 0, "improvements": 0}
+            for name in strategies
+        }
 
     def ask(self, per_strategy: int) -> List[Tuple[str, np.ndarray]]:
         """Raw candidates with provenance, deduplicated by content."""
@@ -67,7 +90,26 @@ class CandidateGenerator:
                     continue
                 seen.add(key)
                 out.append((name, np.asarray(seq, dtype=int)))
+                if self.track_provenance:
+                    self.provenance_counts[name]["proposals"] += 1
         return out
+
+    # -- provenance accounting (Fig 5.9, live) -----------------------------------
+    def credit_win(self, provenance: str) -> None:
+        """Count a strategy's candidate winning the acquisition argmax."""
+        name = base_strategy(provenance)
+        if self.track_provenance and name in self.provenance_counts:
+            self.provenance_counts[name]["wins"] += 1
+
+    def credit_improvement(self, provenance: str) -> None:
+        """Count a strategy's winner actually improving the incumbent."""
+        name = base_strategy(provenance)
+        if self.track_provenance and name in self.provenance_counts:
+            self.provenance_counts[name]["improvements"] += 1
+
+    def provenance_stats(self) -> Dict[str, Dict[str, int]]:
+        """Copy of the per-strategy proposal/win/improvement counters."""
+        return {name: dict(c) for name, c in self.provenance_counts.items()}
 
     def tell(self, seq: np.ndarray, y: float) -> None:
         """Feed an evaluated sequence back to every strategy."""

@@ -113,7 +113,59 @@ class TuningResult:
             "extras": {
                 k: v
                 for k, v in self.extras.items()
-                # keep result.json scannable: drop the bulky per-iteration lists
-                if k not in ("winner_strategies", "chosen_modules", "chosen_coverage")
+                # keep result.json scannable: drop the bulky per-iteration
+                # lists (decision records live in events.jsonl)
+                if k
+                not in (
+                    "winner_strategies",
+                    "chosen_modules",
+                    "chosen_coverage",
+                    "decisions",
+                )
             },
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TuningResult":
+        """Rebuild a result from :meth:`to_dict` output (or its JSON form).
+
+        The recorder stringifies non-finite floats (``"inf"``/``"nan"``) at
+        serialisation time; both the raw and stringified forms load, and
+        ``best_config`` sequences come back as tuples — so the offline
+        analyzer reads ``result.json`` without touching pickles.  Derived
+        fields (``best_runtime``, ``n_measurements``, …) are recomputed,
+        not trusted."""
+
+        def _float(v, default=float("nan")) -> float:
+            if v is None:
+                return default
+            return float(v)  # float("inf"/"-inf"/"nan") parses the strings
+
+        result = cls(
+            program=str(data.get("program", "")),
+            tuner=str(data.get("tuner", "")),
+            o3_runtime=_float(data.get("o3_runtime")),
+            o0_runtime=_float(data.get("o0_runtime")),
+        )
+        result.best_config = {
+            m: tuple(s) for m, s in (data.get("best_config") or {}).items()
+        }
+        result.timing = {k: _float(v) for k, v in (data.get("timing") or {}).items()}
+        result.extras = dict(data.get("extras") or {})
+        for m in data.get("measurements") or []:
+            result.measurements.append(
+                Measurement(
+                    index=int(m["index"]),
+                    module=str(m["module"]),
+                    sequence=tuple(m["sequence"]),
+                    runtime=_float(m["runtime"]),
+                    speedup_vs_o3=_float(m.get("speedup_vs_o3"), 0.0),
+                    correct=bool(m.get("correct", True)),
+                    sequences={
+                        name: tuple(s)
+                        for name, s in (m.get("sequences") or {}).items()
+                    },
+                    status=str(m.get("status", "ok")),
+                )
+            )
+        return result

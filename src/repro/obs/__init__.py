@@ -14,31 +14,63 @@ Three dependency-free pieces:
   directory (``manifest.json``, ``events.jsonl``, ``metrics.json``,
   ``result.json``) for every tune;
 
-plus :mod:`repro.obs.log`, the ``logging`` setup the CLI uses.
+plus :mod:`repro.obs.log`, the ``logging`` setup the CLI uses, and two
+consumers of the recorded artifacts:
+
+* :mod:`repro.obs.diagnostics` — surrogate-calibration statistics (RMSE,
+  rank correlation, σ-interval coverage, drift) and per-generator
+  provenance attribution from CITROEN's decision records;
+* :mod:`repro.obs.analysis` — the offline run analyzer/differ behind
+  ``repro analyze`` and ``repro diff`` (markdown reports, regression
+  gating for CI).
 
 Everything is off by default: the module-level :data:`NULL_TRACER` is a
 disabled tracer whose spans are shared no-op context managers, so
 uninstrumented runs stay bit-identical to pre-observability behaviour.
 """
 
+from repro.obs.analysis import DiffThresholds, RunData, analyze_run, diff_runs, load_run
+from repro.obs.diagnostics import (
+    attribution_table,
+    calibration,
+    calibration_table,
+    decision_records,
+    generator_attribution,
+)
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
-from repro.obs.recorder import RunRecorder, git_revision, read_events
+from repro.obs.recorder import (
+    RunRecorder,
+    count_malformed_lines,
+    git_revision,
+    read_events,
+)
 from repro.obs.trace import NULL_TRACER, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DiffThresholds",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
+    "RunData",
     "RunRecorder",
     "Span",
     "Tracer",
+    "analyze_run",
+    "attribution_table",
+    "calibration",
+    "calibration_table",
     "configure_logging",
+    "count_malformed_lines",
+    "decision_records",
+    "diff_runs",
+    "generator_attribution",
     "get_logger",
     "get_registry",
     "git_revision",
+    "load_run",
     "read_events",
 ]

@@ -1,0 +1,400 @@
+"""Offline analysis of recorded run directories: reports and regression
+gating.
+
+A run directory (``repro tune --trace-out DIR`` or one tuner's
+subdirectory under ``repro compare --trace-out``) holds ``manifest.json``,
+``events.jsonl``, ``metrics.json``, and ``result.json``.  This module
+loads those artifacts back — tolerantly, so a run killed mid-search still
+analyzes — and offers two consumers:
+
+* :func:`analyze_run` — a markdown report: run identification, outcome,
+  the per-phase span table (Fig 5.12), surrogate-calibration and
+  generator-provenance diagnostics (Fig 5.7 / Fig 5.9, via
+  :mod:`repro.obs.diagnostics`), the convergence curve, and metrics
+  highlights.  A directory written by ``repro compare`` (``compare.json``
+  at the top) renders as a leaderboard over its per-tuner sub-runs.
+* :func:`diff_runs` — a machine-readable verdict comparing two runs'
+  best runtime, wall time, compile-cache hit rate, and calibration RMSE
+  within configurable thresholds.  The CLI maps a regression verdict to a
+  non-zero exit code, so CI can pin one run as the anchor and gate on the
+  other — the missing tool for anchoring a BENCH trajectory.
+
+Everything reads the JSON artifacts only; no pickles, no live tuner.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.result import TuningResult
+from repro.obs.diagnostics import attribution_table, calibration, calibration_table
+from repro.obs.recorder import count_malformed_lines, read_events
+
+__all__ = ["DiffThresholds", "RunData", "analyze_run", "diff_runs", "load_run"]
+
+
+@dataclass
+class RunData:
+    """One recorded run, loaded back from its artifact directory.
+
+    Missing artifacts load as empty (``result`` as ``None``) rather than
+    raising — an interrupted run leaves a manifest and an event prefix,
+    and those alone must still analyze.  ``truncated_events`` counts
+    unparseable ``events.jsonl`` lines (a mid-write kill leaves at most
+    one)."""
+
+    path: Path
+    manifest: Dict[str, object] = field(default_factory=dict)
+    events: List[Dict[str, object]] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    result: Optional[TuningResult] = None
+    compare: Optional[Dict[str, object]] = None
+    truncated_events: int = 0
+
+    @property
+    def interrupted(self) -> bool:
+        return self.result is None or self.truncated_events > 0
+
+    # -- derived quantities the differ gates on ---------------------------------
+    def best_runtime(self) -> Optional[float]:
+        if self.result is None or not self.result.measurements:
+            return None
+        return self.result.best_runtime
+
+    def wall_seconds(self) -> Optional[float]:
+        """Traced top-level wall time; falls back to the result's timing
+        breakdown when the run has no events."""
+        walls = [
+            e.get("wall")
+            for e in self.events
+            if e.get("type") == "span" and e.get("depth", 0) == 0
+        ]
+        walls = [w for w in walls if w is not None]
+        if walls:
+            return float(sum(walls))
+        if self.result is not None and self.result.timing:
+            t = self.result.timing
+            return float(
+                t.get("compile_wall_seconds", 0.0)
+                + t.get("measure_seconds", 0.0)
+                + t.get("model_seconds", 0.0)
+            )
+        return None
+
+    def cache_hit_rate(self) -> Optional[float]:
+        if self.result is not None and self.result.timing:
+            rate = self.result.timing.get("compile_cache_hit_rate")
+            if rate is not None:
+                return float(rate)
+        counters = self.metrics.get("counters") or {}
+        hits = counters.get("engine.cache_hits")
+        misses = counters.get("engine.cache_misses")
+        if hits is not None and misses is not None and hits + misses > 0:
+            return float(hits) / float(hits + misses)
+        return None
+
+    def calibration_rmse(self) -> Optional[float]:
+        source = self.events if self.events else self.result
+        cal = calibration(source)
+        return cal["rmse"] if cal["n"] and math.isfinite(cal["rmse"]) else None
+
+
+def _load_json(path: Path) -> Dict[str, object]:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def load_run(run_dir: Union[str, Path]) -> RunData:
+    """Load a run directory's artifacts, tolerating missing/truncated files."""
+    path = Path(run_dir)
+    if not path.is_dir():
+        raise FileNotFoundError(f"not a run directory: {path}")
+    run = RunData(path=path)
+    run.manifest = _load_json(path / "manifest.json")
+    run.metrics = _load_json(path / "metrics.json")
+    compare = _load_json(path / "compare.json")
+    run.compare = compare or None
+    events_path = path / "events.jsonl"
+    if events_path.exists():
+        run.events = read_events(events_path)
+        run.truncated_events = count_malformed_lines(events_path)
+    result_data = _load_json(path / "result.json")
+    if result_data:
+        run.result = TuningResult.from_dict(result_data)
+    return run
+
+
+# -- the analyzer ---------------------------------------------------------------
+
+
+def _fmt(value, spec: str = ".3f", missing: str = "?") -> str:
+    if value is None:
+        return missing
+    try:
+        if isinstance(value, float) and not math.isfinite(value):
+            return repr(value)
+        return format(value, spec)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def _code(text: str) -> List[str]:
+    return ["```", text, "```", ""]
+
+
+def _metrics_highlights(metrics: Dict[str, object]) -> str:
+    counters = metrics.get("counters") or {}
+    if not counters:
+        return "(no metrics.json)"
+    rows = sorted(counters.items())
+    width = max(len(k) for k, _ in rows) + 2
+    return "\n".join(f"{k:{width}s}{v}" for k, v in rows)
+
+
+def analyze_run(run_dir: Union[str, Path]) -> str:
+    """Render one recorded run (or a ``repro compare`` parent directory)
+    as a markdown report."""
+    run = load_run(run_dir)
+    if run.compare is not None:
+        return _analyze_compare(run)
+    from repro.reporting import ascii_curve, span_table
+
+    man = run.manifest
+    lines = [f"# Run report: {run.path.name}", ""]
+    lines.append(
+        f"- program: **{man.get('program', '?')}**  tuner: "
+        f"**{man.get('tuner', '?')}**  seed: {man.get('seed', '?')}  "
+        f"budget: {man.get('budget', '?')}"
+    )
+    lines.append(
+        f"- version: {man.get('version', '?')}  git: "
+        f"`{str(man.get('git_rev', '?'))[:12]}`"
+    )
+    if run.interrupted:
+        note = []
+        if run.result is None:
+            note.append("no result.json")
+        if run.truncated_events:
+            note.append(f"{run.truncated_events} truncated event line(s)")
+        lines.append(f"- **interrupted run** ({', '.join(note)}) — partial report")
+    lines.append("")
+
+    lines.append("## Outcome")
+    lines.append("")
+    if run.result is not None and run.result.measurements:
+        res = run.result
+        lines.append(
+            f"- best runtime: **{_fmt(res.best_runtime * 1e6, '.2f')} us** "
+            f"({_fmt(res.speedup_over_o3(), '.3f')}x over -O3)"
+        )
+        lines.append(
+            f"- measurements: {len(res.measurements)} "
+            f"({res.n_infeasible} infeasible, "
+            f"{res.extras.get('dedup_hits', 0)} dedup hits)"
+        )
+        wall = run.wall_seconds()
+        lines.append(
+            f"- wall time (traced): {_fmt(wall)} s  "
+            f"cache hit rate: {_fmt(run.cache_hit_rate(), '.1%')}"
+        )
+    else:
+        lines.append("- (no measurements recorded)")
+    lines.append("")
+
+    lines.append("## Where did the time go (Fig 5.12)")
+    lines.append("")
+    lines.extend(_code(span_table(run.events) if run.events else "(no events.jsonl)"))
+
+    diag_source = run.events if run.events else run.result
+    lines.append("## Surrogate calibration (Table 5.1 / Fig 5.7)")
+    lines.append("")
+    lines.extend(_code(calibration_table(diag_source)))
+
+    lines.append("## Generator provenance (Fig 5.9)")
+    lines.append("")
+    attribution_source = (
+        run.result
+        if run.result is not None and run.result.extras.get("provenance")
+        else diag_source
+    )
+    lines.extend(_code(attribution_table(attribution_source)))
+
+    if run.result is not None and run.result.measurements:
+        lines.append("## Convergence")
+        lines.append("")
+        lines.extend(_code(ascii_curve({run.result.tuner: run.result})))
+
+    lines.append("## Metrics")
+    lines.append("")
+    lines.extend(_code(_metrics_highlights(run.metrics)))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _analyze_compare(run: RunData) -> str:
+    """Report for a ``repro compare`` parent: leaderboard + child summaries."""
+    cmp = run.compare or {}
+    lines = [f"# Comparison report: {run.path.name}", ""]
+    lines.append(
+        f"- program: **{cmp.get('program', '?')}**  "
+        f"budget: {cmp.get('budget', '?')}  seed: {cmp.get('seed', '?')}"
+    )
+    lines.append("")
+    lines.append("## Leaderboard")
+    lines.append("")
+    board = cmp.get("leaderboard") or []
+    if board:
+        header = (
+            f"{'tuner':14s}{'speedup/-O3':>13s}{'best us':>12s}"
+            f"{'measured':>10s}{'infeasible':>12s}"
+        )
+        rows = [header]
+        for entry in board:
+            best = entry.get("best_runtime")
+            rows.append(
+                f"{str(entry.get('tuner', '?')):14s}"
+                f"{_fmt(entry.get('speedup_vs_o3'), '.3f'):>12s}x"
+                f"{_fmt(best * 1e6 if isinstance(best, (int, float)) else None, '.2f'):>12s}"
+                f"{_fmt(entry.get('n_measurements'), 'd'):>10s}"
+                f"{_fmt(entry.get('n_infeasible'), 'd'):>12s}"
+            )
+        lines.extend(_code("\n".join(rows)))
+    else:
+        lines.extend(_code("(empty leaderboard)"))
+    lines.append("## Per-tuner runs")
+    lines.append("")
+    for child in sorted(p for p in run.path.iterdir() if p.is_dir()):
+        if not (child / "manifest.json").exists():
+            continue
+        try:
+            sub = load_run(child)
+        except FileNotFoundError:
+            continue
+        best = sub.best_runtime()
+        lines.append(
+            f"- `{child.name}/`: best {_fmt(best * 1e6 if best else None, '.2f')} us, "
+            f"wall {_fmt(sub.wall_seconds())} s, "
+            f"cache {_fmt(sub.cache_hit_rate(), '.1%')}"
+            + (" — interrupted" if sub.interrupted else "")
+        )
+    lines.append("")
+    lines.append("Analyze a sub-run directly: `repro analyze <dir>/<tuner>`.")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# -- the differ -----------------------------------------------------------------
+
+
+@dataclass
+class DiffThresholds:
+    """Regression gates for :func:`diff_runs` (``b`` judged against ``a``).
+
+    Ratio gates compare ``b / a`` (lower-is-better quantities); the cache
+    gate bounds the absolute hit-rate *drop* ``a - b``.  Any gate set to
+    ``None`` is skipped.  Defaults are tight enough to catch a real
+    regression at identical seeds yet loose enough for timing noise; CI
+    jobs comparing *different* seeds should loosen them further."""
+
+    max_runtime_ratio: Optional[float] = 1.05
+    max_wall_ratio: Optional[float] = 2.0
+    max_cache_hit_drop: Optional[float] = 0.2
+    max_calibration_ratio: Optional[float] = 1.5
+
+
+def _ratio_check(
+    name: str, a: Optional[float], b: Optional[float], threshold: Optional[float]
+) -> Dict[str, object]:
+    check: Dict[str, object] = {
+        "name": name,
+        "a": a,
+        "b": b,
+        "threshold": threshold,
+        "kind": "ratio",
+    }
+    if threshold is None or a is None or b is None:
+        check.update(ratio=None, ok=True, skipped=True)
+        return check
+    if a == b:  # covers inf == inf (both runs never found a feasible binary)
+        ratio = 1.0
+    elif a <= 0 or not math.isfinite(a):
+        ratio = 0.0 if b < a else math.inf
+    else:
+        ratio = b / a
+    check.update(ratio=ratio, ok=bool(ratio <= threshold), skipped=False)
+    return check
+
+
+def _drop_check(
+    name: str, a: Optional[float], b: Optional[float], threshold: Optional[float]
+) -> Dict[str, object]:
+    check: Dict[str, object] = {
+        "name": name,
+        "a": a,
+        "b": b,
+        "threshold": threshold,
+        "kind": "drop",
+    }
+    if threshold is None or a is None or b is None:
+        check.update(drop=None, ok=True, skipped=True)
+        return check
+    drop = a - b
+    check.update(drop=drop, ok=bool(drop <= threshold), skipped=False)
+    return check
+
+
+def diff_runs(
+    run_a: Union[str, Path],
+    run_b: Union[str, Path],
+    thresholds: Optional[DiffThresholds] = None,
+) -> Dict[str, object]:
+    """Compare run ``b`` against baseline ``a``; return a verdict dict.
+
+    The verdict is machine-readable JSON: one entry per check
+    (``best_runtime``, ``wall_seconds``, ``cache_hit_rate``,
+    ``calibration_rmse``) with both values, the computed ratio/drop, the
+    threshold, and an ``ok`` flag; plus the overall ``regressed`` bit the
+    CLI turns into its exit code.  Checks whose inputs are missing on
+    either side (no result.json, diagnostics disabled) are *skipped*, not
+    failed — an interrupted baseline should not block CI on its own."""
+    thresholds = thresholds if thresholds is not None else DiffThresholds()
+    a, b = load_run(run_a), load_run(run_b)
+    checks = [
+        _ratio_check(
+            "best_runtime",
+            a.best_runtime(),
+            b.best_runtime(),
+            thresholds.max_runtime_ratio,
+        ),
+        _ratio_check(
+            "wall_seconds", a.wall_seconds(), b.wall_seconds(), thresholds.max_wall_ratio
+        ),
+        _drop_check(
+            "cache_hit_rate",
+            a.cache_hit_rate(),
+            b.cache_hit_rate(),
+            thresholds.max_cache_hit_drop,
+        ),
+        _ratio_check(
+            "calibration_rmse",
+            a.calibration_rmse(),
+            b.calibration_rmse(),
+            thresholds.max_calibration_ratio,
+        ),
+    ]
+    regressed = [c["name"] for c in checks if not c["ok"]]
+    return {
+        "run_a": str(a.path),
+        "run_b": str(b.path),
+        "program": a.manifest.get("program"),
+        "interrupted": {"a": a.interrupted, "b": b.interrupted},
+        "checks": checks,
+        "regressions": regressed,
+        "regressed": bool(regressed),
+        "ok": not regressed,
+    }

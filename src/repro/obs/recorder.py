@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Union
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
-__all__ = ["RunRecorder", "git_revision", "read_events"]
+__all__ = ["RunRecorder", "count_malformed_lines", "git_revision", "read_events"]
 
 
 def git_revision(cwd: Optional[str] = None) -> str:
@@ -174,12 +174,40 @@ class RunRecorder:
         self.close()
 
 
-def read_events(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Parse an ``events.jsonl`` back into a list of event dicts."""
+def read_events(
+    path: Union[str, Path], strict: bool = False
+) -> List[Dict[str, object]]:
+    """Parse an ``events.jsonl`` back into a list of event dicts.
+
+    A run killed mid-write leaves a truncated final line; by default such
+    unparseable lines are skipped so an interrupted run still loads (the
+    complete-line prefix is exactly what the recorder guarantees).  Pass
+    ``strict=True`` to raise on any malformed line instead.  Use
+    :func:`count_malformed_lines` to detect truncation explicitly."""
     events = []
     with open(Path(path)) as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError:
+                if strict:
+                    raise
     return events
+
+
+def count_malformed_lines(path: Union[str, Path]) -> int:
+    """Non-empty ``events.jsonl`` lines that fail to parse (truncation)."""
+    bad = 0
+    with open(Path(path)) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+    return bad

@@ -151,37 +151,57 @@ def span_table(events, top: Optional[int] = None) -> str:
     share of traced time — percentages are taken against the sum of
     *top-level* spans only, so nested spans (``compile_batch`` inside
     ``propose``) are not double counted in the denominator.
+
+    A crashed or killed run can leave *partial* spans — records missing
+    their ``wall``/``cpu`` timings (an ``events.jsonl`` cut off mid-run).
+    Those rows render with a ``*`` marker (count of unclosed spans) and
+    contribute nothing to the timings instead of raising.
     """
     spans = _span_events(events)
     if not spans:
         return "(no spans recorded)"
     agg: Dict[str, List] = {}
+    partial = False
     for e in spans:
-        row = agg.setdefault(e["name"], [0, 0.0, 0.0, []])
+        row = agg.setdefault(e["name"], [0, 0.0, 0.0, [], 0])
         row[0] += 1
-        row[1] += e["wall"]
+        wall = e.get("wall")
+        if wall is None:  # unclosed span from an interrupted run
+            row[4] += 1
+            partial = True
+            continue
+        row[1] += wall
         row[2] += e.get("cpu", 0.0)
-        row[3].append(e["wall"])
-    total = sum(e["wall"] for e in spans if e.get("depth", 0) == 0)
+        row[3].append(wall)
+    total = sum(
+        e.get("wall", 0.0) or 0.0 for e in spans if e.get("depth", 0) == 0
+    )
     if total <= 0.0:
-        total = sum(e["wall"] for e in spans) or 1e-12
+        total = sum(e.get("wall", 0.0) or 0.0 for e in spans) or 1e-12
     rows = sorted(agg.items(), key=lambda kv: -kv[1][1])
     if top is not None:
         rows = rows[:top]
-    name_w = max(12, max(len(n) for n, _ in rows) + 2)
+    name_w = max(12, max(len(n) for n, _ in rows) + 3)
     out = [
         f"{'span':{name_w}s}{'count':>7s}{'total s':>10s}{'%':>7s}"
         f"{'mean ms':>10s}{'p50 ms':>10s}{'max ms':>10s}{'cpu s':>9s}"
     ]
-    for name, (count, wall, cpu, walls) in rows:
+    for name, (count, wall, cpu, walls, unclosed) in rows:
+        label = f"{name}*" if unclosed else name
+        if not walls:
+            out.append(f"{label:{name_w}s}{count:>7d}{'?':>10s}")
+            continue
         walls.sort()
         p50 = walls[len(walls) // 2]
+        n_timed = len(walls)
         out.append(
-            f"{name:{name_w}s}{count:>7d}{wall:>10.3f}{100 * wall / total:>6.1f}%"
-            f"{1e3 * wall / count:>10.2f}{1e3 * p50:>10.2f}"
+            f"{label:{name_w}s}{count:>7d}{wall:>10.3f}{100 * wall / total:>6.1f}%"
+            f"{1e3 * wall / n_timed:>10.2f}{1e3 * p50:>10.2f}"
             f"{1e3 * walls[-1]:>10.2f}{cpu:>9.3f}"
         )
     out.append(f"{'(traced top-level time)':{name_w}s}{'':>7s}{total:>10.3f}")
+    if partial:
+        out.append("* span never closed (interrupted run); timings exclude it")
     return "\n".join(out)
 
 
@@ -196,28 +216,36 @@ def timeline(
 
     Spans deeper than ``max_depth`` are hidden (the default shows the
     tuner phases and the compile batches directly under them); output is
-    truncated to ``max_rows`` rows with an ellipsis count.
+    truncated to ``max_rows`` rows with an ellipsis count.  Partial spans
+    (no ``wall`` — the run was interrupted mid-span) render with a ``*``
+    marker and a bar running to the end of the known timeline.
     """
-    spans = [e for e in _span_events(events) if e.get("depth", 0) <= max_depth]
+    spans = [
+        e
+        for e in _span_events(events)
+        if e.get("depth", 0) <= max_depth and e.get("ts") is not None
+    ]
     if not spans:
         return "(no spans recorded)"
     spans.sort(key=lambda e: e["ts"])
     t0 = min(e["ts"] for e in spans)
-    t1 = max(e["ts"] + e["wall"] for e in spans)
+    t1 = max(e["ts"] + (e.get("wall") or 0.0) for e in spans)
     extent = max(t1 - t0, 1e-12)
-    name_w = max(14, max(len(e["name"]) for e in spans) + 2 * max_depth + 2)
+    name_w = max(14, max(len(e["name"]) for e in spans) + 2 * max_depth + 3)
     out = [f"{'ts':>9s}  {'span':{name_w}s}|{'-' * width}|"]
     shown = spans[:max_rows]
     for e in shown:
+        wall = e.get("wall")
+        # unclosed span: assume it ran until the last thing we heard of
+        shown_wall = wall if wall is not None else max(t1 - e["ts"], 0.0)
         start = int((e["ts"] - t0) / extent * width)
-        length = max(1, round(e["wall"] / extent * width))
+        length = max(1, round(shown_wall / extent * width))
         start = min(start, width - 1)
         length = min(length, width - start)
         bar = " " * start + "#" * length + " " * (width - start - length)
-        label = "  " * e.get("depth", 0) + e["name"]
-        out.append(
-            f"{e['ts'] - t0:>8.3f}s  {label:{name_w}s}|{bar}| {1e3 * e['wall']:.1f} ms"
-        )
+        label = "  " * e.get("depth", 0) + e["name"] + ("" if wall is not None else "*")
+        dur = f"{1e3 * wall:.1f} ms" if wall is not None else "? (unclosed)"
+        out.append(f"{e['ts'] - t0:>8.3f}s  {label:{name_w}s}|{bar}| {dur}")
     if len(spans) > max_rows:
         out.append(f"... ({len(spans) - max_rows} more spans)")
     return "\n".join(out)
