@@ -1,0 +1,89 @@
+"""Surrogate hot-path performance (§5.4 overhead analysis).
+
+The paper's search-overhead argument assumes the cost model stays cheap
+relative to profiling; PR 1's parallel compile engine made the model the
+limiting factor, and this benchmark regenerates the numbers behind the
+fix: incremental O(n^2) GP conditioning + warm-started refits +
+vectorized featurization versus the legacy full-refit/scalar path.
+
+Structural assertions only where they are robust on slow CI boxes:
+
+* the incremental ``add_observation`` must beat a legacy full refit by a
+  wide margin at n=256/512 (the asymptotics are O(n^2) vs O(n^3) x
+  L-BFGS-B iterations — anything under 3x means the fast path broke);
+* end-to-end, the fast model path must cut model-side wall time (the
+  ``fit`` + ``featurize`` + ``acquisition`` spans) by >= 2x on a seeded
+  100-measurement tune (locally it is >10x; the CI floor is conservative)
+  while full refits collapse from ~budget to a logarithmic schedule.
+"""
+
+from repro.bench import bench_micro, bench_tune
+
+from benchmarks.conftest import print_table, scale
+
+
+def _run():
+    micro = bench_micro(sizes=(64, 256, 512), seed=0)
+    fast = bench_tune(budget=100 * scale(), seed=1)
+    legacy = bench_tune(budget=100 * scale(), seed=1, legacy=True)
+    return micro, fast, legacy
+
+
+def test_perf_surrogate(once):
+    micro, fast, legacy = once(_run)
+
+    rows = []
+    for row in micro:
+        for op in ("fit", "add_observation", "predict", "coverage"):
+            f = row["fast"][op]["wall"] * 1e3
+            l = row["legacy"][op]["wall"] * 1e3
+            rows.append(
+                [row["n"], op, f"{f:.2f}", f"{l:.2f}",
+                 f"{l / f:.1f}x" if f > 0 else "inf"]
+            )
+    print_table(
+        "Surrogate micro benchmarks (fast vs legacy path)",
+        ["n", "op", "fast ms", "legacy ms", "speedup"],
+        rows,
+    )
+    speedup = legacy["model_wall_seconds"] / fast["model_wall_seconds"]
+    print_table(
+        "End-to-end model-side wall time (100-measurement seeded tune)",
+        ["path", "model wall ms", "refits", "extends", "speedup vs -O3"],
+        [
+            ["fast", f"{fast['model_wall_seconds'] * 1e3:.1f}",
+             fast["gp_refits"], fast["gp_extends"],
+             f"{fast['speedup_vs_o3']:.3f}x"],
+            ["legacy", f"{legacy['model_wall_seconds'] * 1e3:.1f}",
+             legacy["gp_refits"], legacy["gp_extends"],
+             f"{legacy['speedup_vs_o3']:.3f}x"],
+        ],
+    )
+    print(f"\nmodel-side wall speedup: {speedup:.1f}x")
+
+    once.benchmark.extra_info.update(
+        model_wall_fast=fast["model_wall_seconds"],
+        model_wall_legacy=legacy["model_wall_seconds"],
+        model_wall_speedup=speedup,
+        gp_refits=fast["gp_refits"],
+        gp_extends=fast["gp_extends"],
+    )
+
+    # asymptotic win: one O(n^2) extend vs one O(n^3) hyperfit rebuild
+    for row in micro:
+        if row["n"] >= 256:
+            add_fast = row["fast"]["add_observation"]["wall"]
+            add_legacy = row["legacy"]["add_observation"]["wall"]
+            assert add_legacy > 3.0 * add_fast, (
+                f"incremental update lost its edge at n={row['n']}: "
+                f"{add_fast * 1e3:.2f} ms vs {add_legacy * 1e3:.2f} ms"
+            )
+    # the refit schedule must be logarithmic, not per-iteration
+    assert fast["gp_extends"] > fast["gp_refits"]
+    assert fast["gp_refits"] < legacy["gp_refits"] / 4
+    # end-to-end: the acceptance target is 3x; assert a conservative 2x so
+    # a noisy CI box cannot flake the suite (locally this is >10x)
+    assert speedup >= 2.0, f"model-side speedup collapsed to {speedup:.2f}x"
+    # both paths finish the full budget and find a real optimum
+    assert fast["n_measurements"] == legacy["n_measurements"]
+    assert fast["speedup_vs_o3"] > 1.0 and legacy["speedup_vs_o3"] > 1.0

@@ -1,0 +1,320 @@
+"""The surrogate hot-path benchmark behind ``repro bench``.
+
+Two layers:
+
+* **micro** — :class:`~repro.core.cost_model.CitroenCostModel` timings at
+  ``n`` observations (default 64/256/512): full refit, incremental
+  ``add_observation`` (extend), batched predict and coverage over a
+  candidate population — each against the legacy scalar/full-refit
+  baseline;
+* **end-to-end** — a seeded CITROEN tune at a fixed measurement budget,
+  run twice: once with the incremental/warm-started/vectorized surrogate
+  (the default) and once with the pre-optimisation model path
+  (``model_opts=dict(incremental=False, warm_start=False,
+  vectorized=False)``).  Model-side wall time is the sum of the traced
+  ``fit`` + ``featurize`` + ``acquisition`` spans, so the win shows up in
+  exactly the spans the overhead analysis (§5.4) talks about.
+
+The payload written to ``BENCH_surrogate.json`` is self-describing
+(schema tag, git revision, library versions, per-phase wall/CPU seconds)
+and diffable: ``repro diff a.json b.json`` gates on the model-side wall
+ratio via :func:`diff_bench`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+SCHEMA = "bench_surrogate"
+SCHEMA_VERSION = 1
+
+#: the spans that constitute "model-side" work in the tuner loop
+MODEL_SPANS = ("fit", "featurize", "acquisition")
+
+#: model_opts reproducing the pre-optimisation surrogate path
+LEGACY_MODEL_OPTS = {"incremental": False, "warm_start": False, "vectorized": False}
+
+
+def git_rev() -> str:
+    """The repository revision the numbers belong to (or ``unknown``)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+class _Stopwatch:
+    """Wall + CPU seconds around a block."""
+
+    def __enter__(self) -> "_Stopwatch":
+        self._w0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.wall = time.perf_counter() - self._w0
+        self.cpu = time.process_time() - self._c0
+
+
+def synthetic_observations(
+    n: int, n_keys: int, seed: int
+) -> List[Dict[str, Dict[str, int]]]:
+    """Sparse per-module statistics dicts shaped like real compile stats."""
+    rng = np.random.default_rng(seed)
+    keys = [f"pass{i // 4}.Stat{i % 4}" for i in range(n_keys)]
+    out = []
+    for _ in range(n):
+        active = rng.random(n_keys) < 0.3  # sparse, like real counters
+        stats = {
+            k: int(v)
+            for k, v, a in zip(keys, rng.integers(1, 200, n_keys), active)
+            if a
+        }
+        out.append({"mod": stats})
+    return out
+
+
+def _build_model(observations, runtimes, seed: int, legacy: bool):
+    from repro.core.cost_model import CitroenCostModel
+
+    opts = LEGACY_MODEL_OPTS if legacy else {}
+    model = CitroenCostModel(seed=seed, **opts)
+    for per_module, y in zip(observations, runtimes):
+        model.add_observation(per_module, y)
+    return model
+
+
+def bench_micro(
+    sizes: Sequence[int] = (64, 256, 512),
+    n_keys: int = 60,
+    n_candidates: int = 256,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Per-operation timings at each dataset size, fast vs legacy path."""
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        obs = synthetic_observations(n + 1, n_keys, seed)
+        rng = np.random.default_rng(seed + 1)
+        runtimes = list(1.0 + rng.random(n + 1))
+        cands = [
+            {"mod": pm["mod"]}
+            for pm in synthetic_observations(n_candidates, n_keys, seed + 2)
+        ]
+        row: Dict[str, object] = {"n": int(n), "n_candidates": int(n_candidates)}
+        for mode, legacy in (("fast", False), ("legacy", True)):
+            model = _build_model(obs[:n], runtimes[:n], seed, legacy)
+            with _Stopwatch() as t_fit:
+                model.fit(force=True)
+            # one more observation: extend on the fast path, a full refit
+            # marked stale + rebuilt on the legacy path
+            with _Stopwatch() as t_add:
+                model.add_observation(obs[n], runtimes[n])
+                model.fit()
+            merged = [model.merge_config_stats(pm) for pm in cands]
+            with _Stopwatch() as t_pred:
+                model.predict_merged(merged)
+            with _Stopwatch() as t_cov:
+                model.coverage_many(merged)
+            row[mode] = {
+                "fit": {"wall": t_fit.wall, "cpu": t_fit.cpu},
+                "add_observation": {"wall": t_add.wall, "cpu": t_add.cpu},
+                "predict": {"wall": t_pred.wall, "cpu": t_pred.cpu},
+                "coverage": {"wall": t_cov.wall, "cpu": t_cov.cpu},
+                "n_refits": model.n_refits,
+                "n_extends": model.n_extends,
+            }
+        rows.append(row)
+    return rows
+
+
+def bench_tune(
+    program: str = "security_sha",
+    budget: int = 100,
+    seed: int = 1,
+    seq_length: int = 16,
+    legacy: bool = False,
+    jobs: int = 1,
+) -> Dict[str, object]:
+    """One traced end-to-end CITROEN tune; spans aggregated per phase."""
+    from repro.cli import _load_program
+    from repro.core.citroen import Citroen
+    from repro.core.task import AutotuningTask
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer()
+    with _Stopwatch() as total, AutotuningTask(
+        _load_program(program),
+        platform="arm-a57",
+        seed=seed,
+        seq_length=seq_length,
+        jobs=jobs,
+        tracer=tracer,
+    ) as task:
+        tuner = Citroen(
+            task,
+            seed=seed,
+            model_opts=dict(LEGACY_MODEL_OPTS) if legacy else None,
+        )
+        result = tuner.tune(budget)
+
+    spans: Dict[str, Dict[str, float]] = {}
+    for event in tracer.spans():
+        agg = spans.setdefault(
+            event["name"], {"wall": 0.0, "cpu": 0.0, "count": 0}
+        )
+        agg["wall"] += float(event.get("wall", 0.0))
+        agg["cpu"] += float(event.get("cpu", 0.0))
+        agg["count"] += 1
+    model_wall = sum(spans.get(name, {}).get("wall", 0.0) for name in MODEL_SPANS)
+    model_cpu = sum(spans.get(name, {}).get("cpu", 0.0) for name in MODEL_SPANS)
+    return {
+        "program": program,
+        "budget": budget,
+        "seed": seed,
+        "seq_length": seq_length,
+        "jobs": jobs,
+        "legacy": bool(legacy),
+        "spans": spans,
+        "model_wall_seconds": model_wall,
+        "model_cpu_seconds": model_cpu,
+        "model_seconds": tuner.model_seconds,
+        "total_wall_seconds": total.wall,
+        "total_cpu_seconds": total.cpu,
+        "n_measurements": len(result.measurements),
+        "best_runtime": result.best_runtime,
+        "speedup_vs_o3": result.speedup_over_o3(),
+        "gp_refits": tuner.model.n_refits,
+        "gp_extends": tuner.model.n_extends,
+    }
+
+
+def run_bench(
+    program: str = "security_sha",
+    budget: int = 100,
+    seed: int = 1,
+    seq_length: int = 16,
+    sizes: Sequence[int] = (64, 256, 512),
+    baseline: bool = True,
+) -> Dict[str, object]:
+    """The full benchmark payload (micro + end-to-end, fast vs legacy)."""
+    payload: Dict[str, object] = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "git_rev": git_rev(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "program": program,
+        "budget": budget,
+        "seed": seed,
+        "micro": bench_micro(sizes=sizes, seed=seed),
+        "tune": {"fast": bench_tune(program, budget, seed, seq_length)},
+    }
+    if baseline:
+        tune = payload["tune"]
+        tune["legacy"] = bench_tune(program, budget, seed, seq_length, legacy=True)
+        fast_wall = tune["fast"]["model_wall_seconds"]
+        tune["model_wall_speedup"] = (
+            tune["legacy"]["model_wall_seconds"] / fast_wall
+            if fast_wall > 0
+            else float("inf")
+        )
+    return payload
+
+
+def write_bench(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"{path} is not a {SCHEMA} payload")
+    return payload
+
+
+def diff_bench(
+    path_a: str, path_b: str, max_model_ratio: float = 1.5
+) -> Dict[str, object]:
+    """Compare two bench payloads; ``b`` regresses if its model-side wall
+    time exceeds ``max_model_ratio`` x ``a``'s (fast path only — the
+    legacy numbers are context, not a gate)."""
+    a, b = load_bench(path_a), load_bench(path_b)
+    wall_a = a["tune"]["fast"]["model_wall_seconds"]
+    wall_b = b["tune"]["fast"]["model_wall_seconds"]
+    ratio = wall_b / wall_a if wall_a > 0 else float("inf")
+    ok = ratio <= max_model_ratio
+    return {
+        "kind": "bench",
+        "run_a": path_a,
+        "run_b": path_b,
+        "git_rev": {"a": a.get("git_rev"), "b": b.get("git_rev")},
+        "checks": [
+            {
+                "name": "model_wall_seconds",
+                "a": wall_a,
+                "b": wall_b,
+                "ratio": ratio,
+                "threshold": max_model_ratio,
+                "kind": "ratio",
+                "ok": ok,
+                "skipped": False,
+            }
+        ],
+        "regressions": [] if ok else ["model_wall_seconds"],
+        "regressed": not ok,
+        "ok": ok,
+    }
+
+
+def summary_table(payload: Dict[str, object]) -> str:
+    """Human-readable digest of a bench payload."""
+    lines = [
+        f"surrogate bench @ {str(payload.get('git_rev', '?'))[:12]} "
+        f"(program={payload['program']}, budget={payload['budget']}, "
+        f"seed={payload['seed']})",
+        "",
+        f"{'n':>6s} {'op':<16s} {'fast ms':>10s} {'legacy ms':>11s} {'speedup':>8s}",
+    ]
+    for row in payload["micro"]:
+        for op in ("fit", "add_observation", "predict", "coverage"):
+            fast = row["fast"][op]["wall"] * 1e3
+            legacy = row["legacy"][op]["wall"] * 1e3
+            ratio = legacy / fast if fast > 0 else float("inf")
+            lines.append(
+                f"{row['n']:>6d} {op:<16s} {fast:>10.2f} {legacy:>11.2f} "
+                f"{ratio:>7.1f}x"
+            )
+    tune = payload["tune"]
+    fast = tune["fast"]
+    lines.append("")
+    lines.append(
+        f"end-to-end ({fast['n_measurements']} measurements): model wall "
+        f"{fast['model_wall_seconds'] * 1e3:.1f} ms "
+        f"({fast['gp_refits']} refits, {fast['gp_extends']} extends)"
+    )
+    if "legacy" in tune:
+        legacy = tune["legacy"]
+        lines.append(
+            f"   legacy path: model wall {legacy['model_wall_seconds'] * 1e3:.1f} ms "
+            f"({legacy['gp_refits']} refits) -> "
+            f"{tune['model_wall_speedup']:.1f}x model-side speedup"
+        )
+    return "\n".join(lines)

@@ -9,6 +9,7 @@ the parameter bounds length-scale in [5e-3, 20], noise in [1e-6, 1e-2].
 
 from __future__ import annotations
 
+import copy
 from typing import Optional, Tuple
 
 import numpy as np
@@ -116,7 +117,9 @@ class GaussianProcess:
         self._unpack(theta)
         X, z = self._X, self._z
         n = len(z)
-        K = self.kernel(X, X)
+        # one kernel evaluation shares its scaled-distance geometry with the
+        # gradient pass below — the L-BFGS hot loop never computes it twice
+        K, cache = self.kernel.eval_with_cache(X)
         K[np.diag_indices_from(K)] += self.noise + 1e-8
         try:
             L = linalg.cholesky(K, lower=True)
@@ -128,12 +131,13 @@ class GaussianProcess:
             + float(np.log(np.diag(L)).sum())
             + 0.5 * n * np.log(2.0 * np.pi)
         )
-        # dNLL/dtheta = -0.5 tr((aa^T - K^-1) dK/dtheta)
+        # dNLL/dtheta = -0.5 tr((aa^T - K^-1) dK/dtheta); the kernel
+        # accumulates every per-dim trace via matrix products instead of
+        # materialising dim separate (n, n) derivative matrices
         Kinv = linalg.cho_solve((L, True), np.eye(n))
         W = np.outer(alpha, alpha) - Kinv
-        grad = np.zeros_like(theta)
-        for idx, dK in self.kernel.grad_hyper(X):
-            grad[idx] = -0.5 * float((W * dK).sum())
+        grad = np.empty_like(theta)
+        grad[:-1] = -0.5 * self.kernel.grad_hyper_quadform(X, W, cache)
         # noise: dK/d(log noise) = noise * I
         grad[-1] = -0.5 * float(np.trace(W)) * self.noise
         return nll, grad
@@ -194,38 +198,88 @@ class GaussianProcess:
         dsigma = dvar / (2.0 * sigma)
         return mu, sigma, dmu, dsigma
 
-    def fantasize(self, x: np.ndarray, z_value: float) -> "GaussianProcess":
-        """Cheap conditioned copy with one extra (transformed-space) point.
+    def _rank1_extension(
+        self, x: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Extend the Cholesky factor and cached inverse by one row.
 
-        Uses a rank-1 Cholesky extension — O(n^2) instead of a full refit —
-        for the Kriging-believer batch construction.
+        Returns ``(L_new, Kinv_new)`` for the (n+1)-point factorisation in
+        O(n^2), or ``None`` when the new point is so close to an existing
+        one that the rank-1 update would be numerically unsound (the caller
+        should fall back to a full refactorisation).
         """
-        x = np.asarray(x, dtype=float)
         n = len(self._X)
         ks = self.kernel(x[None, :], self._X)[0]
         v = linalg.solve_triangular(self._L, ks, lower=True)
         kxx = float(self.kernel.diag(x[None, :])[0]) + self.noise + 1e-8
-        s = np.sqrt(max(kxx - v @ v, 1e-12))
+        s2 = kxx - float(v @ v)
+        if s2 < 1e-10 * kxx:
+            return None
+        s = np.sqrt(s2)
         L_new = np.zeros((n + 1, n + 1))
         L_new[:n, :n] = self._L
         L_new[n, :n] = v
         L_new[n, n] = s
-
-        clone = GaussianProcess.__new__(GaussianProcess)
-        clone.__dict__.update(self.__dict__)
-        clone._X = np.vstack([self._X, x[None, :]])
-        clone._z = np.concatenate([self._z, [z_value]])
-        clone._L = L_new
-        clone._alpha = linalg.cho_solve((L_new, True), clone._z)
         # O(n^2) block-inverse update of the cached kernel inverse
         w = self._Kinv @ ks
-        s2 = float(s * s)
         Kinv_new = np.empty((n + 1, n + 1))
         Kinv_new[:n, :n] = self._Kinv + np.outer(w, w) / s2
         Kinv_new[:n, n] = -w / s2
         Kinv_new[n, :n] = -w / s2
         Kinv_new[n, n] = 1.0 / s2
-        clone._Kinv = Kinv_new
+        return L_new, Kinv_new
+
+    def extend(self, x: np.ndarray, y: float) -> bool:
+        """Condition on one more *raw* observation in place, in O(n^2).
+
+        Reuses the rank-1 Cholesky + block-inverse machinery of
+        :meth:`fantasize`, so hyperparameters, the output transform and the
+        noise level all stay frozen — exactly equivalent to a full
+        re-conditioning at the same hyperparameters/transform (property
+        tested), at a fraction of the cost.  Returns ``True`` when the
+        rank-1 path was used; a near-duplicate input degrades gracefully to
+        an O(n^3) refactorisation (still no hyperparameter refit) and
+        returns ``False``.
+        """
+        if self._X is None or self._L is None:
+            raise ValueError("extend() requires a conditioned GP; call fit first")
+        x = np.asarray(x, dtype=float)
+        z_value = float(self._transform_y(np.asarray([y], dtype=float), refit=False)[0])
+        ext = self._rank1_extension(x)
+        self._X = np.vstack([self._X, x[None, :]])
+        self._z = np.concatenate([self._z, [z_value]])
+        if ext is None:
+            self._factorise()
+            return False
+        self._L, self._Kinv = ext
+        self._alpha = linalg.cho_solve((self._L, True), self._z)
+        return True
+
+    def fantasize(self, x: np.ndarray, z_value: float) -> "GaussianProcess":
+        """Cheap conditioned copy with one extra (transformed-space) point.
+
+        Uses a rank-1 Cholesky extension — O(n^2) instead of a full refit —
+        for the Kriging-believer batch construction.  The clone owns its
+        kernel, transforms and RNG: a later hyperparameter refit (or
+        sampling) on the parent can no longer mutate the fantasy.
+        """
+        x = np.asarray(x, dtype=float)
+        ext = self._rank1_extension(x)
+
+        clone = GaussianProcess.__new__(GaussianProcess)
+        clone.__dict__.update(self.__dict__)
+        clone.kernel = self.kernel.copy()
+        clone._yj = copy.deepcopy(self._yj)
+        clone._std = copy.deepcopy(self._std)
+        clone.rng = np.random.default_rng()
+        clone.rng.bit_generator.state = self.rng.bit_generator.state
+        clone._X = np.vstack([self._X, x[None, :]])
+        clone._z = np.concatenate([self._z, [z_value]])
+        if ext is None:  # near-duplicate input: full refactorisation
+            clone._factorise()
+            return clone
+        clone._L, clone._Kinv = ext
+        clone._alpha = linalg.cho_solve((clone._L, True), clone._z)
         return clone
 
     # -- transforms back to the original objective scale --------------------------------
@@ -255,7 +309,20 @@ class GaussianProcess:
         mean = Ks @ self._alpha
         V = linalg.solve_triangular(self._L, Ks.T, lower=True)
         cov = self.kernel(X, X) - V.T @ V
-        cov[np.diag_indices_from(cov)] += 1e-10
-        Lp = linalg.cholesky(cov, lower=True)
+        # near-duplicate candidate rows make the posterior covariance
+        # numerically rank-deficient; escalate the jitter before giving up
+        Lp = None
+        for jitter in (1e-10, 1e-8, 1e-6, 1e-4):
+            try:
+                Lp = linalg.cholesky(
+                    cov + jitter * np.eye(len(X)), lower=True
+                )
+                break
+            except linalg.LinAlgError:
+                continue
+        if Lp is None:
+            raise linalg.LinAlgError(
+                "posterior covariance not positive definite even at jitter 1e-4"
+            )
         eps = rng.standard_normal((n_samples, len(X)))
         return mean[None, :] + eps @ Lp.T

@@ -7,11 +7,17 @@ gradient-based AF maximisation need:
 * ``grad_hyper`` — dK/d(log lengthscale_i), dK/d(log signal variance) for
   marginal-likelihood fitting;
 * ``grad_x`` — dk(x, Z)/dx for posterior-gradient computation.
+
+The NLL hot path uses the allocation-light pair ``eval_with_cache`` /
+``grad_hyper_quadform``: one evaluation shares the scaled-distance matrix
+between the covariance and its hyperparameter gradients, and the per-dim
+gradient traces ``sum(W * dK/dtheta_i)`` are accumulated with matrix
+products instead of materialising ``dim`` separate ``n x n`` matrices.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -70,6 +76,12 @@ class Kernel:
         )
         return np.maximum(d2, 0.0)
 
+    def copy(self) -> "Kernel":
+        """Independent clone (own hyperparameter arrays)."""
+        clone = self.__class__(self.dim)
+        clone.set_params(self.get_params())
+        return clone
+
     # -- interface ---------------------------------------------------------------
     def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -85,6 +97,40 @@ class Kernel:
     def grad_x(self, x: np.ndarray, Z: np.ndarray) -> np.ndarray:
         """``d k(x, Z) / dx`` with shape ``(len(Z), dim)``."""
         raise NotImplementedError
+
+    # -- allocation-light NLL support ----------------------------------------
+    def eval_with_cache(self, X: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """``K(X, X)`` plus the geometry reusable by the gradient pass.
+
+        The default recomputes nothing clever; subclasses cache the scaled
+        distance matrix so one NLL evaluation never computes it twice.
+        """
+        return self(X, X), {}
+
+    def grad_hyper_quadform(
+        self, X: np.ndarray, W: np.ndarray, cache: Optional[Dict[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        """``[sum(W * dK/dtheta_i)] for all i`` without per-dim matrices.
+
+        ``W`` must be symmetric (it is ``alpha alpha^T - K^-1`` in the NLL
+        gradient).  The generic fallback materialises each ``dK`` like
+        :meth:`grad_hyper`; subclasses override with the einsum form.
+        """
+        out = np.zeros(self.n_params())
+        for idx, dK in self.grad_hyper(X):
+            out[idx] = float((W * dK).sum())
+        return out
+
+    def _ls_quadform(self, X: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """``[sum_pq B_pq (X_pi - X_qi)^2 / ls_i^2] for all dims i``.
+
+        For symmetric ``B`` this collapses to two matrix products —
+        ``2 rowsum(B) . X_i^2 - 2 X_i . (B X_i)`` — i.e. O(n^2 d) total
+        with no ``(n, n)`` temporaries per dimension.
+        """
+        rowsum = B.sum(axis=1)
+        quad = rowsum @ (X**2) - np.einsum("pi,pi->i", X, B @ X)
+        return 2.0 * quad / self.lengthscales**2
 
 
 class RBF(Kernel):
@@ -109,6 +155,21 @@ class RBF(Kernel):
         diff = x[0][None, :] - Z  # (m, d)
         return -k[:, None] * diff / ls2[None, :]
 
+    def eval_with_cache(self, X: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        d2 = self._scaled_sq_dists(X, X)
+        return self.variance * np.exp(-0.5 * d2), {"d2": d2}
+
+    def grad_hyper_quadform(
+        self, X: np.ndarray, W: np.ndarray, cache: Optional[Dict[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        d2 = cache["d2"] if cache else self._scaled_sq_dists(X, X)
+        K = self.variance * np.exp(-0.5 * d2)  # caller may have mutated its copy
+        out = np.empty(self.n_params())
+        # dK/d(log ls_i) = K * di2 -> accumulate via the shared quadform
+        out[: self.dim] = self._ls_quadform(X, W * K)
+        out[self.dim] = float((W * K).sum())  # dK/d(log var) = K
+        return out
+
 
 class Matern52(Kernel):
     """Matérn-5/2 ARD kernel (eq 2.2 with nu = 5/2), the thesis default."""
@@ -117,9 +178,7 @@ class Matern52(Kernel):
         return np.sqrt(self._scaled_sq_dists(X, Z) + 1e-300)
 
     def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
-        r = self._r(X, Z)
-        s5r = _SQRT5 * r
-        return self.variance * (1.0 + s5r + (5.0 / 3.0) * r**2) * np.exp(-s5r)
+        return self._k_from_r(self._r(X, Z), self.variance)
 
     @staticmethod
     def _dk_dr_over_r(r: np.ndarray, var: float) -> np.ndarray:
@@ -136,8 +195,7 @@ class Matern52(Kernel):
             # dr/d(log ls_i) = -d_i^2 / (ls_i^2 r) * ls_i ... collapsing:
             # dK/d(log ls_i) = (dk/dr) * (-di2 / r) = -dk_r * di2
             yield i, -dk_r * di2
-        K = var * (1.0 + _SQRT5 * r + (5.0 / 3.0) * r**2) * np.exp(-_SQRT5 * r)
-        yield self.dim, K
+        yield self.dim, self._k_from_r(r, var)
 
     def grad_x(self, x: np.ndarray, Z: np.ndarray) -> np.ndarray:
         x = np.atleast_2d(x)
@@ -147,3 +205,23 @@ class Matern52(Kernel):
         diff = x[0][None, :] - Z
         # dk/dx = (dk/dr) * dr/dx ; dr/dx_j = diff_j / (ls_j^2 r)
         return dk_r[:, None] * diff / ls2[None, :]
+
+    @staticmethod
+    def _k_from_r(r: np.ndarray, var: float) -> np.ndarray:
+        return var * (1.0 + _SQRT5 * r + (5.0 / 3.0) * r**2) * np.exp(-_SQRT5 * r)
+
+    def eval_with_cache(self, X: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        r = self._r(X, X)
+        return self._k_from_r(r, self.variance), {"r": r}
+
+    def grad_hyper_quadform(
+        self, X: np.ndarray, W: np.ndarray, cache: Optional[Dict[str, np.ndarray]] = None
+    ) -> np.ndarray:
+        r = cache["r"] if cache else self._r(X, X)
+        var = self.variance
+        dk_r = self._dk_dr_over_r(r, var)
+        out = np.empty(self.n_params())
+        # dK/d(log ls_i) = -dk_r * di2 -> accumulate via the shared quadform
+        out[: self.dim] = self._ls_quadform(X, -(W * dk_r))
+        out[self.dim] = float((W * self._k_from_r(r, var)).sum())
+        return out

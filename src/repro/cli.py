@@ -8,7 +8,10 @@ Commands
 ``motivate``   print the Table 5.1 motivation rows live
 ``compare``    run several tuners on one program and print the leaderboard
 ``analyze``    render a markdown report from a recorded run directory
-``diff``       compare two recorded runs; non-zero exit on regression
+``diff``       compare two recorded runs (or two ``repro bench`` JSON
+               payloads); non-zero exit on regression
+``bench``      time the surrogate hot path (micro + end-to-end) and write
+               ``BENCH_surrogate.json``
 
 Output goes through :mod:`repro.obs.log` (``--log-level`` selects
 verbosity; the default ``info`` level is byte-compatible with the
@@ -348,6 +351,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench, summary_table, write_bench
+
+    log = configure_logging(args.log_level)
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        raise SystemExit(f"--sizes must be a comma list of ints, got {args.sizes!r}")
+    payload = run_bench(
+        program=args.program,
+        budget=args.budget,
+        seed=args.seed,
+        seq_length=args.seq_length,
+        sizes=sizes,
+        baseline=not args.no_baseline,
+    )
+    write_bench(payload, args.out)
+    log.info(summary_table(payload))
+    log.info(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     import json
 
@@ -355,6 +380,22 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.obs.recorder import _jsonable
 
     log = configure_logging(args.log_level)
+    if os.path.isfile(args.run_a) or os.path.isfile(args.run_b):
+        # two `repro bench` payloads: gate on the model-side wall ratio
+        from repro.bench import diff_bench
+
+        try:
+            verdict = diff_bench(
+                args.run_a, args.run_b, max_model_ratio=args.max_wall_ratio
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc))
+        text = json.dumps(_jsonable(verdict), indent=2, sort_keys=True)
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                fh.write(text + "\n")
+        log.info(text)
+        return 1 if verdict["regressed"] else 0
     thresholds = DiffThresholds(
         max_runtime_ratio=args.max_runtime_ratio,
         max_wall_ratio=args.max_wall_ratio,
@@ -437,13 +478,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.set_defaults(func=_cmd_analyze)
 
+    bench = sub.add_parser(
+        "bench",
+        help="time the surrogate hot path (fit/extend/predict/coverage at "
+        "several dataset sizes plus a seeded end-to-end tune, fast vs "
+        "legacy model path) and write a diffable JSON payload",
+    )
+    bench.add_argument("--program", default="security_sha")
+    bench.add_argument("--budget", type=int, default=100)
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--seq-length", type=int, default=16)
+    bench.add_argument(
+        "--sizes", default="64,256,512", metavar="N,N,...",
+        help="dataset sizes for the micro benchmarks (default 64,256,512)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_surrogate.json", metavar="FILE",
+        help="JSON payload path (default BENCH_surrogate.json)",
+    )
+    bench.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the legacy-model-path comparison runs (faster; the "
+        "payload then carries only the fast path)",
+    )
+    bench.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default="info"
+    )
+    bench.set_defaults(func=_cmd_bench)
+
     diff = sub.add_parser(
         "diff",
-        help="compare two recorded runs; prints a verdict JSON and exits "
-        "non-zero when run B regresses past the thresholds (CI gate)",
+        help="compare two recorded runs (or two `repro bench` JSON "
+        "payloads); prints a verdict JSON and exits non-zero when run B "
+        "regresses past the thresholds (CI gate)",
     )
-    diff.add_argument("run_a", help="baseline run directory")
-    diff.add_argument("run_b", help="candidate run directory, judged against A")
+    diff.add_argument("run_a", help="baseline run directory (or bench JSON)")
+    diff.add_argument(
+        "run_b", help="candidate run directory (or bench JSON), judged against A"
+    )
     diff.add_argument(
         "--max-runtime-ratio", type=float, default=1.05, metavar="R",
         help="fail if B's best runtime exceeds R x A's (default 1.05)",

@@ -73,6 +73,7 @@ class Citroen:
         module_policy: str = "adaptive",
         pass_prior=None,
         diagnostics: bool = True,
+        model_opts: Optional[Dict[str, object]] = None,
     ) -> None:
         """
         Parameters
@@ -95,6 +96,11 @@ class Citroen:
             proposal/win/improvement counters.  Consumes no RNG either
             way, so tuner histories are bit-identical at the same seed
             whether on or off; off leaves every counter untouched.
+        model_opts:
+            extra keyword arguments forwarded to
+            :class:`~repro.core.cost_model.CitroenCostModel` —
+            ``repro bench`` uses this to pit the incremental surrogate
+            against the legacy full-refit baseline.
         """
         self.task = task
         self.rng = as_generator(seed)
@@ -128,7 +134,9 @@ class Citroen:
             )
             for name, r in zip(task.hot_modules, children)
         }
-        self.model = CitroenCostModel(seed=children[-1])
+        self.model = CitroenCostModel(
+            seed=children[-1], metrics=task.metrics, **(model_opts or {})
+        )
         self.model_seconds = 0.0
         self._rr_cursor = 0
 
@@ -218,8 +226,13 @@ class Citroen:
         while len(result.measurements) < budget:
             t0 = time.perf_counter()
             if it % self.refit_every == 0 or not self.model.ready:
-                with tracer.span("fit", n_observations=self.model.n_observations):
+                refits_before = self.model.n_refits
+                with tracer.span("fit", n_observations=self.model.n_observations) as sp:
+                    # usually a no-op: add_observation keeps the GP
+                    # conditioned incrementally, and full (warm-started)
+                    # refits happen only on the model's adaptive schedule
                     self.model.fit(optimize_hypers=True)
+                    sp.set(full=self.model.n_refits > refits_before)
             self.model_seconds += time.perf_counter() - t0
             with tracer.span("propose", iteration=it) as sp:
                 chosen = self._propose(result)
@@ -366,6 +379,19 @@ class Citroen:
         span_feat.__enter__()
         dedup_before = result.extras["dedup_hits"]
         failures_before = result.extras.get("compile_failures", 0)
+        # merged incumbent statistics *excluding* each module, computed once
+        # per iteration — every candidate then merges in O(|own stats|)
+        prefixed_best = {
+            m: self.model.prefix_stats(m, feats)
+            for m, feats in self._best_feats().items()
+        }
+        base_without: Dict[str, Dict[str, int]] = {}
+        for m in modules:
+            base: Dict[str, int] = {}
+            for name, pref in prefixed_best.items():
+                if name != m:
+                    base.update(pref)
+            base_without[m] = base
         scored = []
         for (module_name, provenance, seq), outcome in zip(raw, batch):
             if not outcome.ok:
@@ -379,20 +405,20 @@ class Citroen:
                 continue
             compiled, stats = outcome.value
             feats = self._features_of(module_name, seq, compiled, stats)
-            per_module = dict(self._best_feats())
-            per_module[module_name] = feats
+            merged = dict(base_without[module_name])
+            merged.update(self.model.prefix_stats(module_name, feats))
             # full-config signature: the stored runtime belongs to the whole
             # program, so the key must cover the incumbent on every other
             # module too — a per-module key would resurrect runtimes
             # measured under a stale incumbent
-            sig = self.model.signature(per_module)
+            sig = self.model.signature_merged(merged)
             if self.use_dedup and sig in self._sig_runtime:
                 # identical statistics => identical binary: reuse the
                 # known runtime as generator feedback, skip profiling
                 self.generators[module_name].tell(seq, self._sig_runtime[sig])
                 result.extras["dedup_hits"] += 1
                 continue
-            scored.append((module_name, seq, compiled, stats, provenance, per_module, sig))
+            scored.append((module_name, seq, compiled, stats, provenance, merged, sig))
         span_feat.set(
             scored=len(scored),
             dedup_hits=result.extras["dedup_hits"] - dedup_before,
@@ -405,8 +431,11 @@ class Citroen:
         t0 = time.perf_counter()
         span_af = tracer.span("acquisition", candidates=len(scored))
         span_af.__enter__()
-        mu, sigma = self.model.predict([s[5] for s in scored])
-        coverages = np.asarray([self.model.coverage(s[5]) for s in scored])
+        # the whole surviving population scores in two batched array ops —
+        # one design-matrix fill for the GP posterior, one for coverage
+        merged_all = [s[5] for s in scored]
+        mu, sigma = self.model.predict_merged(merged_all)
+        coverages = self.model.coverage_many(merged_all)
         if self.use_coverage:
             # two-regime acquisition (§5.3.4): candidates inside the observed
             # feature coverage compete on a damped UCB — extrapolated
@@ -568,7 +597,9 @@ class Citroen:
                 self.generators[name].tell(seq, task.penalty_runtime)
             return
 
+        t0 = time.perf_counter()
         self.model.add_observation(feats_all, runtime)
+        self.model_seconds += time.perf_counter() - t0
         # dedup table: runtimes are whole-program facts, so the key is the
         # FULL configuration's statistics signature; assignment (not
         # setdefault) keeps the entry at the latest measurement

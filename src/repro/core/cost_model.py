@@ -6,6 +6,21 @@ configuration — the statistics dictionary of every hot module — so the one
 global model both ranks candidate sequences within a module and arbitrates
 *between* modules (the adaptive budget allocation of §5.3/§1.3).
 
+The surrogate is the tuner's per-iteration overhead (§5.4), so its hot
+path is incremental:
+
+* :meth:`add_observation` *extends* the fitted GP in O(n^2) via the
+  rank-1 Cholesky machinery (:meth:`repro.bo.gp.GaussianProcess.extend`)
+  whenever the statistic-key registry is unchanged;
+* full O(n^3) refits happen only when new statistic keys appear, on a
+  doubling schedule, or when the standardized residuals of incoming
+  observations drift (the model has gone stale);
+* refits **warm-start** L-BFGS-B from the previous hyperparameters —
+  length-scales carry over per key (the registry is append-only), new
+  dimensions start at the default;
+* prediction and coverage run batched over whole candidate populations
+  (:meth:`predict`, :meth:`coverage_many`).
+
 The model also exposes:
 
 * per-candidate **coverage** (what fraction of a candidate's active
@@ -16,7 +31,8 @@ The model also exposes:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,22 +42,79 @@ from repro.utils.rng import SeedLike, as_generator
 
 __all__ = ["CitroenCostModel"]
 
+#: default initial length-scale of a fresh GP dimension (Matérn-5/2 ARD)
+_DEFAULT_LOG_LS = float(np.log(0.5))
+
 
 def _prefixed(module: str, stats: Dict[str, int]) -> Dict[str, int]:
     return {f"{module}::{k}": v for k, v in stats.items()}
 
 
 class CitroenCostModel:
-    """GP over concatenated per-module statistics features."""
+    """GP over concatenated per-module statistics features.
 
-    def __init__(self, seed: SeedLike = None, power_transform: bool = True) -> None:
+    Parameters
+    ----------
+    incremental:
+        condition the fitted GP on new observations in O(n^2) instead of
+        marking it stale (full refits still happen on the adaptive
+        schedule).  ``False`` restores the pre-optimisation behaviour —
+        every observation invalidates the fit — which ``repro bench``
+        uses as its baseline.
+    warm_start:
+        start hyperparameter optimisation from the previous fit's
+        hyperparameters instead of defaults.
+    vectorized:
+        batch featurization/coverage through
+        :meth:`StatsVectorizer.transform_many` /
+        :meth:`~StatsVectorizer.coverage_many`; ``False`` keeps the
+        per-candidate scalar loops (baseline mode).
+    refit_growth:
+        full-refit schedule: refit once ``n >= refit_growth * n_at_last_
+        refit`` (doubling by default).
+    drift_window / drift_threshold:
+        refit early when the mean squared standardized residual of the
+        last ``drift_window`` incoming observations exceeds
+        ``drift_threshold`` — the frozen hyperparameters/transform no
+        longer describe the data.
+    metrics:
+        optional :class:`~repro.obs.metrics.MetricsRegistry`; refits and
+        extends are counted as ``citroen.gp.refits`` /
+        ``citroen.gp.extends`` so ``repro analyze`` can report the ratio.
+    """
+
+    def __init__(
+        self,
+        seed: SeedLike = None,
+        power_transform: bool = True,
+        incremental: bool = True,
+        warm_start: bool = True,
+        vectorized: bool = True,
+        refit_growth: float = 2.0,
+        drift_window: int = 8,
+        drift_threshold: float = 4.0,
+        metrics=None,
+    ) -> None:
         self.vectorizer = StatsVectorizer()
         self.rng = as_generator(seed)
         self.power_transform = power_transform
+        self.incremental = bool(incremental)
+        self.warm_start = bool(warm_start)
+        self.vectorized = bool(vectorized)
+        self.refit_growth = float(refit_growth)
+        self.drift_window = int(drift_window)
+        self.drift_threshold = float(drift_threshold)
         self._obs_stats: List[Dict[str, int]] = []
         self._obs_y: List[float] = []
         self.gp: Optional[GaussianProcess] = None
         self._fitted = False
+        self._fitted_keys: List[str] = []
+        self._n_at_refit = 0
+        self._drift: Deque[float] = deque(maxlen=max(1, self.drift_window))
+        self.n_refits = 0
+        self.n_extends = 0
+        self._m_refits = metrics.counter("citroen.gp.refits") if metrics is not None else None
+        self._m_extends = metrics.counter("citroen.gp.extends") if metrics is not None else None
 
     # -- data ------------------------------------------------------------------
     @staticmethod
@@ -52,26 +125,88 @@ class CitroenCostModel:
             merged.update(_prefixed(module, stats))
         return merged
 
+    @staticmethod
+    def prefix_stats(module: str, stats: Dict[str, int]) -> Dict[str, int]:
+        """One module's stats in the merged (namespaced) key space."""
+        return _prefixed(module, stats)
+
     def add_observation(self, per_module: Dict[str, Dict[str, int]], runtime: float) -> None:
-        """Record one measured configuration (per-module stats + runtime)."""
-        self._obs_stats.append(self.merge_config_stats(per_module))
+        """Record one measured configuration (per-module stats + runtime).
+
+        On the incremental path the fitted GP absorbs the observation in
+        O(n^2) and stays ready; otherwise (new statistic keys, scheduled
+        refit due, residual drift, incremental mode off) the fit is marked
+        stale and the next :meth:`fit` rebuilds it.
+        """
+        merged = self.merge_config_stats(per_module)
+        self._obs_stats.append(merged)
         self._obs_y.append(float(runtime))
-        self._fitted = False
+        if self._try_extend(merged, float(runtime)):
+            self.n_extends += 1
+            if self._m_extends is not None:
+                self._m_extends.inc()
+        else:
+            self._fitted = False
+
+    def _try_extend(self, merged: Dict[str, int], runtime: float) -> bool:
+        if not (self.incremental and self._fitted and self.gp is not None):
+            return False
+        if not np.isfinite(runtime):
+            return False
+        if self._refit_due():
+            return False
+        index = self.vectorizer._key_index
+        dim = self.vectorizer.fitted_dim
+        for key, value in merged.items():
+            if value:
+                idx = index.get(key)
+                if idx is None or idx >= dim:
+                    return False  # new statistic key: the GP needs a new dim
+        x = self.vectorizer.transform(merged)
+        # drift tracking: standardized residual of the incoming point under
+        # the frozen hyperparameters/transform, *before* conditioning on it
+        z = self.gp.transform_targets(np.asarray([runtime]))[0]
+        mu, sigma = self.gp.predict(x[None, :])
+        self._drift.append(float(((z - mu[0]) / max(sigma[0], 1e-12)) ** 2))
+        self.gp.extend(x, runtime)
+        return True
+
+    def _refit_due(self) -> bool:
+        if len(self._obs_y) >= self.refit_growth * max(1, self._n_at_refit):
+            return True
+        if (
+            len(self._drift) >= self.drift_window
+            and float(np.mean(self._drift)) > self.drift_threshold
+        ):
+            return True
+        return False
 
     @property
     def n_observations(self) -> int:
         return len(self._obs_y)
 
     # -- fitting ------------------------------------------------------------------
-    def fit(self, optimize_hypers: bool = True, max_iter: int = 30) -> None:
-        """(Re)build the design matrix and refit the GP."""
+    def fit(
+        self, optimize_hypers: bool = True, max_iter: int = 30, force: bool = False
+    ) -> None:
+        """(Re)build the design matrix and refit the GP — if it is stale.
+
+        A ready model whose refit schedule is not due is left untouched
+        (the per-iteration call from the tuner loop is then free); pass
+        ``force=True`` to rebuild unconditionally.
+        """
         if len(self._obs_y) < 2:
             self._fitted = False
             return
+        if self.ready and not force and not self._refit_due():
+            return
+        prev = self.gp
         X = self.vectorizer.fit(self._obs_stats)
         self.gp = GaussianProcess(
             X.shape[1], power_transform=self.power_transform, seed=self.rng
         )
+        if self.warm_start and prev is not None:
+            self._warm_start_from(prev)
         self.gp.fit(
             X,
             np.asarray(self._obs_y),
@@ -79,20 +214,51 @@ class CitroenCostModel:
             max_iter=max_iter,
         )
         self._fitted = True
+        self._fitted_keys = list(self.vectorizer.keys)
+        self._n_at_refit = len(self._obs_y)
+        self._drift.clear()
+        self.n_refits += 1
+        if self._m_refits is not None:
+            self._m_refits.inc()
+
+    def _warm_start_from(self, prev: GaussianProcess) -> None:
+        """Seed the new GP's hyperparameters from the previous fit.
+
+        The key registry is append-only, so dimension ``i`` means the same
+        statistic before and after a refit: per-key length-scales carry
+        over and only genuinely new dimensions start from the default.
+        """
+        log_ls = np.full(self.gp.dim, _DEFAULT_LOG_LS)
+        keep = min(prev.dim, self.gp.dim)
+        log_ls[:keep] = prev.kernel.log_ls[:keep]
+        self.gp.kernel.log_ls = log_ls
+        self.gp.kernel.log_var = prev.kernel.log_var
+        self.gp.log_noise = prev.log_noise
 
     @property
     def ready(self) -> bool:
         return self._fitted and self.gp is not None
 
     # -- prediction ------------------------------------------------------------------
+    def _design(self, merged_list: Sequence[Dict[str, int]]) -> np.ndarray:
+        if self.vectorized:
+            return self.vectorizer.transform_many(merged_list)
+        return np.asarray([self.vectorizer.transform(s) for s in merged_list])
+
     def predict(
         self, per_module_list: Sequence[Dict[str, Dict[str, int]]]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Posterior mean/std (transformed space) for candidate configs."""
+        return self.predict_merged(
+            [self.merge_config_stats(pm) for pm in per_module_list]
+        )
+
+    def predict_merged(
+        self, merged_list: Sequence[Dict[str, int]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch posterior over already-merged stats dicts (hot path)."""
         assert self.ready
-        merged = [self.merge_config_stats(pm) for pm in per_module_list]
-        X = np.asarray([self.vectorizer.transform(s) for s in merged])
-        return self.gp.predict(X)
+        return self.gp.predict(self._design(merged_list))
 
     def coverage(self, per_module: Dict[str, Dict[str, int]]) -> float:
         """Feature-coverage score of a candidate config (Table 5.2)."""
@@ -101,9 +267,21 @@ class CitroenCostModel:
             return 1.0
         return self.vectorizer.coverage(merged)
 
+    def coverage_many(self, merged_list: Sequence[Dict[str, int]]) -> np.ndarray:
+        """Batch coverage over already-merged stats dicts (hot path)."""
+        if self.vectorizer._lo is None:
+            return np.ones(len(merged_list))
+        if self.vectorized:
+            return self.vectorizer.coverage_many(merged_list)
+        return np.asarray([self.vectorizer.coverage(s) for s in merged_list])
+
     def signature(self, per_module: Dict[str, Dict[str, int]]) -> Tuple:
         """Hashable statistics identity used for deduplication."""
-        return self.vectorizer.signature(self.merge_config_stats(per_module))
+        return self.signature_merged(self.merge_config_stats(per_module))
+
+    def signature_merged(self, merged: Dict[str, int]) -> Tuple:
+        """Signature of an already-merged stats dict (hot path)."""
+        return self.vectorizer.signature(merged)
 
     def transformed_best(self) -> float:
         """Best observed target in the GP's transformed space."""
@@ -123,13 +301,21 @@ class CitroenCostModel:
     # -- interpretability (Table 5.5) ------------------------------------------------
     def relevance(self) -> List[Tuple[str, float]]:
         """Statistics ranked by ARD relevance (inverse length-scale),
-        filtered to dimensions that actually vary in the data."""
+        filtered to dimensions that actually vary in the data.
+
+        Aligned explicitly to the dimensionality the GP was fitted at: the
+        key registry may have grown since (``observe_keys`` between fits),
+        and a silent ``zip`` truncation against the longer key list would
+        misattribute relevance scores to the wrong statistics.
+        """
         if not self.ready:
             return []
         ls = self.gp.kernel.lengthscales
-        spans = self.vectorizer._hi - self.vectorizer._lo
+        keys = self._fitted_keys if self._fitted_keys else list(self.vectorizer.keys)
+        dim = min(len(keys), len(ls), self.vectorizer.fitted_dim)
+        spans = self.vectorizer._hi[:dim] - self.vectorizer._lo[:dim]
         out = []
-        for key, scale, span in zip(self.vectorizer.keys, ls, spans):
+        for key, scale, span in zip(keys[:dim], ls[:dim], spans):
             if span > 1e-12:
                 out.append((key, float(1.0 / scale)))
         out.sort(key=lambda kv: -kv[1])

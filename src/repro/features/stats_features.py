@@ -10,6 +10,12 @@ most sequences) and *non-uniform* (counters span orders of magnitude).
 * reports per-dimension *coverage* information — which dimensions of a
   candidate lie inside the observed value range — which is what the
   coverage-aware acquisition function (§5.3.4, Table 5.2) consumes.
+
+The batch entry points — :meth:`StatsVectorizer.transform_many` and
+:meth:`StatsVectorizer.coverage_many` — featurize a whole candidate
+population with one allocation and batched ``log1p``/``clip`` over an
+index-mapped sparse fill, replacing the per-candidate Python loops on the
+tuner's proposal hot path.
 """
 
 from __future__ import annotations
@@ -52,11 +58,47 @@ class StatsVectorizer:
                 v[idx] = np.log1p(max(0.0, float(value)))
         return v
 
+    def _fill_raw(
+        self,
+        stats_list: Sequence[Dict[str, int]],
+        dim: int,
+        count_unmapped: bool = False,
+    ) -> np.ndarray:
+        """``(len(stats_list), dim)`` log1p matrix via one sparse fill.
+
+        Keys outside the registry (or beyond ``dim``) are ignored — their
+        raw value is the implicit zero, same as :meth:`raw_vector`.  With
+        ``count_unmapped`` the per-row count of such keys holding positive
+        values comes back too (``(M, counts)``) — coverage treats them as
+        active-but-uncovered, and counting here keeps the batch path to a
+        single pass over the dicts.
+        """
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        index = self._key_index
+        unmapped = np.zeros(len(stats_list)) if count_unmapped else None
+        for i, stats in enumerate(stats_list):
+            for k, value in stats.items():
+                idx = index.get(k)
+                if idx is not None and idx < dim:
+                    if value:
+                        rows.append(i)
+                        cols.append(idx)
+                        vals.append(max(0.0, float(value)))
+                elif count_unmapped and float(value) > 0.0:
+                    unmapped[i] += 1.0
+        M = np.zeros((len(stats_list), dim))
+        if rows:
+            M[rows, cols] = vals
+        np.log1p(M, out=M)
+        return (M, unmapped) if count_unmapped else M
+
     def raw_matrix(self, stats_list: Sequence[Dict[str, int]]) -> np.ndarray:
         """Stack raw vectors for many stats dicts (registry grows first)."""
         for s in stats_list:
             self.observe_keys(s)
-        return np.asarray([self.raw_vector(s) for s in stats_list])
+        return self._fill_raw(stats_list, self.dim)
 
     # -- scaling -----------------------------------------------------------------
     def fit(self, stats_list: Sequence[Dict[str, int]]) -> np.ndarray:
@@ -70,12 +112,35 @@ class StatsVectorizer:
         self._span = span
         return (M - self._lo) / span
 
+    @property
+    def fitted_dim(self) -> int:
+        """Dimensionality of the fitted scaler (0 before the first fit).
+
+        The registry may have grown past this since the last :meth:`fit`;
+        every fitted-space operation aligns to this dimension explicitly.
+        """
+        return 0 if self._lo is None else len(self._lo)
+
     def transform(self, stats: Dict[str, int]) -> np.ndarray:
         """Normalise one candidate with the fitted scaler (clipped to the
         unit box so the GP input domain stays bounded)."""
         assert self._lo is not None, "call fit first"
-        v = self.raw_vector(stats)
+        v = self._fill_raw([stats], self.fitted_dim)[0]
         return np.clip((v - self._lo) / self._span, 0.0, 1.0)
+
+    def transform_many(self, stats_list: Sequence[Dict[str, int]]) -> np.ndarray:
+        """Normalise a whole candidate population in one shot.
+
+        Equivalent to stacking :meth:`transform` over ``stats_list`` (the
+        property tests assert it), but with a single allocation and batched
+        ``log1p``/``clip`` — the proposal-scoring hot path.
+        """
+        assert self._lo is not None, "call fit first"
+        M = self._fill_raw(stats_list, self.fitted_dim)
+        M -= self._lo
+        M /= self._span
+        np.clip(M, 0.0, 1.0, out=M)
+        return M
 
     # -- coverage (Table 5.2) -------------------------------------------------------
     def coverage(self, stats: Dict[str, int]) -> float:
@@ -90,19 +155,37 @@ class StatsVectorizer:
         assert self._lo is not None, "call fit first"
         active = 0
         covered = 0
+        dim = self.fitted_dim
         for k, value in stats.items():
             x = np.log1p(max(0.0, float(value)))
             if x <= 0.0:
                 continue
             active += 1
             idx = self._key_index.get(k)
-            if idx is None:
+            if idx is None or idx >= dim:  # unseen since the last fit
                 continue
             if self._lo[idx] - 1e-9 <= x <= self._hi[idx] + 1e-9:
                 covered += 1
         if active == 0:
             return 1.0
         return covered / active
+
+    def coverage_many(self, stats_list: Sequence[Dict[str, int]]) -> np.ndarray:
+        """Vectorised :meth:`coverage` over a candidate population.
+
+        Active dimensions land in the same sparse-filled matrix the batch
+        transform uses; out-of-registry (or post-fit) keys contribute to
+        the active count only, exactly like the scalar path.
+        """
+        assert self._lo is not None, "call fit first"
+        dim = self.fitted_dim
+        M, extra = self._fill_raw(stats_list, dim, count_unmapped=True)
+        active_in = M > 0.0
+        covered = (
+            active_in & (M >= self._lo - 1e-9) & (M <= self._hi + 1e-9)
+        ).sum(axis=1)
+        active = active_in.sum(axis=1) + extra
+        return np.where(active == 0, 1.0, covered / np.maximum(active, 1.0))
 
     def signature(self, stats: Dict[str, int]) -> Tuple:
         """Hashable identity of a statistics outcome (for deduplication of

@@ -155,7 +155,19 @@ def _metrics_highlights(metrics: Dict[str, object]) -> str:
         return "(no metrics.json)"
     rows = sorted(counters.items())
     width = max(len(k) for k, _ in rows) + 2
-    return "\n".join(f"{k:{width}s}{v}" for k, v in rows)
+    lines = [f"{k:{width}s}{v}" for k, v in rows]
+    refits = counters.get("citroen.gp.refits")
+    extends = counters.get("citroen.gp.extends")
+    if refits is not None and extends is not None:
+        # the surrogate hot-path health indicator: most observations should
+        # be absorbed by O(n^2) extends, full refits stay on the schedule
+        total = refits + extends
+        share = extends / total if total else 0.0
+        lines.append(
+            f"{'gp refit-vs-extend':{width}s}{int(refits)} refits / "
+            f"{int(extends)} extends ({share:.0%} incremental)"
+        )
+    return "\n".join(lines)
 
 
 def analyze_run(run_dir: Union[str, Path]) -> str:

@@ -70,6 +70,57 @@ class TestStatsVectorizer:
         t = v.transform(stats)
         assert (t >= 0).all() and (t <= 1).all()
 
+    # strategy for candidate populations: in-registry keys plus "z.NEW"
+    # (never fitted) so the batch paths see the out-of-registry case too
+    _populations = st.lists(
+        st.dictionaries(
+            st.sampled_from(["p.A", "p.B", "q.C", "z.NEW"]),
+            st.integers(0, 200),
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+    @staticmethod
+    def _fitted():
+        v = StatsVectorizer()
+        v.fit([{"p.A": 3, "p.B": 7, "q.C": 2}, {"p.A": 0, "q.C": 9}])
+        return v
+
+    @given(_populations)
+    @settings(deadline=None, max_examples=50)
+    def test_transform_many_matches_scalar(self, stats_list):
+        v = self._fitted()
+        batch = v.transform_many(stats_list)
+        ref = np.stack([v.transform(s) for s in stats_list])
+        assert batch.shape == (len(stats_list), v.fitted_dim)
+        assert np.allclose(batch, ref)
+
+    @given(_populations)
+    @settings(deadline=None, max_examples=50)
+    def test_coverage_many_matches_scalar(self, stats_list):
+        v = self._fitted()
+        batch = v.coverage_many(stats_list)
+        ref = np.array([v.coverage(s) for s in stats_list])
+        assert np.allclose(batch, ref)
+
+    def test_batch_paths_aligned_after_registry_growth(self):
+        # the registry may grow between fits (observe_keys); both batch
+        # paths must keep working against the *fitted* dimensionality,
+        # treating post-fit keys as unseen like the scalar paths do
+        v = self._fitted()
+        v.observe_keys({"late.K": 1})
+        assert v.dim > v.fitted_dim
+        cands = [{"p.A": 1, "late.K": 5}, {"late.K": 2}, {}]
+        batch = v.transform_many(cands)
+        assert batch.shape == (3, v.fitted_dim)
+        assert np.allclose(batch, np.stack([v.transform(s) for s in cands]))
+        cov = v.coverage_many(cands)
+        assert np.allclose(cov, [v.coverage(s) for s in cands])
+        assert cov[1] == pytest.approx(0.0)  # only an unseen active key
+        assert cov[2] == pytest.approx(1.0)  # nothing active at all
+
 
 class TestAutophase:
     def test_counts_respond_to_compilation(self):

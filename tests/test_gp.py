@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.bo.gp import GaussianProcess
 from repro.bo.kernels import Matern52, RBF
@@ -206,3 +208,162 @@ class TestGP:
         gp = GaussianProcess(3)
         mu, sigma = gp.predict(np.zeros((2, 3)))
         assert np.allclose(mu, 0.0) and np.allclose(sigma, 1.0)
+
+
+class TestIncrementalConditioning:
+    """The rank-1 ``extend`` path and its numerical-fallback contract."""
+
+    @staticmethod
+    def _reconditioned(gp, X_new, z_new):
+        """Brute force: a fresh GP factorised on the extended transformed
+        dataset at the same hyperparameters/transform."""
+        gp2 = GaussianProcess(gp.dim, seed=0, power_transform=False)
+        gp2.kernel.set_params(gp.kernel.get_params())
+        gp2.log_noise = gp.log_noise
+        gp2._X = X_new
+        gp2._z = z_new
+        gp2._factorise()
+        return gp2
+
+    @given(
+        dim=st.integers(2, 8),
+        seed=st.integers(0, 10_000),
+        noisy=st.booleans(),
+    )
+    @settings(deadline=None, max_examples=25)
+    def test_extend_matches_full_recondition(self, dim, seed, noisy):
+        rng = np.random.default_rng(seed)
+        X = rng.random((18, dim))
+        y = np.sin(3 * X[:, 0]) + X @ rng.random(dim) + 0.05 * rng.standard_normal(18)
+        gp = GaussianProcess(dim, seed=0, power_transform=True).fit(X, y)
+        if noisy:
+            # exercise the noise-on-diagonal path of the rank-1 update
+            gp.log_noise = float(np.log(rng.uniform(1e-5, 1e-2)))
+            gp._factorise()
+        # three successive extends so errors would compound if present
+        for _ in range(3):
+            x_new = rng.random(dim)
+            y_new = float(rng.random() + 0.5)
+            z_before = gp._z
+            z_new = float(gp.transform_targets(np.asarray([y_new]))[0])
+            used_rank1 = gp.extend(x_new, y_new)
+            assert used_rank1
+            ref = GaussianProcess(dim, seed=0, power_transform=False)
+            ref.kernel.set_params(gp.kernel.get_params())
+            ref.log_noise = gp.log_noise
+            ref._X = gp._X.copy()
+            ref._z = np.concatenate([z_before, [z_new]])
+            ref._factorise()
+            Xq = rng.random((6, dim))
+            m1, s1 = gp.predict(Xq)
+            m2, s2 = ref.predict(Xq)
+            assert np.allclose(m1, m2, atol=1e-8)
+            assert np.allclose(s1, s2, atol=1e-8)
+
+    def test_extend_duplicate_row_stays_sound(self, data):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        # an exact duplicate is *not* numerically unsound here — the noise
+        # + jitter on the diagonal keeps the Schur complement positive —
+        # so the O(n^2) path must handle it and stay finite
+        gp.extend(X[7].copy(), float(y[7]))
+        assert gp.n == len(X) + 1
+        mu, sigma = gp.predict(X[:5])
+        assert np.isfinite(mu).all() and np.isfinite(sigma).all()
+
+    def test_extend_fallback_when_rank1_unsound(self, data, monkeypatch):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        # force the degenerate-Schur-complement branch (reachable only via
+        # floating-point breakdown): extend must degrade to a full O(n^3)
+        # refactorisation, report it, and land in the same posterior
+        monkeypatch.setattr(gp, "_rank1_extension", lambda x: None)
+        x_new = np.full(4, 0.25)
+        y_new = float(y.mean())
+        z_before = gp._z
+        z_new = float(gp.transform_targets(np.asarray([y_new]))[0])
+        used_rank1 = gp.extend(x_new, y_new)
+        assert not used_rank1
+        assert gp.n == len(X) + 1
+        ref = self._reconditioned(
+            gp, gp._X.copy(), np.concatenate([z_before, [z_new]])
+        )
+        m1, s1 = gp.predict(X[:5])
+        m2, s2 = ref.predict(X[:5])
+        assert np.allclose(m1, m2) and np.allclose(s1, s2)
+
+    def test_extend_requires_conditioned_gp(self):
+        gp = GaussianProcess(3)
+        with pytest.raises(ValueError):
+            gp.extend(np.zeros(3), 1.0)
+
+    def test_extend_keeps_transform_frozen(self, data):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        before = gp.transform_targets(y[:5])
+        gp.extend(np.full(4, 0.5), float(y.mean()))
+        # extend conditions at the *fitted* output transform; mapping of
+        # raw targets into the GP space must not move
+        assert np.allclose(gp.transform_targets(y[:5]), before)
+
+    def test_fantasize_clone_kernel_independent(self, data, rng):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        fant = gp.fantasize(rng.random(4), 0.1)
+        assert fant.kernel is not gp.kernel
+        Xq = rng.random((5, 4))
+        mu_before, sigma_before = fant.predict(Xq)
+        # a later hyperparameter change on the parent (as a refit would
+        # make) must not leak into the fantasy through a shared kernel
+        gp.kernel.set_params(gp.kernel.get_params() + 0.7)
+        gp._factorise()
+        mu_after, sigma_after = fant.predict(Xq)
+        assert np.allclose(mu_before, mu_after)
+        assert np.allclose(sigma_before, sigma_after)
+
+    def test_fantasize_does_not_consume_parent_rng(self, data, rng):
+        X, y = data
+        gp = GaussianProcess(4, seed=7).fit(X, y)
+        state_before = gp.rng.bit_generator.state
+        fant = gp.fantasize(rng.random(4), 0.0)
+        assert gp.rng.bit_generator.state == state_before
+        assert fant.rng is not gp.rng
+
+    def test_posterior_samples_near_duplicate_rows(self, data):
+        X, y = data
+        gp = GaussianProcess(4, seed=0).fit(X, y)
+        # duplicate candidate rows make the joint posterior covariance
+        # rank-deficient; the escalating-jitter retry must still sample
+        Xq = np.repeat(X[3][None, :], 6, axis=0)
+        draws = gp.posterior_samples(Xq, 32, np.random.default_rng(0))
+        assert draws.shape == (32, 6)
+        assert np.isfinite(draws).all()
+
+
+class TestKernelQuadform:
+    """The allocation-light NLL gradient path (eval_with_cache +
+    grad_hyper_quadform) must agree with the per-matrix grad_hyper loop."""
+
+    @pytest.mark.parametrize("K", [RBF, Matern52])
+    def test_eval_with_cache_matches_call(self, K, rng):
+        k = K(4)
+        k.set_params(rng.standard_normal(k.n_params()) * 0.3)
+        X = rng.random((12, 4))
+        Kc, cache = k.eval_with_cache(X)
+        assert np.allclose(Kc, k(X, X))
+        assert cache  # the geometry actually got shared
+
+    @pytest.mark.parametrize("K", [RBF, Matern52])
+    def test_quadform_matches_grad_hyper_loop(self, K, rng):
+        k = K(5)
+        k.set_params(rng.standard_normal(k.n_params()) * 0.4)
+        X = rng.random((10, 5))
+        A = rng.standard_normal((10, 10))
+        W = A + A.T  # symmetric, like alpha alpha^T - K^-1
+        expected = np.array(
+            [np.sum(W * dK) for _, dK in k.grad_hyper(X)]
+        )
+        got = k.grad_hyper_quadform(X, W)
+        assert np.allclose(got, expected, atol=1e-10)
+        _, cache = k.eval_with_cache(X)
+        assert np.allclose(k.grad_hyper_quadform(X, W, cache), expected, atol=1e-10)
