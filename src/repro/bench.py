@@ -19,6 +19,15 @@ The payload written to ``BENCH_surrogate.json`` is self-describing
 (schema tag, git revision, library versions, per-phase wall/CPU seconds)
 and diffable: ``repro diff a.json b.json`` gates on the model-side wall
 ratio via :func:`diff_bench`.
+
+A second suite (``repro bench --suite interp``, schema ``bench_interp``)
+times the measurement engine itself: per-opcode-family micro kernels and
+whole cbench workloads run under both the tree-walking interpreter and
+the flat register bytecode VM, plus an end-to-end measurements/sec figure
+through :class:`~repro.machine.profiler.Profiler` — the number that
+bounds how many search points a tuner can evaluate per second.  Both
+suites share :func:`diff_bench`/``repro diff`` gating (the interp gate is
+the bytecode end-to-end wall ratio).
 """
 
 from __future__ import annotations
@@ -33,6 +42,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 SCHEMA = "bench_surrogate"
+SCHEMA_INTERP = "bench_interp"
+SCHEMAS = (SCHEMA, SCHEMA_INTERP)
 SCHEMA_VERSION = 1
 
 #: the spans that constitute "model-side" work in the tuner loop
@@ -236,6 +247,408 @@ def run_bench(
     return payload
 
 
+# ---------------------------------------------------------------------------
+# interpreter / bytecode-VM suite (``--suite interp``)
+# ---------------------------------------------------------------------------
+
+#: kernel iteration count giving ~100k interpreted steps per family run
+_KERNEL_ITERS = 4000
+
+
+def _kernel_int_alu(iters: int):
+    """add/sub/mul/xor/and/shl/ashr over a 64-bit accumulator."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import I32, I64, Module
+
+    mod = Module("k_int_alu")
+    b = FunctionBuilder(mod, "main", [], I64)
+    acc = b.alloca(I64, hint="acc")
+    b.store(c(1, I64), acc)
+
+    def body(bb, i):
+        cur = bb.load(I64, acc)
+        iw = bb.sext(i, I64)
+        t = bb.add(cur, iw, I64)
+        t = bb.mul(t, c(2654435761, I64), I64)
+        t = bb.xor(t, c(0x5DEECE66D, I64), I64)
+        t = bb.and_(t, c((1 << 48) - 1, I64), I64)
+        t = bb.shl(t, c(3, I64), I64)
+        t = bb.ashr(t, c(2, I64), I64)
+        t = bb.sub(t, iw, I64)
+        bb.store(t, acc)
+
+    b.counted_loop(c(0, I32), c(iters, I32), body)
+    out = b.load(I64, acc)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
+def _kernel_int_div(iters: int):
+    """sdiv/srem with sign-alternating operands (the C-truncation path)."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import I32, I64, Module
+
+    mod = Module("k_int_div")
+    b = FunctionBuilder(mod, "main", [], I64)
+    acc = b.alloca(I64, hint="acc")
+    b.store(c(-123456789, I64), acc)
+
+    def body(bb, i):
+        cur = bb.load(I64, acc)
+        iw = bb.sext(i, I64)
+        d = bb.add(iw, c(3, I64), I64)
+        q = bb.sdiv(cur, d, I64)
+        r = bb.srem(cur, d, I64)
+        t = bb.sub(q, r, I64)
+        t = bb.mul(t, c(-7, I64), I64)
+        t = bb.add(t, iw, I64)
+        bb.store(t, acc)
+
+    b.counted_loop(c(0, I32), c(iters, I32), body)
+    out = b.load(I64, acc)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
+def _kernel_float(iters: int):
+    """fadd/fmul/fdiv/sitofp/fptosi round trips."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import F64, I32, I64, Module
+
+    mod = Module("k_float")
+    b = FunctionBuilder(mod, "main", [], I64)
+    acc = b.alloca(F64, hint="acc")
+    b.store(c(1.5, F64), acc)
+
+    def body(bb, i):
+        cur = bb.load(F64, acc)
+        x = bb.sitofp(bb.add(i, c(1, I32), I32), F64)
+        t = bb.fmul(cur, c(1.0000001, F64), F64)
+        t = bb.fadd(t, bb.fdiv(x, c(65536.0, F64), F64), F64)
+        t = bb.fsub(t, bb.fdiv(t, c(1024.0, F64), F64), F64)
+        bb.store(t, acc)
+
+    b.counted_loop(c(0, I32), c(iters, I32), body)
+    out = b.fptosi(b.load(F64, acc), I64)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
+def _kernel_compare_branch(iters: int):
+    """signed *and unsigned* icmp feeding data-dependent branches."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import I32, I64, Module
+
+    mod = Module("k_cmp_br")
+    b = FunctionBuilder(mod, "main", [], I64)
+    acc = b.alloca(I64, hint="acc")
+    b.store(c(0, I64), acc)
+
+    def body(bb, i):
+        v = bb.sub(i, c(2000, I32), I32)  # sign-alternating
+        is_neg = bb.icmp("slt", v, c(0, I32))
+        # as unsigned, negative v is huge: takes the opposite branch
+        is_big = bb.icmp("ugt", v, c(1000, I32))
+
+        def then1(bb2):
+            cur = bb2.load(I64, acc)
+            bb2.store(bb2.add(cur, c(3, I64), I64), acc)
+
+        def else1(bb2):
+            cur = bb2.load(I64, acc)
+            bb2.store(bb2.sub(cur, c(1, I64), I64), acc)
+
+        bb.if_then(is_neg, then1, else1, tag="neg")
+
+        def then2(bb2):
+            cur = bb2.load(I64, acc)
+            bb2.store(bb2.xor(cur, c(0xFF, I64), I64), acc)
+
+        bb.if_then(is_big, then2, tag="big")
+        sel = bb.select(
+            bb.icmp("ule", v, c(7, I32)), c(11, I64), c(13, I64), I64
+        )
+        cur = bb.load(I64, acc)
+        bb.store(bb.add(cur, sel, I64), acc)
+
+    b.counted_loop(c(0, I32), c(iters, I32), body)
+    out = b.load(I64, acc)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
+def _kernel_memory(iters: int, n: int = 64):
+    """gep/load/store traffic over a global array and a stack buffer."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import I32, I64, GlobalVar, Module
+
+    mod = Module("k_memory")
+    mod.add_global(GlobalVar("table", I32, [((i * 37) % 251) for i in range(n)]))
+    b = FunctionBuilder(mod, "main", [], I64)
+    tab = b.gaddr("table")
+    buf = b.alloca(I32, count=n, hint="buf")
+    acc = b.alloca(I64, hint="acc")
+    b.store(c(0, I64), acc)
+
+    def body(bb, i):
+        idx = bb.srem(i, c(n, I32), I32)
+        v = bb.load(I32, bb.gep(tab, idx, I32))
+        slot = bb.gep(buf, idx, I32)
+        old = bb.load(I32, slot)
+        bb.store(bb.add(old, v, I32), slot)
+        cur = bb.load(I64, acc)
+        bb.store(bb.add(cur, bb.sext(v, I64), I64), acc)
+
+    # first pass zero-fills the stack buffer
+    def zero(bb, i):
+        bb.store(c(0, I32), bb.gep(buf, i, I32))
+
+    b.counted_loop(c(0, I32), c(n, I32), zero, tag="zero")
+    b.counted_loop(c(0, I32), c(iters, I32), body)
+    out = b.load(I64, acc)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
+def _kernel_calls(iters: int):
+    """a tiny callee invoked every iteration (call/ret + frame churn)."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import I32, I64, Module
+
+    mod = Module("k_calls")
+    h = FunctionBuilder(mod, "mix", [("a", I64), ("b", I64)], I64)
+    t = h.xor("a", h.mul("b", c(31, I64), I64), I64)
+    h.ret(h.add(t, c(17, I64), I64))
+
+    b = FunctionBuilder(mod, "main", [], I64)
+    acc = b.alloca(I64, hint="acc")
+    b.store(c(7, I64), acc)
+
+    def body(bb, i):
+        cur = bb.load(I64, acc)
+        r = bb.call("mix", [cur, bb.sext(i, I64)], I64)
+        bb.store(r, acc)
+
+    b.counted_loop(c(0, I32), c(iters, I32), body)
+    out = b.load(I64, acc)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
+def _kernel_vector(iters: int):
+    """an SLP-vectorized dot-product body (vload/vbinop/vreduce)."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import I32, I64, GlobalVar, Module
+    from repro.compiler.opt_tool import run_opt
+
+    lanes = 8
+    mod = Module("k_vector")
+    mod.add_global(GlobalVar("w", I32, [i + 1 for i in range(lanes)]))
+    mod.add_global(GlobalVar("d", I32, [2 * i + 1 for i in range(lanes)]))
+    b = FunctionBuilder(mod, "main", [], I64)
+    w = b.gaddr("w")
+    d = b.gaddr("d")
+    acc = b.alloca(I64, hint="acc")
+    b.store(c(0, I64), acc)
+
+    def body(bb, i):
+        total = None
+        for k in range(lanes):
+            wv = bb.load(I32, bb.gep(w, c(k, I64), I32))
+            dv = bb.load(I32, bb.gep(d, c(k, I64), I32))
+            m = bb.mul(wv, dv, I32)
+            total = m if total is None else bb.add(total, m, I32)
+        cur = bb.load(I64, acc)
+        bb.store(bb.add(cur, bb.sext(total, I64), I64), acc)
+
+    b.counted_loop(c(0, I32), c(iters, I32), body)
+    out = b.load(I64, acc)
+    b.output(out)
+    b.ret(out)
+    cr = run_opt(mod, ["mem2reg", "slp-vectorizer"])
+    return cr.module
+
+
+#: family name -> builder; iteration counts scaled so every family does a
+#: comparable amount of interpreted work per run
+KERNEL_FAMILIES = {
+    "int_alu": _kernel_int_alu,
+    "int_div": _kernel_int_div,
+    "float": _kernel_float,
+    "compare_branch": _kernel_compare_branch,
+    "memory": _kernel_memory,
+    "calls": _kernel_calls,
+    "vector": _kernel_vector,
+}
+
+
+def _time_engines(modules, entry: str, fuel: int, runs: int) -> Dict[str, object]:
+    """Run ``modules`` under both engines, checking parity as we go."""
+    from repro.machine.bytecode import BytecodeVM, compile_module
+    from repro.machine.interp import Interpreter
+
+    with _Stopwatch() as t_compile:
+        bcs = [compile_module(m) for m in modules]
+    with _Stopwatch() as t_tree:
+        for _ in range(runs):
+            tree = Interpreter(modules, fuel=fuel).run(entry)
+    vm = BytecodeVM(bcs, fuel=fuel)
+    with _Stopwatch() as t_bc:
+        for _ in range(runs):
+            bc = vm.run(entry)
+    if tree.output_signature() != bc.output_signature() or tree.steps != bc.steps:
+        raise AssertionError(
+            f"engine mismatch on {entry}: tree={tree.output_signature()} "
+            f"bc={bc.output_signature()}"
+        )
+    speedup = t_tree.wall / t_bc.wall if t_bc.wall > 0 else float("inf")
+    return {
+        "runs": runs,
+        "steps": tree.steps,
+        "tree": {"wall": t_tree.wall, "cpu": t_tree.cpu},
+        "bytecode": {
+            "wall": t_bc.wall,
+            "cpu": t_bc.cpu,
+            "compile_wall": t_compile.wall,
+        },
+        "speedup": speedup,
+    }
+
+
+def bench_interp_micro(
+    iters: int = _KERNEL_ITERS, runs: int = 5
+) -> List[Dict[str, object]]:
+    """Per-opcode-family timings, tree walker vs bytecode VM."""
+    rows: List[Dict[str, object]] = []
+    for family, build in KERNEL_FAMILIES.items():
+        # the vector dot body is ~8x heavier per iteration
+        n = iters // 8 if family == "vector" else iters
+        mod = build(n)
+        row: Dict[str, object] = {"family": family, "iters": n}
+        row.update(_time_engines([mod], "main", fuel=50_000_000, runs=runs))
+        if family == "vector":
+            row["vector_instrs"] = sum(
+                1
+                for fn in mod.functions.values()
+                for blk in fn.blocks.values()
+                for inst in blk.instrs
+                if inst.op.startswith("v")
+            )
+        rows.append(row)
+    return rows
+
+
+def bench_interp_workloads(
+    programs: Sequence[str] = ("telecom_gsm", "security_sha", "telecom_adpcm_c"),
+    levels: Sequence[str] = ("-O0", "-O3"),
+    runs: int = 3,
+) -> List[Dict[str, object]]:
+    """Whole-workload timings at -O0 and -O3 under both engines."""
+    from repro.cli import _load_program
+    from repro.compiler.opt_tool import run_opt
+    from repro.compiler.pipelines import pipeline
+
+    rows: List[Dict[str, object]] = []
+    for name in programs:
+        prog = _load_program(name)
+        for level in levels:
+            if level == "-O0":
+                modules = list(prog.modules)
+            else:
+                seq = pipeline(level)
+                modules = [run_opt(m, seq).module for m in prog.modules]
+            row: Dict[str, object] = {"program": name, "level": level}
+            row.update(
+                _time_engines(modules, prog.entry, fuel=prog.fuel, runs=runs)
+            )
+            rows.append(row)
+    return rows
+
+
+def bench_interp_e2e(
+    program: str = "security_sha",
+    n_measurements: int = 40,
+    seed: int = 1,
+    platform_name: str = "arm-a57",
+) -> Dict[str, object]:
+    """End-to-end measurements/sec through the :class:`Profiler`.
+
+    This is the figure that bounds tuner throughput: each measurement is
+    one full program execution plus the cycle/noise model, exactly the
+    per-search-point cost inside ``AutotuningTask.measure``.  The bytecode
+    engine path includes its compile cost (first measurement compiles,
+    the rest hit the per-module cache, as in a real tuning run).
+    """
+    from repro.cli import _load_program
+    from repro.compiler.opt_tool import run_opt
+    from repro.compiler.pipelines import pipeline
+    from repro.machine.platforms import get_platform
+    from repro.machine.profiler import Profiler
+
+    prog = _load_program(program)
+    plat = get_platform(platform_name)
+    seq = pipeline("-O3")
+    modules = [run_opt(m, seq, target=plat.target_info()).module for m in prog.modules]
+    keys = [("o3", prog.name, m.name) for m in modules]
+
+    out: Dict[str, object] = {
+        "program": program,
+        "platform": platform_name,
+        "n_measurements": n_measurements,
+        "engines": {},
+    }
+    sigs = {}
+    for engine in ("tree", "bytecode"):
+        prof = Profiler(plat, seed=seed, fuel=prog.fuel, engine=engine)
+        with _Stopwatch() as t:
+            for _ in range(n_measurements):
+                m = prof.measure(modules, entry=prog.entry, keys=keys)
+        sigs[engine] = m.output_signature()
+        out["engines"][engine] = {
+            "wall": t.wall,
+            "cpu": t.cpu,
+            "per_sec": n_measurements / t.wall if t.wall > 0 else float("inf"),
+            "bytecode_compiles": prof.bytecode_compiles,
+            "bytecode_cache_hits": prof.bytecode_cache_hits,
+        }
+    if sigs["tree"] != sigs["bytecode"]:
+        raise AssertionError(f"e2e engine mismatch: {sigs}")
+    tree_wall = out["engines"]["tree"]["wall"]
+    bc_wall = out["engines"]["bytecode"]["wall"]
+    out["speedup"] = tree_wall / bc_wall if bc_wall > 0 else float("inf")
+    return out
+
+
+def run_interp_bench(
+    program: str = "security_sha",
+    seed: int = 1,
+    n_measurements: int = 40,
+    iters: int = _KERNEL_ITERS,
+) -> Dict[str, object]:
+    """The full interpreter-suite payload (micro + workloads + e2e)."""
+    return {
+        "schema": SCHEMA_INTERP,
+        "schema_version": SCHEMA_VERSION,
+        "git_rev": git_rev(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "program": program,
+        "seed": seed,
+        "micro": bench_interp_micro(iters=iters),
+        "workloads": bench_interp_workloads(),
+        "e2e": bench_interp_e2e(
+            program=program, n_measurements=n_measurements, seed=seed
+        ),
+    }
+
+
 def write_bench(payload: Dict[str, object], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -245,30 +658,47 @@ def write_bench(payload: Dict[str, object], path: str) -> None:
 def load_bench(path: str) -> Dict[str, object]:
     with open(path) as fh:
         payload = json.load(fh)
-    if payload.get("schema") != SCHEMA:
-        raise ValueError(f"{path} is not a {SCHEMA} payload")
+    if payload.get("schema") not in SCHEMAS:
+        raise ValueError(f"{path} is not a bench payload (expected one of {SCHEMAS})")
     return payload
 
 
 def diff_bench(
     path_a: str, path_b: str, max_model_ratio: float = 1.5
 ) -> Dict[str, object]:
-    """Compare two bench payloads; ``b`` regresses if its model-side wall
-    time exceeds ``max_model_ratio`` x ``a``'s (fast path only — the
-    legacy numbers are context, not a gate)."""
+    """Compare two bench payloads of the same schema.
+
+    ``bench_surrogate``: ``b`` regresses if its model-side wall time
+    exceeds ``max_model_ratio`` x ``a``'s (fast path only — the legacy
+    numbers are context, not a gate).  ``bench_interp``: ``b`` regresses
+    if its bytecode end-to-end measurement wall time exceeds
+    ``max_model_ratio`` x ``a``'s.
+    """
     a, b = load_bench(path_a), load_bench(path_b)
-    wall_a = a["tune"]["fast"]["model_wall_seconds"]
-    wall_b = b["tune"]["fast"]["model_wall_seconds"]
+    if a.get("schema") != b.get("schema"):
+        raise ValueError(
+            f"schema mismatch: {path_a} is {a.get('schema')!r}, "
+            f"{path_b} is {b.get('schema')!r}"
+        )
+    if a.get("schema") == SCHEMA_INTERP:
+        check_name = "e2e_bytecode_wall_seconds"
+        wall_a = a["e2e"]["engines"]["bytecode"]["wall"]
+        wall_b = b["e2e"]["engines"]["bytecode"]["wall"]
+    else:
+        check_name = "model_wall_seconds"
+        wall_a = a["tune"]["fast"]["model_wall_seconds"]
+        wall_b = b["tune"]["fast"]["model_wall_seconds"]
     ratio = wall_b / wall_a if wall_a > 0 else float("inf")
     ok = ratio <= max_model_ratio
     return {
         "kind": "bench",
+        "schema": a.get("schema"),
         "run_a": path_a,
         "run_b": path_b,
         "git_rev": {"a": a.get("git_rev"), "b": b.get("git_rev")},
         "checks": [
             {
-                "name": "model_wall_seconds",
+                "name": check_name,
                 "a": wall_a,
                 "b": wall_b,
                 "ratio": ratio,
@@ -278,14 +708,16 @@ def diff_bench(
                 "skipped": False,
             }
         ],
-        "regressions": [] if ok else ["model_wall_seconds"],
+        "regressions": [] if ok else [check_name],
         "regressed": not ok,
         "ok": ok,
     }
 
 
 def summary_table(payload: Dict[str, object]) -> str:
-    """Human-readable digest of a bench payload."""
+    """Human-readable digest of a bench payload (either schema)."""
+    if payload.get("schema") == SCHEMA_INTERP:
+        return _interp_summary_table(payload)
     lines = [
         f"surrogate bench @ {str(payload.get('git_rev', '?'))[:12]} "
         f"(program={payload['program']}, budget={payload['budget']}, "
@@ -317,4 +749,39 @@ def summary_table(payload: Dict[str, object]) -> str:
             f"({legacy['gp_refits']} refits) -> "
             f"{tune['model_wall_speedup']:.1f}x model-side speedup"
         )
+    return "\n".join(lines)
+
+
+def _interp_summary_table(payload: Dict[str, object]) -> str:
+    lines = [
+        f"interp bench @ {str(payload.get('git_rev', '?'))[:12]}",
+        "",
+        f"{'kernel':<16s} {'steps':>9s} {'tree ms':>9s} {'bytecode ms':>12s} {'speedup':>8s}",
+    ]
+    for row in payload["micro"]:
+        lines.append(
+            f"{row['family']:<16s} {row['steps']:>9d} "
+            f"{row['tree']['wall'] * 1e3:>9.1f} "
+            f"{row['bytecode']['wall'] * 1e3:>12.1f} {row['speedup']:>7.1f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"{'workload':<22s} {'steps':>9s} {'tree ms':>9s} {'bytecode ms':>12s} {'speedup':>8s}"
+    )
+    for row in payload["workloads"]:
+        label = f"{row['program']} {row['level']}"
+        lines.append(
+            f"{label:<22s} {row['steps']:>9d} "
+            f"{row['tree']['wall'] * 1e3:>9.1f} "
+            f"{row['bytecode']['wall'] * 1e3:>12.1f} {row['speedup']:>7.1f}x"
+        )
+    e2e = payload["e2e"]
+    tree = e2e["engines"]["tree"]
+    bc = e2e["engines"]["bytecode"]
+    lines.append("")
+    lines.append(
+        f"end-to-end ({e2e['program']}, {e2e['n_measurements']} measurements): "
+        f"tree {tree['per_sec']:.1f}/s, bytecode {bc['per_sec']:.1f}/s "
+        f"-> {e2e['speedup']:.1f}x"
+    )
     return "\n".join(lines)

@@ -101,6 +101,7 @@ def _recorder(args: argparse.Namespace, out_dir: str, **manifest) -> RunRecorder
         "platform": getattr(args, "platform", None),
         "seq_length": getattr(args, "seq_length", None),
         "jobs": getattr(args, "jobs", None),
+        "measure_engine": getattr(args, "measure_engine", None),
         "inject_faults": getattr(args, "inject_faults", "none"),
     }
     base.update(manifest)
@@ -128,6 +129,7 @@ def _make_task(
         tracer=recorder.tracer if recorder is not None else None,
         metrics=recorder.registry if recorder is not None else None,
         metrics_every=getattr(args, "metrics_every", 0),
+        measure_engine=getattr(args, "measure_engine", "bytecode"),
     )
 
 
@@ -352,24 +354,36 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import run_bench, summary_table, write_bench
+    from repro.bench import run_bench, run_interp_bench, summary_table, write_bench
 
     log = configure_logging(args.log_level)
-    try:
-        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
-    except ValueError:
-        raise SystemExit(f"--sizes must be a comma list of ints, got {args.sizes!r}")
-    payload = run_bench(
-        program=args.program,
-        budget=args.budget,
-        seed=args.seed,
-        seq_length=args.seq_length,
-        sizes=sizes,
-        baseline=not args.no_baseline,
+    out = args.out or (
+        "BENCH_interp.json" if args.suite == "interp" else "BENCH_surrogate.json"
     )
-    write_bench(payload, args.out)
+    if args.suite == "interp":
+        payload = run_interp_bench(
+            program=args.program,
+            seed=args.seed,
+            n_measurements=args.measurements,
+        )
+    else:
+        try:
+            sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+        except ValueError:
+            raise SystemExit(
+                f"--sizes must be a comma list of ints, got {args.sizes!r}"
+            )
+        payload = run_bench(
+            program=args.program,
+            budget=args.budget,
+            seed=args.seed,
+            seq_length=args.seq_length,
+            sizes=sizes,
+            baseline=not args.no_baseline,
+        )
+    write_bench(payload, out)
     log.info(summary_table(payload))
-    log.info(f"\nwrote {args.out}")
+    log.info(f"\nwrote {out}")
     return 0
 
 
@@ -439,6 +453,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--compile-cache-size", type=int, default=2048,
         help="bounded LRU compilation cache entries (0 disables)",
     )
+    tune.add_argument(
+        "--measure-engine", choices=["tree", "bytecode"], default="bytecode",
+        help="measurement backend: the flat register-bytecode VM (default) "
+        "or the reference tree-walking interpreter; results are "
+        "bit-identical either way",
+    )
     _add_fault_flags(tune)
     _add_obs_flags(tune)
     tune.set_defaults(func=_cmd_tune)
@@ -460,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--jobs", type=_positive_int, default=1)
     compare.add_argument("--compile-cache-size", type=int, default=2048)
+    compare.add_argument(
+        "--measure-engine", choices=["tree", "bytecode"], default="bytecode",
+        help="measurement backend (see `tune --measure-engine`)",
+    )
     _add_fault_flags(compare)
     _add_obs_flags(compare)
     compare.set_defaults(func=_cmd_compare)
@@ -482,7 +506,14 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="time the surrogate hot path (fit/extend/predict/coverage at "
         "several dataset sizes plus a seeded end-to-end tune, fast vs "
-        "legacy model path) and write a diffable JSON payload",
+        "legacy model path) and write a diffable JSON payload; "
+        "`--suite interp` instead times the measurement engine (tree "
+        "walker vs bytecode VM, micro kernels + workloads + "
+        "measurements/sec)",
+    )
+    bench.add_argument(
+        "--suite", choices=["surrogate", "interp"], default="surrogate",
+        help="which benchmark suite to run (default surrogate)",
     )
     bench.add_argument("--program", default="security_sha")
     bench.add_argument("--budget", type=int, default=100)
@@ -490,11 +521,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seq-length", type=int, default=16)
     bench.add_argument(
         "--sizes", default="64,256,512", metavar="N,N,...",
-        help="dataset sizes for the micro benchmarks (default 64,256,512)",
+        help="dataset sizes for the surrogate micro benchmarks "
+        "(default 64,256,512)",
     )
     bench.add_argument(
-        "--out", default="BENCH_surrogate.json", metavar="FILE",
-        help="JSON payload path (default BENCH_surrogate.json)",
+        "--measurements", type=int, default=40, metavar="N",
+        help="end-to-end measurement count for the interp suite (default 40)",
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="JSON payload path (default BENCH_surrogate.json or "
+        "BENCH_interp.json per --suite)",
     )
     bench.add_argument(
         "--no-baseline", action="store_true",

@@ -129,7 +129,10 @@ def _simplify_instr(inst: Instr, defs: Dict[str, Instr]) -> Optional[Operand]:
         if isinstance(a, Const) and isinstance(b, Const):
             from repro.machine.interp import _icmp
 
-            return Const(1 if _icmp(inst.attrs["pred"], a.value, b.value) else 0, inst.ty)
+            bits = a.ty.bits or 64
+            return Const(
+                1 if _icmp(inst.attrs["pred"], a.value, b.value, bits) else 0, inst.ty
+            )
         if isinstance(a, str) and a == b:
             return Const(1 if inst.attrs["pred"] in ("eq", "sle", "sge", "ule", "uge") else 0, inst.ty)
     elif op == "select":

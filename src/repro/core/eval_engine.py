@@ -519,6 +519,32 @@ class CompileEngine:
             raise CompileError(failed)
         return [o.value for o in results]
 
+    def compile_configs(
+        self,
+        configs: Sequence[Dict[str, Sequence[int]]],
+        outcomes: bool = True,
+    ) -> List[Dict[str, object]]:
+        """Compile many per-module configurations in ONE batch dispatch.
+
+        Flattens every ``{module_name: sequence}`` mapping into a single
+        :meth:`compile_batch` call — duplicates across configurations are
+        deduped by the batch's pending-key machinery and the whole
+        population pays one pool dispatch — then regroups the results per
+        configuration, preserving each config's key order."""
+        flat: List[Tuple[str, Sequence[int]]] = []
+        spans: List[Tuple[int, List[str]]] = []
+        for cfg in configs:
+            names = list(cfg.keys())
+            spans.append((len(flat), names))
+            flat.extend((name, cfg[name]) for name in names)
+        flat_results = self.compile_batch(flat, outcomes=outcomes)
+        grouped: List[Dict[str, object]] = []
+        for start, names in spans:
+            grouped.append(
+                {name: flat_results[start + i] for i, name in enumerate(names)}
+            )
+        return grouped
+
     def _run_with_timeout(
         self, worker: Callable, work: List[Tuple[str, Sequence[int]]]
     ) -> List[Tuple[str, object, str, int, float, float]]:

@@ -150,7 +150,12 @@ class TuningResult:
         result.best_config = {
             m: tuple(s) for m, s in (data.get("best_config") or {}).items()
         }
-        result.timing = {k: _float(v) for k, v in (data.get("timing") or {}).items()}
+        # timing is mostly numeric, but carries the odd annotation string
+        # (e.g. ``measure_engine``) — keep those verbatim
+        result.timing = {
+            k: v if isinstance(v, str) and v not in ("inf", "-inf", "nan") else _float(v)
+            for k, v in (data.get("timing") or {}).items()
+        }
         result.extras = dict(data.get("extras") or {})
         for m in data.get("measurements") or []:
             result.measurements.append(

@@ -69,6 +69,7 @@ class AutotuningTask:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         metrics_every: int = 0,
+        measure_engine: str = "bytecode",
     ) -> None:
         """``objective``: ``"runtime"`` (the paper's focus) or ``"codesize"``
         (the simpler static objective discussed in §1 — evaluated without
@@ -100,14 +101,27 @@ class AutotuningTask:
         measurements.  Defaults are the disabled
         :data:`~repro.obs.trace.NULL_TRACER` and a private registry —
         tracing consumes no RNG, so instrumented and uninstrumented runs
-        produce bit-identical tuner histories at the same seed."""
+        produce bit-identical tuner histories at the same seed.
+
+        ``measure_engine`` selects the execution backend for measurements:
+        ``"bytecode"`` (default) runs the flat register VM with a per-module
+        bytecode cache keyed by the compile-cache config signature;
+        ``"tree"`` runs the reference tree-walking interpreter.  Both are
+        bit-identical in results and RNG consumption, so tuner histories do
+        not depend on the engine."""
         if objective not in ("runtime", "codesize"):
             raise ValueError(f"unknown objective {objective!r}")
         self.objective = objective
         self.program = program
         self.platform: Platform = get_platform(platform)
         self.target = self.platform.target_info()
-        self.profiler = Profiler(self.platform, seed=as_generator(seed), fuel=program.fuel)
+        self.measure_engine = measure_engine
+        self.profiler = Profiler(
+            self.platform,
+            seed=as_generator(seed),
+            fuel=program.fuel,
+            engine=measure_engine,
+        )
         self.passes: List[str] = list(passes) if passes is not None else list(SEARCH_PASSES)
         self.seq_length = seq_length
         self.repeats = repeats
@@ -284,15 +298,40 @@ class AutotuningTask:
         return self._o3_stats[module_name]
 
     # -- expensive measurement ------------------------------------------------------
+    def _bytecode_keys(
+        self,
+        compiled: Dict[str, Module],
+        sequences: Optional[Dict[str, Tuple[str, ...]]],
+    ) -> List[object]:
+        """Per-module bytecode-cache keys for the linked module list.
+
+        -O3 defaults get a stable per-program key; candidate modules are
+        keyed by their compile-cache config signature when known, falling
+        back to object identity (safe: the profiler cache holds a strong
+        reference to the keyed module)."""
+        keys: List[object] = []
+        for m in self.program.modules:
+            if m.name not in compiled:
+                keys.append(("o3", self.program.name, m.name))
+            elif sequences is not None and m.name in sequences:
+                keys.append(("cfg", m.name, sequences[m.name]))
+            else:
+                keys.append(None)
+        return keys
+
     def measure(
         self,
         compiled: Dict[str, Module],
         config_key: Optional[Tuple] = None,
+        sequences: Optional[Dict[str, Tuple[str, ...]]] = None,
     ) -> Tuple[float, bool]:
         """Link ``compiled`` modules over the -O3 defaults and measure.
 
         Modules not present in ``compiled`` use their -O3 binary (the
         default for non-hot modules).  Returns ``(seconds, outputs_ok)``.
+        ``sequences`` (module name -> decoded pass tuple) keys the bytecode
+        engine's compile cache so revisited configurations skip bytecode
+        compilation.
 
         A binary that crashes or exhausts its fuel during execution
         (``InterpError``/``FuelExhausted`` — rare pass orders really do
@@ -312,22 +351,26 @@ class AutotuningTask:
             return value, ok
         t0 = time.perf_counter()
         with self.tracer.span(
-            "measure", modules=len(compiled), repeats=self.repeats
+            "measure",
+            modules=len(compiled),
+            repeats=self.repeats,
+            engine=self.measure_engine,
         ) as sp:
             linked = [
                 compiled.get(m.name, self._o3_modules[m.name])
                 for m in self.program.modules
             ]
+            keys = self._bytecode_keys(compiled, sequences)
             failure = ""
             try:
                 if self.objective == "codesize":
                     value = float(sum(mod.num_instrs() for mod in linked))
                     ok = True
                     if self.check_outputs:  # still verify semantics once
-                        result = self.profiler.execute(linked)
+                        result = self.profiler.execute(linked, keys=keys)
                         ok = result.output_signature() == self._reference_sig
                 else:
-                    m = self.profiler.measure(linked, repeats=self.repeats)
+                    m = self.profiler.measure(linked, repeats=self.repeats, keys=keys)
                     value = m.seconds
                     ok = True
                     if self.check_outputs:
@@ -373,7 +416,36 @@ class AutotuningTask:
                 return self.penalty_runtime, False
             compiled[name], _stats = outcome.value
         key = tuple(sorted((n, tuple(int(i) for i in s)) for n, s in config.items()))
-        return self.measure(compiled, config_key=key)
+        sequences = {n: tuple(self.decode(s)) for n, s in config.items()}
+        return self.measure(compiled, config_key=key, sequences=sequences)
+
+    def measure_batch(
+        self, configs: Sequence[Dict[str, Sequence[int]]]
+    ) -> List[Tuple[float, bool]]:
+        """Measure many configurations with ONE compile-engine dispatch.
+
+        All candidates across all configurations are flattened into a single
+        ``compile_batch`` call — one pool dispatch amortises pickling and
+        worker warm-up over the whole population, and the engine dedups
+        repeated (module, sequence) pairs across configurations.
+        Measurements then run in input order, so results (and the seeded
+        noise stream) are bit-identical to calling :meth:`measure_config`
+        in a loop."""
+        grouped = self.engine.compile_configs(configs, outcomes=True)
+        results: List[Tuple[float, bool]] = []
+        for config, outcomes in zip(configs, grouped):
+            bad = next((o for o in outcomes.values() if not o.ok), None)
+            if bad is not None:
+                self.last_failure = bad.status
+                results.append((self.penalty_runtime, False))
+                continue
+            compiled = {name: o.value[0] for name, o in outcomes.items()}
+            key = tuple(
+                sorted((n, tuple(int(i) for i in s)) for n, s in config.items())
+            )
+            sequences = {n: tuple(self.decode(s)) for n, s in config.items()}
+            results.append(self.measure(compiled, config_key=key, sequences=sequences))
+        return results
 
     def timing_breakdown(self) -> Dict[str, float]:
         """Compile/measure time and counts (Fig 5.12).
@@ -402,4 +474,7 @@ class AutotuningTask:
             "quarantine_hits": self.engine.quarantine_hits,
             "measure_crashes": self.n_crashes,
             "measure_incorrect": self.n_incorrect,
+            "measure_engine": self.measure_engine,
+            "bytecode_compiles": self.profiler.bytecode_compiles,
+            "bytecode_cache_hits": self.profiler.bytecode_cache_hits,
         }

@@ -1,18 +1,23 @@
-"""Execution substrate: IR interpreter, platform cost models, noisy profiler."""
+"""Execution substrate: IR interpreter, bytecode VM, cost models, profiler."""
 
 from repro.machine.interp import ExecutionResult, Interpreter, run_program
+from repro.machine.bytecode import BytecodeVM, compile_module, run_bytecode
 from repro.machine.platforms import PLATFORMS, Platform, get_platform
 from repro.machine.cost_model import estimate_cycles
-from repro.machine.profiler import Profiler, FunctionProfile
+from repro.machine.profiler import MEASURE_ENGINES, Profiler, FunctionProfile
 
 __all__ = [
     "ExecutionResult",
     "Interpreter",
     "run_program",
+    "BytecodeVM",
+    "compile_module",
+    "run_bytecode",
     "Platform",
     "PLATFORMS",
     "get_platform",
     "estimate_cycles",
+    "MEASURE_ENGINES",
     "Profiler",
     "FunctionProfile",
 ]

@@ -26,7 +26,7 @@ class InterpError(RuntimeError):
 
 
 class FuelExhausted(InterpError):
-    """Raised when the execution步 budget is exceeded (runaway loop guard)."""
+    """Raised when the execution step budget is exceeded (runaway loop guard)."""
 
 
 def _wrap(value: int, bits: int) -> int:
@@ -89,19 +89,25 @@ class Interpreter:
         self.mem: Dict[int, Union[int, float]] = {}
         self._brk = 0x1000
         self._global_addr: Dict[str, int] = {}
-        self._bits_cache: Dict[int, Dict[str, int]] = {}
+        # keyed by (module name, function name): id(fn) can alias a stale
+        # entry if a Function is garbage-collected and its id reused
+        self._bits_cache: Dict[Tuple[str, str], Dict[str, int]] = {}
         self._materialise_globals()
 
-    def _src_bits(self, frame: "_Frame", inst: Instr) -> int:
-        """Bit width of a cast's source operand, cached per function."""
-        src = inst.args[0]
-        if isinstance(src, Const):
-            return src.ty.bits or 64
-        cache = self._bits_cache.get(id(frame.fn))
+    def _operand_bits(self, frame: "_Frame", operand) -> int:
+        """Bit width of an operand's (element) type, cached per function."""
+        if isinstance(operand, Const):
+            return _scalar_bits(operand.ty)
+        key = (frame.module.name, frame.fn.name)
+        cache = self._bits_cache.get(key)
         if cache is None:
             cache = _build_bits_map(frame.fn)
-            self._bits_cache[id(frame.fn)] = cache
-        return cache.get(src, 64)
+            self._bits_cache[key] = cache
+        return cache.get(operand, 64)
+
+    def _src_bits(self, frame: "_Frame", inst: Instr) -> int:
+        """Bit width of a cast's source operand."""
+        return self._operand_bits(frame, inst.args[0])
 
     # -- memory ------------------------------------------------------------
     def _alloc(self, nbytes: int) -> int:
@@ -135,7 +141,16 @@ class Interpreter:
 
     # -- entry point ---------------------------------------------------------
     def run(self, entry: str = "main", args: Tuple = ()) -> ExecutionResult:
-        """Execute ``entry`` and return outputs, counts and step total."""
+        """Execute ``entry`` and return outputs, counts and step total.
+
+        Each call is an independent execution: simulated memory, the bump
+        allocator and global initialisation are reset, so repeated runs of
+        the same interpreter are bit-identical.
+        """
+        self.mem = {}
+        self._brk = 0x1000
+        self._global_addr = {}
+        self._materialise_globals()
         self.outputs: List[Union[int, float]] = []
         self.block_counts: Dict[Tuple[str, str, str], int] = {}
         self._steps = 0
@@ -256,11 +271,16 @@ class Interpreter:
         elif op == "icmp":
             a = self._value(frame, inst.args[0])
             b = self._value(frame, inst.args[1])
-            frame.env[inst.res] = 1 if _icmp(inst.attrs["pred"], a, b) else 0
+            pred = inst.attrs["pred"]
+            if pred in _UNSIGNED_PREDS:
+                bits = self._operand_bits(frame, inst.args[0])
+                frame.env[inst.res] = 1 if _icmp(pred, a, b, bits) else 0
+            else:
+                frame.env[inst.res] = 1 if _icmp(pred, a, b) else 0
         elif op == "fcmp":
             a = self._value(frame, inst.args[0])
             b = self._value(frame, inst.args[1])
-            frame.env[inst.res] = 1 if _icmp(inst.attrs["pred"], a, b) else 0
+            frame.env[inst.res] = 1 if _fcmp(inst.attrs["pred"], a, b) else 0
         elif op == "select":
             cond = self._value(frame, inst.args[0])
             frame.env[inst.res] = self._value(frame, inst.args[1 if cond else 2])
@@ -403,29 +423,81 @@ def _float_bin(op: str, a: float, b: float) -> float:
     raise InterpError(f"unknown float op {op!r}")
 
 
-def _icmp(pred: str, a, b) -> bool:
+_UNSIGNED_PREDS = frozenset({"ult", "ule", "ugt", "uge"})
+
+
+def _icmp(pred: str, a, b, bits: int = 64) -> bool:
     if pred == "eq":
         return a == b
     if pred == "ne":
         return a != b
-    if pred in ("slt", "ult"):
+    if pred == "slt":
         return a < b
-    if pred in ("sle", "ule"):
+    if pred == "sle":
         return a <= b
-    if pred in ("sgt", "ugt"):
+    if pred == "sgt":
         return a > b
-    if pred in ("sge", "uge"):
+    if pred == "sge":
+        return a >= b
+    if pred in _UNSIGNED_PREDS:
+        # values are stored signed at their declared width; unsigned
+        # predicates compare the two's-complement reinterpretation
+        if isinstance(a, tuple):
+            a = tuple(_to_unsigned(x, bits) for x in a)
+            b = tuple(_to_unsigned(x, bits) for x in b)
+        else:
+            a = _to_unsigned(a, bits)
+            b = _to_unsigned(b, bits)
+        if pred == "ult":
+            return a < b
+        if pred == "ule":
+            return a <= b
+        if pred == "ugt":
+            return a > b
         return a >= b
     raise InterpError(f"unknown predicate {pred!r}")
+
+
+_FCMP_PREDS = frozenset({"eq", "ne", "slt", "sle", "sgt", "sge"})
+
+
+def _fcmp(pred: str, a, b) -> bool:
+    """Float compare with ordered semantics: any NaN operand compares false."""
+    if pred not in _FCMP_PREDS:
+        if pred in _UNSIGNED_PREDS:
+            raise InterpError(f"fcmp does not support predicate {pred!r}")
+        raise InterpError(f"unknown predicate {pred!r}")
+    if a != a or b != b:  # unordered: at least one NaN
+        return False
+    if pred == "eq":
+        return a == b
+    if pred == "ne":
+        return a != b
+    if pred == "slt":
+        return a < b
+    if pred == "sle":
+        return a <= b
+    if pred == "sgt":
+        return a > b
+    return a >= b
+
+
+def _scalar_bits(ty: Optional[Type]) -> int:
+    """Element bit width of a value of type ``ty`` (64 when unknown)."""
+    if ty is None:
+        return 64
+    if ty.is_vec:
+        return ty.elem.bits or 64
+    return ty.bits or 64
 
 
 def _build_bits_map(fn: Function) -> Dict[str, int]:
     out: Dict[str, int] = {}
     for pname, pty in fn.params:
-        out[pname] = pty.bits or 64
+        out[pname] = _scalar_bits(pty)
     for inst in fn.instructions():
         if inst.res is not None:
-            out[inst.res] = inst.ty.bits or 64
+            out[inst.res] = _scalar_bits(inst.ty)
     return out
 
 

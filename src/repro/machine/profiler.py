@@ -14,18 +14,22 @@ callees), aggregated by module.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.compiler.ir import Module
+from repro.machine.bytecode import BytecodeModule, BytecodeVM, compile_module
 from repro.machine.cost_model import block_cycles, estimate_cycles
 from repro.machine.interp import ExecutionResult, Interpreter
 from repro.machine.platforms import Platform
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["Measurement", "FunctionProfile", "Profiler"]
+__all__ = ["Measurement", "FunctionProfile", "Profiler", "MEASURE_ENGINES"]
+
+MEASURE_ENGINES = ("tree", "bytecode")
 
 
 @dataclass
@@ -63,18 +67,83 @@ class FunctionProfile:
 
 
 class Profiler:
-    """Executes linked modules on a simulated platform."""
+    """Executes linked modules on a simulated platform.
 
-    def __init__(self, platform: Platform, seed: SeedLike = None, fuel: int = 5_000_000) -> None:
+    ``engine`` selects the execution backend: ``"bytecode"`` (default)
+    compiles modules once to the flat register VM and caches the compiled
+    form; ``"tree"`` keeps the reference tree-walker (the differential
+    oracle).  Both produce bit-identical :class:`ExecutionResult`s, so the
+    seeded noise stream — and therefore every measurement — is engine
+    independent.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        seed: SeedLike = None,
+        fuel: int = 5_000_000,
+        engine: str = "bytecode",
+        bytecode_cache_size: int = 256,
+    ) -> None:
+        if engine not in MEASURE_ENGINES:
+            raise ValueError(f"unknown measure engine {engine!r}, expected one of {MEASURE_ENGINES}")
         self.platform = platform
         self.rng = as_generator(seed)
         self.fuel = fuel
+        self.engine = engine
+        # key -> (module strong ref, compiled form); the strong reference
+        # keeps id()-derived fallback keys from aliasing after GC
+        self._bc_cache: "OrderedDict[object, Tuple[Module, BytecodeModule]]" = OrderedDict()
+        self._bc_cache_size = bytecode_cache_size
+        self.bytecode_compiles = 0
+        self.bytecode_cache_hits = 0
+
+    # -- bytecode compilation cache -------------------------------------------
+    def bytecode_for(self, module: Module, key: object = None) -> BytecodeModule:
+        """Compiled form of ``module``, cached under ``key``.
+
+        Callers that compile modules per pass-sequence (the autotuning task)
+        pass the PR 1 config signature ``(module name, decoded sequence)`` so
+        re-measured configurations skip recompilation; with no key the cache
+        falls back to object identity.
+        """
+        k = key if key is not None else ("id", id(module))
+        entry = self._bc_cache.get(k)
+        if entry is not None:
+            self._bc_cache.move_to_end(k)
+            self.bytecode_cache_hits += 1
+            return entry[1]
+        bc = compile_module(module)
+        self.bytecode_compiles += 1
+        self._bc_cache[k] = (module, bc)
+        while len(self._bc_cache) > self._bc_cache_size:
+            self._bc_cache.popitem(last=False)
+        return bc
+
+    def _execute(
+        self,
+        modules: List[Module],
+        entry: str,
+        keys: Optional[Sequence[object]] = None,
+    ) -> ExecutionResult:
+        if self.engine == "tree":
+            return Interpreter(modules, fuel=self.fuel).run(entry)
+        bcs = [
+            self.bytecode_for(m, keys[i] if keys is not None else None)
+            for i, m in enumerate(modules)
+        ]
+        return BytecodeVM(bcs, fuel=self.fuel).run(entry)
 
     # -- runtime measurement -------------------------------------------------
-    def measure(self, modules: List[Module], repeats: int = 3, entry: str = "main") -> Measurement:
+    def measure(
+        self,
+        modules: List[Module],
+        repeats: int = 3,
+        entry: str = "main",
+        keys: Optional[Sequence[object]] = None,
+    ) -> Measurement:
         """Run the program and return an averaged noisy runtime."""
-        interp = Interpreter(modules, fuel=self.fuel)
-        result = interp.run(entry)
+        result = self._execute(modules, entry, keys)
         cycles = estimate_cycles(modules, result.block_counts, self.platform)
         base_seconds = cycles / (self.platform.ghz * 1e9)
         samples = base_seconds * (
@@ -82,15 +151,19 @@ class Profiler:
         )
         return Measurement(float(np.mean(np.abs(samples))), cycles, result)
 
-    def execute(self, modules: List[Module], entry: str = "main") -> ExecutionResult:
+    def execute(
+        self,
+        modules: List[Module],
+        entry: str = "main",
+        keys: Optional[Sequence[object]] = None,
+    ) -> ExecutionResult:
         """Noise-free execution (used by differential testing)."""
-        return Interpreter(modules, fuel=self.fuel).run(entry)
+        return self._execute(modules, entry, keys)
 
     # -- perf-like profiling --------------------------------------------------
     def function_profile(self, modules: List[Module], entry: str = "main") -> FunctionProfile:
         """Perf-like self-time profile per function and module."""
-        interp = Interpreter(modules, fuel=self.fuel)
-        result = interp.run(entry)
+        result = self._execute(modules, entry)
         fn_seconds: Dict[Tuple[str, str], float] = {}
         cost_cache: Dict[Tuple[str, str], Dict[str, float]] = {}
         fn_index = {}

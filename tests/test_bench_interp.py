@@ -1,0 +1,83 @@
+"""The interpreter bench suite: payload shape and the ``repro diff`` gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    SCHEMA_INTERP,
+    KERNEL_FAMILIES,
+    bench_interp_micro,
+    diff_bench,
+    load_bench,
+)
+
+
+def test_micro_covers_all_families_with_parity():
+    rows = bench_interp_micro(iters=200, runs=1)
+    assert {r["family"] for r in rows} == set(KERNEL_FAMILIES)
+    for row in rows:
+        # _time_engines raises on any engine divergence, so reaching here
+        # means every family ran bit-identically on both engines
+        assert row["steps"] > 0
+        assert row["tree"]["wall"] >= 0.0
+        assert row["bytecode"]["wall"] >= 0.0
+    vec_row = next(r for r in rows if r["family"] == "vector")
+    assert vec_row["vector_instrs"] > 0  # the SLP kernel really vectorized
+
+
+def _interp_payload(bc_wall):
+    return {
+        "schema": SCHEMA_INTERP,
+        "schema_version": 1,
+        "git_rev": "test",
+        "e2e": {"engines": {"bytecode": {"wall": bc_wall}}},
+    }
+
+
+def test_diff_gates_on_bytecode_e2e_wall(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(_interp_payload(1.0)))
+    b.write_text(json.dumps(_interp_payload(1.2)))
+    verdict = diff_bench(str(a), str(b), max_model_ratio=1.5)
+    assert verdict["ok"] and not verdict["regressed"]
+    assert verdict["checks"][0]["name"] == "e2e_bytecode_wall_seconds"
+
+    b.write_text(json.dumps(_interp_payload(2.0)))
+    verdict = diff_bench(str(a), str(b), max_model_ratio=1.5)
+    assert verdict["regressed"]
+    assert verdict["regressions"] == ["e2e_bytecode_wall_seconds"]
+
+
+def test_diff_rejects_schema_mismatch(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(_interp_payload(1.0)))
+    b.write_text(
+        json.dumps(
+            {
+                "schema": SCHEMA,
+                "tune": {"fast": {"model_wall_seconds": 1.0}},
+            }
+        )
+    )
+    with pytest.raises(ValueError, match="schema mismatch"):
+        diff_bench(str(a), str(b))
+
+
+def test_load_bench_rejects_unknown_schema(tmp_path):
+    p = tmp_path / "x.json"
+    p.write_text(json.dumps({"schema": "something_else"}))
+    with pytest.raises(ValueError, match="not a bench payload"):
+        load_bench(str(p))
+
+
+def test_committed_payload_loads():
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "BENCH_interp.json")
+    payload = load_bench(path)
+    assert payload["schema"] == SCHEMA_INTERP
+    assert payload["e2e"]["speedup"] >= 3.0

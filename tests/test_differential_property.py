@@ -15,7 +15,8 @@ from hypothesis import strategies as st
 from repro.compiler.opt_tool import run_opt
 from repro.compiler.pipelines import SEARCH_PASSES, pipeline
 from repro.compiler.verify import verify_module
-from repro.machine.interp import run_program
+from repro.machine.bytecode import run_bytecode
+from repro.machine.interp import FuelExhausted, InterpError, run_program
 from repro.workloads import cbench_program, random_program
 
 _SETTINGS = dict(
@@ -79,3 +80,74 @@ def test_pipeline_levels_on_random_programs(level):
 def test_repeated_o3_idempotent_semantics():
     program = cbench_program("security_sha")
     _apply_and_compare(program, pipeline("-O3") * 3)
+
+
+# ---------------------------------------------------------------------------
+# tree walker == bytecode VM (the measurement-engine equivalence property)
+# ---------------------------------------------------------------------------
+
+def _engine_outcome(runner, modules, entry, fuel):
+    """Full observable outcome: result fingerprint or (error kind, message)."""
+    try:
+        res = runner(modules, entry, fuel=fuel)
+    except FuelExhausted as exc:  # noqa: B904 - outcome, not re-raise
+        return ("fuel", str(exc))
+    except InterpError as exc:
+        return ("err", str(exc))
+    except KeyError as exc:
+        return ("key", str(exc))
+    return ("ok", res.output_signature(), tuple(sorted(res.block_counts.items())),
+            res.steps)
+
+
+def _compare_engines(modules, entry, fuel):
+    tree = _engine_outcome(run_program, modules, entry, fuel)
+    bc = _engine_outcome(run_bytecode, modules, entry, fuel)
+    assert tree == bc, f"engines diverge (fuel={fuel}):\n tree={tree}\n   bc={bc}"
+
+
+@given(
+    prog_seed=st.integers(0, 10**6),
+    seq_seed=st.integers(0, 10**6),
+)
+@settings(**_SETTINGS)
+def test_tree_bytecode_equivalence_random(prog_seed, seq_seed):
+    """Compiled programs execute bit-identically on both engines."""
+    program = random_program(seed=prog_seed, n_modules=1)
+    rng = np.random.default_rng(seq_seed)
+    length = int(rng.integers(1, 25))
+    sequence = [SEARCH_PASSES[i] for i in rng.integers(0, len(SEARCH_PASSES), length)]
+    linked = [run_opt(mod, sequence).module for mod in program.modules]
+    _compare_engines(linked, program.entry, program.fuel)
+
+
+@given(
+    prog_seed=st.integers(0, 10**6),
+    fuel=st.integers(0, 3000),
+)
+@settings(**_SETTINGS)
+def test_tree_bytecode_equivalence_fuel_starved(prog_seed, fuel):
+    """Error parity: FuelExhausted trips at the same step, same message."""
+    program = random_program(seed=prog_seed, n_modules=1)
+    _compare_engines(list(program.modules), program.entry, fuel)
+
+
+def test_tree_bytecode_equivalence_200_pairs():
+    """The ISSUE acceptance sweep: >= 200 deterministic (program, pipeline)
+    pairs agree across engines, including O0 (un-normalised IR)."""
+    rng = np.random.default_rng(20260808)
+    n_pairs = 0
+    for prog_seed in range(50):
+        program = random_program(seed=9000 + prog_seed, n_modules=2)
+        sequences = [[]]  # -O0
+        for _ in range(3):
+            length = int(rng.integers(1, 20))
+            sequences.append(
+                [SEARCH_PASSES[i]
+                 for i in rng.integers(0, len(SEARCH_PASSES), length)]
+            )
+        for sequence in sequences:
+            linked = [run_opt(mod, sequence).module for mod in program.modules]
+            _compare_engines(linked, program.entry, program.fuel)
+            n_pairs += 1
+    assert n_pairs >= 200
