@@ -80,9 +80,10 @@ class BaseTuner:
         task = self.task
         full_config = {m: tuple(task.decode(s)) for m, s in self._best_seq.items()}
         full_config[module] = tuple(task.decode(seq))
+        idx = len(result.measurements)
         result.measurements.append(
             Measurement(
-                index=len(result.measurements),
+                index=idx,
                 module=module,
                 sequence=tuple(task.decode(seq)),
                 runtime=runtime if ok else float("inf"),
@@ -91,6 +92,17 @@ class BaseTuner:
                 sequences=full_config,
                 status=status,
             )
+        )
+        task.wal_slot(
+            {
+                "index": idx,
+                "module": module,
+                "winner": self.name,
+                "sequences": {n: list(s) for n, s in full_config.items()},
+                "runtime": runtime if ok else float("inf"),
+                "correct": ok,
+                "status": status,
+            }
         )
 
     # -- driver ---------------------------------------------------------------------
@@ -111,7 +123,7 @@ class BaseTuner:
             o3_runtime=task.o3_runtime,
             o0_runtime=task.o0_runtime,
         )
-        while len(result.measurements) < budget:
+        while len(result.measurements) < budget and not task.stop_requested:
             # every tuner starts from the default configuration: one O3-seeded
             # measurement per hot module (standard autotuning practice)
             with tracer.span(
@@ -152,6 +164,9 @@ class BaseTuner:
             else:
                 # infeasible: penalty feedback, incumbent untouched
                 self.observe(module, seq, task.penalty_runtime)
+        if len(result.measurements) < budget:
+            # stopped early (graceful SIGINT/SIGTERM): partial but valid
+            result.extras["interrupted"] = True
         result.best_config = {m: tuple(task.decode(s)) for m, s in self._best_seq.items()}
         result.timing = dict(task.timing_breakdown())
         return result

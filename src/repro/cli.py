@@ -24,9 +24,13 @@ artifacts — ``manifest.json``, ``events.jsonl``, ``metrics.json``,
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import os
+import signal
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional
 
 from repro import (
     AutotuningTask,
@@ -46,19 +50,30 @@ from repro.obs import RunRecorder, configure_logging
 __all__ = ["main"]
 
 _TUNERS = {
-    "citroen": lambda task, seed, diagnostics=True: Citroen(
-        task, seed=seed, diagnostics=diagnostics
+    "citroen": lambda task, seed, diagnostics=True, pass_prior=None: Citroen(
+        task, seed=seed, diagnostics=diagnostics, pass_prior=pass_prior
     ),
-    "random": lambda task, seed, diagnostics=True: RandomSearchTuner(task, seed=seed),
-    "ga": lambda task, seed, diagnostics=True: GATuner(task, seed=seed),
-    "ensemble": lambda task, seed, diagnostics=True: EnsembleTuner(task, seed=seed),
-    "boca": lambda task, seed, diagnostics=True: BOCATuner(task, seed=seed),
+    "random": lambda task, seed, diagnostics=True, pass_prior=None: RandomSearchTuner(
+        task, seed=seed
+    ),
+    "ga": lambda task, seed, diagnostics=True, pass_prior=None: GATuner(
+        task, seed=seed
+    ),
+    "ensemble": lambda task, seed, diagnostics=True, pass_prior=None: EnsembleTuner(
+        task, seed=seed
+    ),
+    "boca": lambda task, seed, diagnostics=True, pass_prior=None: BOCATuner(
+        task, seed=seed
+    ),
 }
 
 
-def _build_tuner(name: str, task, args: argparse.Namespace):
+def _build_tuner(name: str, task, args: argparse.Namespace, pass_prior=None):
     return _TUNERS[name](
-        task, args.seed, diagnostics=not getattr(args, "no_diagnostics", False)
+        task,
+        args.seed,
+        diagnostics=not getattr(args, "no_diagnostics", False),
+        pass_prior=pass_prior,
     )
 
 
@@ -92,24 +107,60 @@ def _trace_dir(args: argparse.Namespace) -> Optional[str]:
     return getattr(args, "trace_out", None) or os.environ.get("REPRO_TRACE") or None
 
 
-def _recorder(args: argparse.Namespace, out_dir: str, **manifest) -> RunRecorder:
+#: manifest keys that fully parameterize a tune; ``--resume`` restores every
+#: one of them onto the argparse namespace so the re-executed loop is
+#: configured bit-identically to the killed run (manifest wins over flags)
+_MANIFEST_ARGS = (
+    "program",
+    "budget",
+    "seed",
+    "platform",
+    "seq_length",
+    "jobs",
+    "measure_engine",
+    "inject_faults",
+    "compile_cache_size",
+    "fault_rate",
+    "fault_seed",
+    "fault_hang_seconds",
+    "compile_timeout",
+    "metrics_every",
+    "tuner",
+    "prior_bank",
+)
+
+
+def _recorder(
+    args: argparse.Namespace, out_dir: str, resume: bool = False, **manifest
+) -> RunRecorder:
     base = {
         "command": args.command,
-        "program": getattr(args, "program", None),
-        "budget": getattr(args, "budget", None),
-        "seed": getattr(args, "seed", None),
-        "platform": getattr(args, "platform", None),
-        "seq_length": getattr(args, "seq_length", None),
-        "jobs": getattr(args, "jobs", None),
-        "measure_engine": getattr(args, "measure_engine", None),
         "inject_faults": getattr(args, "inject_faults", "none"),
     }
+    for key in _MANIFEST_ARGS:
+        base.setdefault(key, getattr(args, key, None))
     base.update(manifest)
-    return RunRecorder(out_dir, manifest=base)
+    return RunRecorder(out_dir, manifest=base, resume=resume)
+
+
+def _apply_manifest(args: argparse.Namespace, manifest: Dict[str, object]) -> None:
+    """Overlay a resumed run's manifest onto the CLI namespace.
+
+    The manifest is the ground truth for every search-shaping parameter —
+    a resume invoked with different flags would silently diverge from the
+    WAL, so recorded values win; keys an older manifest lacks keep the
+    current defaults (the resume then only succeeds if those defaults
+    match what the run actually used)."""
+    for key in _MANIFEST_ARGS:
+        if manifest.get(key) is not None:
+            setattr(args, key, manifest[key])
 
 
 def _make_task(
-    args: argparse.Namespace, program_name: str, recorder: Optional[RunRecorder] = None
+    args: argparse.Namespace,
+    program_name: str,
+    recorder: Optional[RunRecorder] = None,
+    wal=None,
 ):
     injector = _fault_injector(args)
     compile_timeout = args.compile_timeout
@@ -130,6 +181,8 @@ def _make_task(
         metrics=recorder.registry if recorder is not None else None,
         metrics_every=getattr(args, "metrics_every", 0),
         measure_engine=getattr(args, "measure_engine", "bytecode"),
+        wal=wal,
+        kill_after_iter=getattr(args, "kill_after_iter", None),
     )
 
 
@@ -143,22 +196,157 @@ def _load_program(name: str):
     )
 
 
+@contextlib.contextmanager
+def _graceful_shutdown(task, log):
+    """Install SIGINT/SIGTERM handlers for a graceful tuner stop.
+
+    First signal: set the task's stop flag — the tuner finishes the
+    in-flight budget slot (the engine's futures drain inside
+    ``task.close()``), the WAL is already durable per measurement, and the
+    caller finalizes the recorder into an analyzable, resumable run dir,
+    exiting with ``128 + signum`` (130 for SIGINT, 143 for SIGTERM).
+    Second signal: raise ``KeyboardInterrupt`` — the user insists.
+    Yields a dict whose ``"signum"`` records the first signal (or None)."""
+    state: Dict[str, Optional[int]] = {"signum": None}
+
+    def _handler(signum, frame):
+        if state["signum"] is not None:
+            raise KeyboardInterrupt
+        state["signum"] = signum
+        task.request_stop()
+        log.warning(
+            "\nreceived %s: finishing the current measurement, then "
+            "shutting down gracefully (send again to force)",
+            signal.Signals(signum).name,
+        )
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):  # non-main thread / exotic platform
+            pass
+    try:
+        yield state
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
+def _load_prior(args: argparse.Namespace, resume_dir: Optional[Path], log):
+    """The pass prior for this session, and whether to snapshot it.
+
+    A resumed run replays against the *snapshot* taken at the original
+    run's start (``prior.json`` in the run dir) — never the live bank,
+    which other sessions may have advanced since; a drifted prior would
+    change candidate generation and break bit-identical resume."""
+    from repro.core.transfer import PassCorrelationPrior
+
+    if resume_dir is not None:
+        snap = resume_dir / "prior.json"
+        if snap.exists():
+            return PassCorrelationPrior.load(snap), False
+        return None, False
+    if getattr(args, "prior_bank", None):
+        return PassCorrelationPrior.load(args.prior_bank), True
+    return None, False
+
+
+def _update_prior_bank(args: argparse.Namespace, result, log) -> None:
+    """Fold a *completed* run's trace into the shared prior bank.
+
+    Reloads the bank first so concurrent sessions' contributions landed
+    between our load and save are kept (atomic replace makes the race
+    last-write-wins per field-merge, not file corruption).  Interrupted
+    runs are skipped — their resume would double-count the evidence."""
+    from repro.core.transfer import PassCorrelationPrior
+
+    bank = PassCorrelationPrior.load(args.prior_bank)
+    bank.observe_run(result)
+    bank.save(args.prior_bank)
+    log.info(
+        f"prior bank   : {args.prior_bank} now holds {bank.n_runs} run(s)"
+    )
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     log = configure_logging(args.log_level)
-    trace_dir = _trace_dir(args)
+
+    resume_dir: Optional[Path] = None
+    if getattr(args, "resume", None):
+        resume_dir = Path(args.resume)
+        manifest_path = resume_dir / "manifest.json"
+        if not manifest_path.exists():
+            raise SystemExit(f"not a resumable run dir (no manifest): {resume_dir}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"corrupt manifest in {resume_dir}: {exc}")
+        if manifest.get("command") not in (None, "tune"):
+            raise SystemExit(
+                f"can only resume a `tune` run, got {manifest.get('command')!r}"
+            )
+        _apply_manifest(args, manifest)
+        trace_dir: Optional[str] = str(resume_dir)
+    else:
+        trace_dir = _trace_dir(args)
+    if not getattr(args, "program", None):
+        raise SystemExit("tune: program is required (unless using --resume)")
+
     recorder = (
-        _recorder(args, trace_dir, tuner=args.tuner) if trace_dir else None
+        _recorder(args, trace_dir, resume=resume_dir is not None, tuner=args.tuner)
+        if trace_dir
+        else None
     )
+    wal = None
+    replay_records: List[Dict[str, object]] = []
+    if recorder is not None:
+        if resume_dir is not None:
+            from repro.core.wal import read_wal
+
+            replay_records = read_wal(recorder.path / "wal.jsonl")
+            if not replay_records:
+                log.warning(
+                    "no WAL records in %s; re-running from scratch "
+                    "(same seed, same final result)",
+                    recorder.path,
+                )
+        wal = recorder.open_wal()
+
+    prior, snapshot_prior = _load_prior(args, resume_dir, log)
+    exit_code = 0
     try:
-        with _make_task(args, args.program, recorder) as task:
+        with _make_task(args, args.program, recorder, wal=wal) as task:
             log.info(f"program      : {args.program}")
             log.info(f"platform     : {args.platform}")
             log.info(f"hot modules  : {task.hot_modules}")
             log.info(f"-O3 runtime  : {task.o3_runtime * 1e6:.2f} us")
-            tuner = _build_tuner(args.tuner, task, args)
-            result = tuner.tune(args.budget)
-            log.info(f"\nbest runtime : {result.best_runtime * 1e6:.2f} us")
-            log.info(f"speedup/-O3  : {result.speedup_over_o3():.3f}x")
+            if replay_records:
+                n_replay = task.start_replay(replay_records)
+                log.info(
+                    f"resume       : replaying {n_replay} measurement(s) "
+                    f"from {recorder.path / 'wal.jsonl'}"
+                )
+            if prior is not None and snapshot_prior and recorder is not None:
+                # freeze the prior this run searches under, so a resume
+                # uses it verbatim even after the shared bank moves on
+                prior.save(recorder.path / "prior.json")
+            # a cold prior (no evidence) must behave exactly like no prior:
+            # uniform gene weights would still alter RNG consumption
+            pass_prior = prior if prior is not None and prior.n_runs > 0 else None
+            if pass_prior is not None:
+                log.info(
+                    f"pass prior   : warm-started from {pass_prior.n_runs} run(s)"
+                )
+            tuner = _build_tuner(args.tuner, task, args, pass_prior=pass_prior)
+            with _graceful_shutdown(task, log) as sigstate:
+                result = tuner.tune(args.budget)
+            interrupted = bool(result.extras.get("interrupted"))
+            if result.measurements:
+                log.info(f"\nbest runtime : {result.best_runtime * 1e6:.2f} us")
+                log.info(f"speedup/-O3  : {result.speedup_over_o3():.3f}x")
+            else:
+                log.info("\nno measurements completed")
             timing = result.timing or task.timing_breakdown()
             wall = timing.get("compile_wall_seconds", 0.0)
             cpu = timing.get("compile_seconds", 0.0)
@@ -187,6 +375,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             if recorder is not None:
                 from repro.reporting import span_table
 
+                # interrupted runs still finalize into an analyzable dir:
+                # the partial result, metrics, and the durable WAL
                 recorder.write_result(result)
                 recorder.write_metrics()
                 log.info(f"\nwhere did the time go (trace: {recorder.path})")
@@ -205,10 +395,32 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                 log.info(
                     f"\nfull report: python -m repro analyze {recorder.path}"
                 )
+            if interrupted:
+                if recorder is not None:
+                    log.warning(
+                        "interrupted after %d/%s measurements — resume with: "
+                        "python -m repro tune --resume %s",
+                        len(result.measurements),
+                        args.budget,
+                        recorder.path,
+                    )
+                else:
+                    log.warning(
+                        "interrupted after %d/%s measurements (no --trace-out, "
+                        "so nothing durable to resume from)",
+                        len(result.measurements),
+                        args.budget,
+                    )
+            elif getattr(args, "prior_bank", None):
+                _update_prior_bank(args, result, log)
+            if sigstate["signum"] is not None:
+                exit_code = 128 + int(sigstate["signum"])
     finally:
+        if wal is not None:
+            wal.close()
         if recorder is not None:
             recorder.close()
-    return 0
+    return exit_code
 
 
 def _cmd_programs(args: argparse.Namespace) -> int:
@@ -437,7 +649,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     tune = sub.add_parser("tune", help="tune one program")
-    tune.add_argument("program")
+    tune.add_argument(
+        "program", nargs="?", default=None,
+        help="benchmark program (optional with --resume: the run dir's "
+        "manifest supplies it)",
+    )
+    tune.add_argument(
+        "--resume", default=None, metavar="RUN_DIR",
+        help="resume an interrupted traced run: replays RUN_DIR's "
+        "wal.jsonl to reconstruct the search state, then continues the "
+        "remaining budget; the final history is bit-identical to an "
+        "uninterrupted run (search parameters come from the manifest, "
+        "overriding conflicting flags)",
+    )
+    tune.add_argument(
+        "--prior-bank", default=None, metavar="FILE",
+        help="persistent PassCorrelationPrior bank: warm-start candidate "
+        "generation from it and fold this run's trace back in on "
+        "successful completion (created on first use; a corrupt bank "
+        "degrades to cold start with a warning)",
+    )
     tune.add_argument("--tuner", choices=sorted(_TUNERS), default="citroen")
     tune.add_argument("--budget", type=int, default=100)
     tune.add_argument("--platform", choices=["arm-a57", "amd-x86"], default="arm-a57")
@@ -635,6 +866,12 @@ def _add_fault_flags(sub: argparse.ArgumentParser) -> None:
         help="per-candidate compile timeout; timed-out candidates are "
         "quarantined (defaults to half the hang delay when hangs are "
         "injected, otherwise off)",
+    )
+    grp.add_argument(
+        "--kill-after-iter", type=_positive_int, default=None, metavar="N",
+        help="chaos-test hook: SIGKILL this process immediately after the "
+        "Nth live measurement's WAL record is durable (exercised by "
+        "tests/chaos_resume.py; tune only)",
     )
 
 

@@ -20,6 +20,7 @@ from repro.core.generator import CandidateGenerator, base_strategy
 from repro.core.citroen import Citroen
 from repro.core.differential import differential_test
 from repro.core.transfer import PassCorrelationPrior
+from repro.core.wal import WriteAheadLog, read_wal
 
 __all__ = [
     "AutotuningTask",
@@ -33,8 +34,10 @@ __all__ = [
     "Measurement",
     "PassCorrelationPrior",
     "TuningResult",
+    "WriteAheadLog",
     "base_strategy",
     "corrupt_module",
     "differential_test",
     "parse_fault_kinds",
+    "read_wal",
 ]

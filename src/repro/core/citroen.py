@@ -219,11 +219,13 @@ class Citroen:
             init_configs.append(cfg)
         with tracer.span("init", n_configs=n_init):
             for cfg in init_configs[:n_init]:
+                if task.stop_requested:
+                    break
                 self._measure_config(cfg, result, winner="init")
 
         # ---- BO loop ----------------------------------------------------------
         it = 0
-        while len(result.measurements) < budget:
+        while len(result.measurements) < budget and not task.stop_requested:
             t0 = time.perf_counter()
             if it % self.refit_every == 0 or not self.model.ready:
                 refits_before = self.model.n_refits
@@ -260,6 +262,10 @@ class Citroen:
                 self._record_decision(result, it, module_name, provenance, prev_best)
             it += 1
 
+        if len(result.measurements) < budget:
+            # stopped early (graceful SIGINT/SIGTERM): the partial trace is
+            # still valid, analyzable, and — with a WAL — resumable
+            result.extras["interrupted"] = True
         result.best_config = {
             m: tuple(task.decode(s)) for m, s in self._best_seq.items()
         }
@@ -588,6 +594,21 @@ class Citroen:
         result.extras["winner_strategies"].append(winner)
         result.extras["chosen_modules"].append(changed)
         result.extras["chosen_coverage"].append(coverage)
+        # one durable slot record per budget slot: what was tried and what
+        # came back — the audit trail `repro analyze` reads off an
+        # interrupted run (no-op without a WAL; suppressed during replay)
+        task.wal_slot(
+            {
+                "index": idx,
+                "module": changed,
+                "winner": winner,
+                "sequences": {n: list(s) for n, s in per_module_seqs.items()},
+                "runtime": runtime if ok else float("inf"),
+                "correct": ok,
+                "status": status,
+                "coverage": coverage,
+            }
+        )
         if not ok:
             # infeasible (failed compile, crash, or differential mismatch):
             # penalty feedback to the generators so the search moves away,

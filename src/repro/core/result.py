@@ -60,6 +60,13 @@ class TuningResult:
         return np.asarray([m.runtime for m in self.measurements])
 
     @property
+    def interrupted(self) -> bool:
+        """True when the run stopped before spending its budget (graceful
+        SIGINT/SIGTERM shutdown); such traces are partial but valid, and
+        resumable via ``repro tune --resume`` when a WAL was recorded."""
+        return bool(self.extras.get("interrupted", False))
+
+    @property
     def n_infeasible(self) -> int:
         """Budget slots spent on candidates that failed to compile, crashed,
         or miscompiled (recorded with ``runtime == inf``)."""

@@ -23,8 +23,11 @@ of the build process is needed — the practicality barrier of §1.2.3.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +73,8 @@ class AutotuningTask:
         metrics: Optional[MetricsRegistry] = None,
         metrics_every: int = 0,
         measure_engine: str = "bytecode",
+        wal: Optional["WriteAheadLog"] = None,  # noqa: F821 (forward ref)
+        kill_after_iter: Optional[int] = None,
     ) -> None:
         """``objective``: ``"runtime"`` (the paper's focus) or ``"codesize"``
         (the simpler static objective discussed in §1 — evaluated without
@@ -108,7 +113,16 @@ class AutotuningTask:
         bytecode cache keyed by the compile-cache config signature;
         ``"tree"`` runs the reference tree-walking interpreter.  Both are
         bit-identical in results and RNG consumption, so tuner histories do
-        not depend on the engine."""
+        not depend on the engine.
+
+        ``wal`` attaches a :class:`~repro.core.wal.WriteAheadLog`: every
+        live measurement appends one fsync'd ``measure`` record (verdict +
+        profiler-RNG checkpoint) and tuners log one ``slot`` record per
+        budget slot via :meth:`wal_slot` — the durable state ``repro tune
+        --resume`` replays through :meth:`start_replay`.  ``kill_after_iter``
+        is the chaos-test hook: SIGKILL this process the moment the Nth
+        *live* measurement's WAL record is durable (so the harness kills at
+        a point the log provably covers)."""
         if objective not in ("runtime", "codesize"):
             raise ValueError(f"unknown objective {objective!r}")
         self.objective = objective
@@ -218,10 +232,68 @@ class AutotuningTask:
         self.last_failure = ""
         self._measure_cache: Dict[Tuple, Tuple[float, bool, str]] = {}
 
+        # durable sessions: write-ahead log, replay stream, stop flag
+        self.wal = wal
+        self.kill_after_iter = (
+            int(kill_after_iter) if kill_after_iter is not None else None
+        )
+        self._stop = threading.Event()
+        self._replay: Deque[Dict[str, object]] = deque()
+        self._suppress_slots = 0
+
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:
         """Shut the compile engine's worker pool down (idempotent)."""
         self.engine.close()
+
+    # -- durable sessions --------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask the tuner loop to stop at the next budget-slot boundary.
+
+        Signal-handler safe (sets a :class:`threading.Event`); tuners poll
+        :attr:`stop_requested` between measurements, finish the in-flight
+        slot, and return a partial — but valid and resumable — result."""
+        self._stop.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
+
+    @property
+    def replaying(self) -> bool:
+        """True while measurements are being served from a WAL replay."""
+        return bool(self._replay)
+
+    def start_replay(self, records: Sequence[Dict[str, object]]) -> int:
+        """Arm WAL replay: the next ``len(measure records)`` non-cached
+        measurements return recorded verdicts instead of running the
+        profiler, and an equal number of tuner ``slot`` records are
+        suppressed (the re-executed loop re-produces them verbatim).
+
+        When the replay stream drains, the profiler's measurement-noise RNG
+        is restored from the last record's checkpoint, so live measurements
+        continue the exact noise stream of the killed run.  Returns the
+        number of measurements that will be replayed."""
+        from repro.core.wal import split_wal
+
+        measures, slots = split_wal(list(records))
+        self._replay = deque(measures)
+        # suppress exactly the slot records already on disk — counting, not
+        # a boolean, so a kill between a measure record and its slot record
+        # re-logs only the genuinely missing slot
+        self._suppress_slots = len(slots)
+        return len(measures)
+
+    def wal_slot(self, record: Dict[str, object]) -> None:
+        """Tuner hook: log one budget slot to the WAL (no-op without one).
+
+        During replay the first :attr:`_suppress_slots` calls are dropped —
+        they duplicate records already recovered from disk."""
+        if self._suppress_slots > 0:
+            self._suppress_slots -= 1
+            return
+        if self.wal is not None:
+            self.wal.append(dict(record, type="slot"))
 
     def __enter__(self) -> "AutotuningTask":
         return self
@@ -349,6 +421,35 @@ class AutotuningTask:
                 "measure_cached", status=self.last_failure or "ok"
             )
             return value, ok
+        if self._replay:
+            # resume path: serve the recorded verdict instead of measuring.
+            # Cache hits never reach here (checked above, and the rebuilt
+            # cache replays them too), so live and replayed runs consume
+            # WAL records in 1:1 lockstep.
+            rec = self._replay.popleft()
+            value = float(rec["value"])
+            ok = bool(rec["ok"])
+            failure = str(rec.get("status") or "")
+            self.n_measurements += 1
+            self._m_measurements.inc()
+            if failure == "incorrect":
+                self.n_incorrect += 1
+                self._m_incorrect.inc()
+            elif failure == "crash":
+                self.n_crashes += 1
+                self._m_crashes.inc()
+            self.last_failure = failure
+            if config_key is not None:
+                self._measure_cache[config_key] = (value, ok, failure)
+            self.tracer.event(
+                "measure_replayed", n=self.n_measurements, status=failure or "ok"
+            )
+            if not self._replay:
+                # seam: continue the killed run's measurement-noise stream
+                state = rec.get("rng")
+                if state is not None:
+                    self.profiler.rng.bit_generator.state = state
+            return value, ok
         t0 = time.perf_counter()
         with self.tracer.span(
             "measure",
@@ -392,6 +493,27 @@ class AutotuningTask:
         self.last_failure = failure
         if config_key is not None:
             self._measure_cache[config_key] = (value, ok, failure)
+        if self.wal is not None:
+            # the verdict plus the post-measurement RNG checkpoint: enough
+            # to replay this measurement AND to resume the noise stream if
+            # this turns out to be the last record before a kill
+            self.wal.append(
+                {
+                    "type": "measure",
+                    "n": self.n_measurements,
+                    "value": value,
+                    "ok": ok,
+                    "status": failure,
+                    "rng": self.profiler.rng.bit_generator.state,
+                }
+            )
+        if (
+            self.kill_after_iter is not None
+            and self.n_measurements >= self.kill_after_iter
+        ):
+            # chaos-harness hook: die hard (no cleanup, no atexit) right
+            # after the Nth live measurement is durable in the WAL
+            os.kill(os.getpid(), signal.SIGKILL)
         if self.metrics_every and self.n_measurements % self.metrics_every == 0:
             flat = self.metrics.flat()
             self.tracer.event(

@@ -12,17 +12,31 @@ sampling distribution over passes, which the candidate generators use for
 random sequence generation and mutation — warm-starting a *new* program's
 search with knowledge from previous ones (also the coarse-offline /
 fine-online combination sketched in §6.3.3).
+
+The prior persists as a versioned JSON *bank* (:meth:`~PassCorrelationPrior.
+save` / :meth:`~PassCorrelationPrior.load`): atomic writes so a crash never
+tears the file, a schema tag so future formats stay detectable, and a
+corruption-tolerant load that quarantines a bad bank (renames it aside) and
+degrades to a cold start with a warning instead of killing the session —
+fleet history is an accelerant, never a single point of failure.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.result import TuningResult
 
-__all__ = ["PassCorrelationPrior"]
+__all__ = ["PRIOR_SCHEMA", "PassCorrelationPrior"]
+
+#: Schema tag written into every saved prior bank.
+PRIOR_SCHEMA = "repro.pass-prior/v1"
 
 
 class PassCorrelationPrior:
@@ -83,3 +97,76 @@ class PassCorrelationPrior:
             self._score[p] = self._score.get(p, 0.0) + v
             self._count[p] = self._count.get(p, 0) + other._count[p]
         self.n_runs += other.n_runs
+
+    # -- persistence (the fleet-history bank) ----------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Versioned JSON-facing form of the accumulated evidence."""
+        return {
+            "schema": PRIOR_SCHEMA,
+            "smoothing": self.smoothing,
+            "n_runs": self.n_runs,
+            "score": dict(self._score),
+            "count": dict(self._count),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PassCorrelationPrior":
+        """Rebuild a prior from :meth:`to_dict` output.
+
+        Raises ``ValueError`` on a wrong/missing schema tag or malformed
+        payload — :meth:`load` turns that into quarantine + cold start."""
+        if not isinstance(data, dict) or data.get("schema") != PRIOR_SCHEMA:
+            raise ValueError(
+                f"not a {PRIOR_SCHEMA} bank: schema="
+                f"{data.get('schema') if isinstance(data, dict) else type(data)!r}"
+            )
+        prior = cls(smoothing=float(data.get("smoothing", 1.0)))
+        prior.n_runs = int(data.get("n_runs", 0))
+        prior._score = {str(p): float(v) for p, v in (data.get("score") or {}).items()}
+        prior._count = {str(p): int(v) for p, v in (data.get("count") or {}).items()}
+        return prior
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the bank atomically (tmp + fsync + ``os.replace``).
+
+        A crash mid-save leaves either the previous bank or the new one,
+        never a torn file — concurrent sessions can therefore share a bank
+        path with last-write-wins semantics."""
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        tmp = p.with_name(p.name + ".tmp")
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, p)
+
+    @classmethod
+    def load(
+        cls, path: Union[str, Path], smoothing: float = 1.0
+    ) -> "PassCorrelationPrior":
+        """Load a bank; degrade to a cold prior instead of crashing.
+
+        A missing file is a normal cold start (first session of a fleet).
+        A truncated/corrupt/wrong-schema bank is quarantined — renamed to
+        ``<path>.corrupt`` so the evidence stays inspectable and the next
+        save starts clean — and a cold prior is returned with a warning."""
+        p = Path(path)
+        if not p.exists():
+            return cls(smoothing=smoothing)
+        try:
+            data = json.loads(p.read_text())
+            return cls.from_dict(data)
+        except (json.JSONDecodeError, ValueError, TypeError, KeyError) as exc:
+            quarantine = p.with_name(p.name + ".corrupt")
+            try:
+                os.replace(p, quarantine)
+                where = f"quarantined to {quarantine}"
+            except OSError:
+                where = "left in place"
+            warnings.warn(
+                f"corrupt pass-prior bank {p} ({exc}); {where}; "
+                "starting from a cold prior",
+                stacklevel=2,
+            )
+            return cls(smoothing=smoothing)

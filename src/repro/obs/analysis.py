@@ -54,10 +54,28 @@ class RunData:
     result: Optional[TuningResult] = None
     compare: Optional[Dict[str, object]] = None
     truncated_events: int = 0
+    wal: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def interrupted(self) -> bool:
-        return self.result is None or self.truncated_events > 0
+        """Killed (no result.json / torn events) or gracefully stopped
+        short of its budget (the result says so itself)."""
+        if self.result is None or self.truncated_events > 0:
+            return True
+        return bool(self.result.extras.get("interrupted", False))
+
+    @property
+    def wal_measurements(self) -> int:
+        """Measurements the write-ahead log proves completed — the honest
+        progress count for a run that never wrote a result.json."""
+        measures = sum(1 for r in self.wal if r.get("type") == "measure")
+        slots = sum(1 for r in self.wal if r.get("type") == "slot")
+        return max(measures, slots)
+
+    @property
+    def resumable(self) -> bool:
+        """True when the run can continue via ``repro tune --resume``."""
+        return bool(self.wal) and self.manifest.get("command") == "tune"
 
     # -- derived quantities the differ gates on ---------------------------------
     def best_runtime(self) -> Optional[float]:
@@ -104,8 +122,18 @@ class RunData:
 
 
 def _load_json(path: Path) -> Dict[str, object]:
+    """Load a JSON artifact; a leftover ``*.tmp`` sibling is recoverable.
+
+    The recorder writes atomically (tmp + ``os.replace``), so a ``*.tmp``
+    next to a missing/corrupt artifact is a fully-serialized payload whose
+    final rename never happened — use it rather than dropping data."""
     try:
         with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        pass
+    try:
+        with open(path.with_name(path.name + ".tmp")) as fh:
             return json.load(fh)
     except (OSError, json.JSONDecodeError):
         return {}
@@ -128,6 +156,9 @@ def load_run(run_dir: Union[str, Path]) -> RunData:
     result_data = _load_json(path / "result.json")
     if result_data:
         run.result = TuningResult.from_dict(result_data)
+    from repro.core.wal import read_wal
+
+    run.wal = read_wal(path / "wal.jsonl")
     return run
 
 
@@ -193,9 +224,21 @@ def analyze_run(run_dir: Union[str, Path]) -> str:
         note = []
         if run.result is None:
             note.append("no result.json")
+        elif run.result.extras.get("interrupted"):
+            note.append("stopped before its budget")
         if run.truncated_events:
             note.append(f"{run.truncated_events} truncated event line(s)")
-        lines.append(f"- **interrupted run** ({', '.join(note)}) — partial report")
+        if run.wal:
+            note.append(f"{run.wal_measurements} measurement(s) completed per WAL")
+        lines.append(
+            f"- **interrupted run** ({', '.join(note) or 'partial artifacts'})"
+            " — partial report"
+        )
+        if run.resumable:
+            lines.append(
+                f"- resumable: `repro tune --resume {run.path}` continues "
+                "the remaining budget bit-identically"
+            )
     lines.append("")
 
     lines.append("## Outcome")

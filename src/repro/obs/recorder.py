@@ -18,6 +18,18 @@ instrumented runs must be comparable run-over-run).
 ``events.jsonl`` is streamed: the recorder's :attr:`tracer` sinks every
 finished span straight to the file, so a run killed mid-search still
 yields a parseable prefix (each line is a complete JSON object).
+
+Crash-safety contract (the durable-session layer rests on it): every
+whole-file JSON artifact is written atomically — serialized to a
+``*.tmp`` sibling, fsync'd, then :func:`os.replace`'d into place — so a
+kill mid-write never leaves a torn ``manifest.json``/``metrics.json``/
+``result.json`` (at worst a stale ``*.tmp``, which the analyzer treats
+as recoverable).  ``events.jsonl`` is flushed per event and fsync'd
+every :data:`EVENT_FSYNC_INTERVAL` events and at close.  Constructing
+with ``resume=True`` (what ``repro tune --resume`` does) appends to the
+existing event stream instead of truncating it, first terminating any
+torn trailing line so the seam stays parseable, and preserves the
+original manifest.
 """
 
 from __future__ import annotations
@@ -32,7 +44,26 @@ from typing import Dict, List, Optional, Union
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
-__all__ = ["RunRecorder", "count_malformed_lines", "git_revision", "read_events"]
+__all__ = [
+    "EVENT_FSYNC_INTERVAL",
+    "RunRecorder",
+    "count_malformed_lines",
+    "git_revision",
+    "read_events",
+]
+
+#: fsync ``events.jsonl`` every this many events (always flushed per event).
+EVENT_FSYNC_INTERVAL = 32
+
+
+def _atomic_write_json(path: Path, payload: object) -> None:
+    """Serialize ``payload`` to ``path`` atomically (tmp + fsync + replace)."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(json.dumps(_jsonable(payload), indent=2, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 def git_revision(cwd: Optional[str] = None) -> str:
@@ -93,6 +124,12 @@ class RunRecorder:
     manifest:
         run identification written to ``manifest.json``; merged over the
         defaults (``version``, ``git_rev``) with caller keys winning.
+    resume:
+        continue an interrupted run in the same directory: the existing
+        ``manifest.json`` is preserved (a missing one is written fresh),
+        and ``events.jsonl`` is opened in append mode with any torn
+        trailing line from the kill terminated so old and new events
+        parse as one stream.
     registry:
         the :class:`MetricsRegistry` snapshotted into ``metrics.json``
         (on :meth:`write_metrics`, and automatically at :meth:`close` if
@@ -108,41 +145,73 @@ class RunRecorder:
         manifest: Optional[Dict[str, object]] = None,
         registry: Optional[MetricsRegistry] = None,
         keep: int = 100_000,
+        resume: bool = False,
     ) -> None:
         self.path = Path(out_dir)
         self.path.mkdir(parents=True, exist_ok=True)
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.resume = bool(resume)
         self._metrics_written = False
         self._closed = False
+        self._events_since_fsync = 0
 
-        base: Dict[str, object] = {
-            "version": _package_version(),
-            "git_rev": git_revision(),
-        }
-        base.update(manifest or {})
-        self.manifest = base
-        (self.path / "manifest.json").write_text(
-            json.dumps(_jsonable(base), indent=2, sort_keys=True) + "\n"
-        )
+        manifest_path = self.path / "manifest.json"
+        if resume and manifest_path.exists():
+            self.manifest = json.loads(manifest_path.read_text())
+        else:
+            base: Dict[str, object] = {
+                "version": _package_version(),
+                "git_rev": git_revision(),
+            }
+            base.update(manifest or {})
+            self.manifest = base
+            _atomic_write_json(manifest_path, base)
 
-        self._events_file = open(self.path / "events.jsonl", "w")
+        events_path = self.path / "events.jsonl"
+        # a resumed run appends; a kill mid-write leaves at most one torn
+        # trailing line, which gets its newline here so the seam parses
+        needs_newline = False
+        if resume and events_path.exists() and events_path.stat().st_size > 0:
+            with open(events_path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        self._events_file = open(events_path, "a" if resume else "w")
+        if needs_newline:
+            self._events_file.write("\n")
+            self._events_file.flush()
         self.tracer = Tracer(sink=self.write_event, keep=keep)
 
     # -- streaming --------------------------------------------------------------
     def write_event(self, event: Dict[str, object]) -> None:
-        """Append one event as a JSONL line (the tracer's sink)."""
+        """Append one event as a JSONL line (the tracer's sink).
+
+        Flushed per event so a killed run loses no complete events;
+        fsync'd every :data:`EVENT_FSYNC_INTERVAL` events to bound what a
+        power loss can take without an fsync per span."""
         self._events_file.write(json.dumps(_jsonable(event), sort_keys=True) + "\n")
+        self._events_file.flush()
+        self._events_since_fsync += 1
+        if self._events_since_fsync >= EVENT_FSYNC_INTERVAL:
+            os.fsync(self._events_file.fileno())
+            self._events_since_fsync = 0
 
     def flush(self) -> None:
         self._events_file.flush()
+
+    def open_wal(self) -> "WriteAheadLog":  # noqa: F821 (forward ref)
+        """Open this run's write-ahead measurement log (``wal.jsonl``).
+
+        Fresh recorders truncate any stale log; ``resume=True`` recorders
+        append across the kill seam.  See :mod:`repro.core.wal`."""
+        from repro.core.wal import WriteAheadLog
+
+        return WriteAheadLog(self.path / "wal.jsonl", resume=self.resume)
 
     # -- artifacts --------------------------------------------------------------
     def write_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
         """Snapshot ``registry`` (default: the attached one) to metrics.json."""
         reg = registry if registry is not None else self.registry
-        (self.path / "metrics.json").write_text(
-            json.dumps(_jsonable(reg.snapshot()), indent=2, sort_keys=True) + "\n"
-        )
+        _atomic_write_json(self.path / "metrics.json", reg.snapshot())
         self._metrics_written = True
 
     def write_result(self, result) -> None:
@@ -151,20 +220,19 @@ class RunRecorder:
             payload = result.to_dict()
         else:
             payload = result
-        (self.path / "result.json").write_text(
-            json.dumps(_jsonable(payload), indent=2, sort_keys=True) + "\n"
-        )
+        _atomic_write_json(self.path / "result.json", payload)
 
     # -- lifecycle --------------------------------------------------------------
     def close(self) -> None:
-        """Flush and close the event stream (idempotent); writes the
-        metrics snapshot if the caller never did."""
+        """Flush, fsync and close the event stream (idempotent); writes
+        the metrics snapshot if the caller never did."""
         if self._closed:
             return
         self._closed = True
         if not self._metrics_written:
             self.write_metrics()
         self._events_file.flush()
+        os.fsync(self._events_file.fileno())
         self._events_file.close()
 
     def __enter__(self) -> "RunRecorder":

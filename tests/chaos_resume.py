@@ -1,0 +1,127 @@
+"""Seeded kill-and-resume chaos harness (not pytest-collected).
+
+Runs one uninterrupted control tune, then — for each of ``--kills``
+randomly drawn kill points — launches the same tune with
+``--kill-after-iter N`` (the child SIGKILLs itself the instant the Nth
+measurement's WAL record is durable), resumes the corpse with
+``repro tune --resume``, and asserts the final ``result.json`` is
+bit-identical to the control's (wall-clock ``timing`` excluded).
+
+Exit 0 only if every kill point recovers bit-identically.  CI runs this
+as the blocking ``chaos-resume`` job; locally::
+
+    PYTHONPATH=src python tests/chaos_resume.py --out /tmp/chaos-runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _tune(args: argparse.Namespace, run_dir: Path, *extra: str) -> int:
+    cmd = [
+        sys.executable, "-m", "repro", "tune", args.program,
+        "--budget", str(args.budget),
+        "--seed", str(args.seed),
+        "--seq-length", str(args.seq_length),
+        "--trace-out", str(run_dir),
+        "--log-level", "warning",
+        *extra,
+    ]
+    return subprocess.run(cmd, env=_env()).returncode
+
+
+def _resume(run_dir: Path) -> int:
+    cmd = [
+        sys.executable, "-m", "repro", "tune",
+        "--resume", str(run_dir),
+        "--log-level", "warning",
+    ]
+    return subprocess.run(cmd, env=_env()).returncode
+
+
+def _result_sans_timing(run_dir: Path) -> dict:
+    data = json.loads((run_dir / "result.json").read_text())
+    data.pop("timing", None)
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--program", default="security_sha")
+    parser.add_argument("--budget", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--seq-length", type=int, default=10)
+    parser.add_argument("--kills", type=int, default=3,
+                        help="number of random kill points to test")
+    parser.add_argument("--chaos-seed", type=int, default=7,
+                        help="seeds the kill-point draw (reproducible chaos)")
+    parser.add_argument("--out", default="chaos-runs",
+                        help="parent directory for all run dirs")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    control = out / "control"
+    print(f"[chaos] control tune: {args.program} budget={args.budget} "
+          f"seed={args.seed}")
+    rc = _tune(args, control)
+    if rc != 0:
+        print(f"[chaos] FAIL: control run exited {rc}")
+        return 1
+    expected = _result_sans_timing(control)
+
+    # kill points strictly inside the budget so there is work both before
+    # and after the kill (the seam is the interesting part)
+    rng = random.Random(args.chaos_seed)
+    points = sorted(rng.sample(range(2, args.budget - 1), k=args.kills))
+    print(f"[chaos] kill points: {points}")
+
+    failures = 0
+    for k in points:
+        run_dir = out / f"kill-{k}"
+        rc = _tune(args, run_dir, "--kill-after-iter", str(k))
+        if rc != -signal.SIGKILL and rc != 128 + signal.SIGKILL:
+            print(f"[chaos] FAIL k={k}: expected SIGKILL death, got rc={rc}")
+            failures += 1
+            continue
+        if (run_dir / "result.json").exists():
+            print(f"[chaos] FAIL k={k}: killed run wrote a result.json")
+            failures += 1
+            continue
+        rc = _resume(run_dir)
+        if rc != 0:
+            print(f"[chaos] FAIL k={k}: resume exited {rc}")
+            failures += 1
+            continue
+        if _result_sans_timing(run_dir) != expected:
+            print(f"[chaos] FAIL k={k}: resumed history diverged from control")
+            failures += 1
+            continue
+        print(f"[chaos] ok k={k}: resumed bit-identical to control")
+
+    if failures:
+        print(f"[chaos] {failures}/{len(points)} kill points FAILED")
+        return 1
+    print(f"[chaos] all {len(points)} kill points recovered bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

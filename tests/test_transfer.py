@@ -88,3 +88,58 @@ class TestPriorDrivesGeneration:
         )
         res = Citroen(task, seed=2, n_init=4, per_strategy=2, pass_prior=prior).tune(10)
         assert len(res.measurements) == 10
+
+
+class TestPriorPersistence:
+    def _warm_prior(self):
+        prior = PassCorrelationPrior(smoothing=0.5)
+        prior.observe_run(
+            _result_with([(("a",), 2.0), (("a",), 2.1), (("b",), 0.5), (("b",), 0.6)])
+        )
+        return prior
+
+    def test_save_load_roundtrip(self, tmp_path):
+        prior = self._warm_prior()
+        bank = tmp_path / "bank.json"
+        prior.save(bank)
+        loaded = PassCorrelationPrior.load(bank)
+        assert loaded.n_runs == prior.n_runs
+        assert loaded.smoothing == prior.smoothing
+        assert loaded.scores() == prior.scores()
+        assert np.allclose(
+            loaded.pass_weights(["a", "b", "c"]), prior.pass_weights(["a", "b", "c"])
+        )
+        # versioned + atomic: schema tag present, no tmp file left behind
+        import json
+
+        assert json.loads(bank.read_text())["schema"] == "repro.pass-prior/v1"
+        assert not (tmp_path / "bank.json.tmp").exists()
+
+    def test_missing_bank_is_cold_start(self, tmp_path):
+        prior = PassCorrelationPrior.load(tmp_path / "absent.json")
+        assert prior.n_runs == 0 and prior.scores() == {}
+
+    def test_corrupt_bank_quarantined_with_warning(self, tmp_path):
+        bank = tmp_path / "bank.json"
+        bank.write_text('{"schema": "repro.pass-prior/v1", "score": {tor')
+        with pytest.warns(UserWarning, match="corrupt pass-prior bank"):
+            prior = PassCorrelationPrior.load(bank)
+        assert prior.n_runs == 0  # degraded to cold start, not a crash
+        assert not bank.exists()
+        assert (tmp_path / "bank.json.corrupt").exists()  # evidence kept
+
+    def test_wrong_schema_quarantined(self, tmp_path):
+        import json
+
+        bank = tmp_path / "bank.json"
+        bank.write_text(json.dumps({"schema": "repro.pass-prior/v999", "n_runs": 3}))
+        with pytest.warns(UserWarning, match="corrupt pass-prior bank"):
+            prior = PassCorrelationPrior.load(bank)
+        assert prior.n_runs == 0
+        assert (tmp_path / "bank.json.corrupt").exists()
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        prior = self._warm_prior()
+        nested = tmp_path / "a" / "b" / "bank.json"
+        prior.save(nested)
+        assert PassCorrelationPrior.load(nested).n_runs == 1
