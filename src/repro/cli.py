@@ -7,11 +7,18 @@ Commands
 ``passes``     list the phase-ordering pass alphabet
 ``motivate``   print the Table 5.1 motivation rows live
 ``compare``    run several tuners on one program and print the leaderboard
+``watch``      live terminal dashboard over a (possibly still running)
+               traced run directory
 ``analyze``    render a markdown report from a recorded run directory
+               (``--chrome-trace``/``--prometheus`` export standard formats)
 ``diff``       compare two recorded runs (or two ``repro bench`` JSON
-               payloads); non-zero exit on regression
+               payloads, or one run against ``--against warehouse:last-N``);
+               non-zero exit on regression
 ``bench``      time the surrogate hot path (micro + end-to-end) and write
                ``BENCH_surrogate.json``
+``obs``        the fleet warehouse: ``obs index RUNS...`` ingests run
+               directories / bench payloads into a sqlite file,
+               ``obs history`` prints the cross-revision trajectory
 
 Output goes through :mod:`repro.obs.log` (``--log-level`` selects
 verbosity; the default ``info`` level is byte-compatible with the
@@ -550,8 +557,29 @@ def _write_compare_json(trace_dir: str, args: argparse.Namespace, results) -> No
         fh.write("\n")
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.stream import watch
+
+    log = configure_logging(args.log_level)
+    clear = sys.stdout.isatty() and not args.once
+    try:
+        state = watch(
+            args.run_dir,
+            interval=args.interval,
+            once=args.once,
+            max_frames=args.frames,
+            out=log.info,
+            clear=clear,
+        )
+    except KeyboardInterrupt:
+        return 130
+    # non-zero when the run it watched ended interrupted, so scripts can
+    # chain `repro watch DIR --once || repro tune --resume DIR`
+    return 3 if state.interrupted else 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.obs.analysis import analyze_run
+    from repro.obs.analysis import analyze_run, load_run
 
     log = configure_logging(args.log_level)
     try:
@@ -561,7 +589,62 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report)
+    if args.chrome_trace or args.prometheus:
+        from repro.obs.export import write_chrome_trace, write_prometheus
+
+        run = load_run(args.run_dir)
+        if args.chrome_trace:
+            trace = write_chrome_trace(run.events, args.chrome_trace)
+            log.info(
+                f"wrote {args.chrome_trace} "
+                f"({len(trace['traceEvents'])} trace events; load it in "
+                "https://ui.perfetto.dev)"
+            )
+        if args.prometheus:
+            labels = {
+                k: str(run.manifest[k])
+                for k in ("program", "tuner", "seed")
+                if run.manifest.get(k) is not None
+            }
+            write_prometheus(run.metrics, args.prometheus, labels=labels)
+            log.info(f"wrote {args.prometheus} (Prometheus text exposition)")
     log.info(report.rstrip())
+    return 0
+
+
+def _cmd_obs_index(args: argparse.Namespace) -> int:
+    from repro.obs.warehouse import Warehouse
+
+    log = configure_logging(args.log_level)
+    n = 0
+    try:
+        with Warehouse(args.db) as wh:
+            for path in args.paths:
+                try:
+                    rows = wh.index_path(path)
+                except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
+                    raise SystemExit(f"cannot index {path}: {exc}")
+                n += len(rows)
+                for row in rows:
+                    what = row.get("program") or row.get("suite") or "?"
+                    log.info(f"indexed {row['path']} ({what})")
+    except ValueError as exc:  # schema-version refusal
+        raise SystemExit(str(exc))
+    log.info(f"{args.db}: {n} item(s) indexed")
+    return 0
+
+
+def _cmd_obs_history(args: argparse.Namespace) -> int:
+    from repro.obs.warehouse import Warehouse, history_table
+
+    log = configure_logging(args.log_level)
+    if not os.path.exists(args.db):
+        raise SystemExit(f"no warehouse at {args.db} (run `repro obs index` first)")
+    try:
+        with Warehouse(args.db) as wh:
+            log.info(history_table(wh, benchmark=args.benchmark).rstrip())
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     return 0
 
 
@@ -606,6 +689,48 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.obs.recorder import _jsonable
 
     log = configure_logging(args.log_level)
+    if args.against:
+        # fleet gate: candidate run_a judged against the warehouse's
+        # rolling baseline; run_b must be omitted in this mode
+        from repro.obs.warehouse import diff_against_warehouse
+
+        if args.run_b is not None:
+            raise SystemExit("diff: give either RUN_B or --against, not both")
+        prefix = "warehouse:last-"
+        if not args.against.startswith(prefix):
+            raise SystemExit(
+                f"--against must look like warehouse:last-N, got {args.against!r}"
+            )
+        try:
+            last_n = int(args.against[len(prefix):])
+        except ValueError:
+            raise SystemExit(
+                f"--against must look like warehouse:last-N, got {args.against!r}"
+            )
+        if not os.path.exists(args.db):
+            raise SystemExit(
+                f"no warehouse at {args.db} (run `repro obs index` first)"
+            )
+        thresholds = DiffThresholds(
+            max_runtime_ratio=args.max_runtime_ratio,
+            max_wall_ratio=args.max_wall_ratio,
+            max_cache_hit_drop=args.max_cache_hit_drop,
+            max_calibration_ratio=args.max_calibration_ratio,
+        )
+        try:
+            verdict = diff_against_warehouse(
+                args.run_a, args.db, last_n, thresholds
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc))
+        text = json.dumps(_jsonable(verdict), indent=2, sort_keys=True)
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                fh.write(text + "\n")
+        log.info(text)
+        return 1 if verdict["regressed"] else 0
+    if args.run_b is None:
+        raise SystemExit("diff: RUN_B is required (unless using --against)")
     if os.path.isfile(args.run_a) or os.path.isfile(args.run_b):
         # two `repro bench` payloads: gate on the model-side wall ratio
         from repro.bench import diff_bench
@@ -719,19 +844,106 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
+    watch = sub.add_parser(
+        "watch",
+        help="live terminal dashboard over a traced run directory: "
+        "iteration progress, incumbent curve, cache/failure/quarantine/"
+        "GP counters, ETA; works on running, killed, and resumed runs "
+        "(polls the WAL and events.jsonl incrementally)",
+    )
+    watch.add_argument(
+        "run_dir",
+        help="a --trace-out directory (may not exist yet; watching starts "
+        "when the run's first artifact lands)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="poll interval (default 1.0)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (scriptable status check; "
+        "exit code 3 when the run ended interrupted)",
+    )
+    watch.add_argument(
+        "--frames", type=_positive_int, default=None, metavar="N",
+        help="stop after N frames even if the run is still going",
+    )
+    watch.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default="info"
+    )
+    watch.set_defaults(func=_cmd_watch)
+
     analyze = sub.add_parser(
         "analyze",
         help="render a markdown report (spans, calibration, provenance, "
         "convergence) from a recorded run directory",
     )
-    analyze.add_argument("run_dir", help="a --trace-out directory (tune or compare)")
+    analyze.add_argument(
+        "run_dir",
+        help="a --trace-out directory (tune or compare), or a directory "
+        "of runs (the latest by manifest timestamp is selected)",
+    )
     analyze.add_argument(
         "--out", default=None, metavar="FILE", help="also write the report to FILE"
+    )
+    analyze.add_argument(
+        "--chrome-trace", default=None, metavar="FILE",
+        help="also export the run's spans as Chrome Trace Event JSON "
+        "(loads in Perfetto / chrome://tracing)",
+    )
+    analyze.add_argument(
+        "--prometheus", default=None, metavar="FILE",
+        help="also export the run's metrics.json as Prometheus text "
+        "exposition (labeled with program/tuner/seed)",
     )
     analyze.add_argument(
         "--log-level", choices=["debug", "info", "warning", "error"], default="info"
     )
     analyze.set_defaults(func=_cmd_analyze)
+
+    obs = sub.add_parser(
+        "obs",
+        help="fleet warehouse: index recorded runs and bench payloads "
+        "into sqlite, query cross-revision history",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_index = obs_sub.add_parser(
+        "index",
+        help="ingest run directories (tune or compare parents), run "
+        "collections, and BENCH_*.json payloads; re-indexing a path "
+        "refreshes its row",
+    )
+    obs_index.add_argument(
+        "paths", nargs="+", metavar="RUNS",
+        help="run directories and/or bench JSON files",
+    )
+    obs_index.add_argument(
+        "--db", default="warehouse.sqlite", metavar="FILE",
+        help="warehouse sqlite file (created on first use; "
+        "default warehouse.sqlite)",
+    )
+    obs_index.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default="info"
+    )
+    obs_index.set_defaults(func=_cmd_obs_index)
+    obs_history = obs_sub.add_parser(
+        "history",
+        help="print the speedup/wall trajectory of indexed runs across "
+        "git revisions (plus bench payload walls)",
+    )
+    obs_history.add_argument(
+        "--benchmark", default=None, metavar="PROGRAM",
+        help="restrict to one benchmark program (default: all)",
+    )
+    obs_history.add_argument(
+        "--db", default="warehouse.sqlite", metavar="FILE",
+        help="warehouse sqlite file (default warehouse.sqlite)",
+    )
+    obs_history.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default="info"
+    )
+    obs_history.set_defaults(func=_cmd_obs_history)
 
     bench = sub.add_parser(
         "bench",
@@ -780,9 +992,25 @@ def build_parser() -> argparse.ArgumentParser:
         "payloads); prints a verdict JSON and exits non-zero when run B "
         "regresses past the thresholds (CI gate)",
     )
-    diff.add_argument("run_a", help="baseline run directory (or bench JSON)")
     diff.add_argument(
-        "run_b", help="candidate run directory (or bench JSON), judged against A"
+        "run_a",
+        help="baseline run directory (or bench JSON); with --against, "
+        "the *candidate* run judged against the warehouse",
+    )
+    diff.add_argument(
+        "run_b", nargs="?", default=None,
+        help="candidate run directory (or bench JSON), judged against A "
+        "(omit when using --against)",
+    )
+    diff.add_argument(
+        "--against", default=None, metavar="warehouse:last-N",
+        help="judge RUN_A against the rolling fleet baseline: the "
+        "per-metric median of the warehouse's last N completed runs of "
+        "the same program (see `repro obs index`)",
+    )
+    diff.add_argument(
+        "--db", default="warehouse.sqlite", metavar="FILE",
+        help="warehouse sqlite file for --against (default warehouse.sqlite)",
     )
     diff.add_argument(
         "--max-runtime-ratio", type=float, default=1.05, metavar="R",

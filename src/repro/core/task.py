@@ -202,6 +202,7 @@ class AutotuningTask:
         self.metrics_every = int(metrics_every)
         self._m_measurements = self.metrics.counter("task.measurements")
         self._m_measure_cache_hits = self.metrics.counter("task.measure_cache_hits")
+        self._m_replayed = self.metrics.counter("task.measure_replayed")
         self._m_crashes = self.metrics.counter("task.measure_crashes")
         self._m_incorrect = self.metrics.counter("task.measure_incorrect")
         self._m_measure_hist = self.metrics.histogram("task.measure_seconds")
@@ -234,6 +235,19 @@ class AutotuningTask:
 
         # durable sessions: write-ahead log, replay stream, stop flag
         self.wal = wal
+        if wal is not None and not wal.resume:
+            # one anchor record up front: the -O3/-O0 runtimes that turn a
+            # raw measured runtime into a speedup.  `repro watch` reads it
+            # to render live speedup curves before result.json exists.
+            # Replay ignores it (split_wal keeps measure/slot only).
+            wal.append(
+                {
+                    "type": "anchor",
+                    "o3_runtime": self.o3_runtime,
+                    "o0_runtime": self.o0_runtime,
+                    "hot_modules": list(self.hot_modules),
+                }
+            )
         self.kill_after_iter = (
             int(kill_after_iter) if kill_after_iter is not None else None
         )
@@ -431,13 +445,16 @@ class AutotuningTask:
             ok = bool(rec["ok"])
             failure = str(rec.get("status") or "")
             self.n_measurements += 1
-            self._m_measurements.inc()
+            # metrics epoch accounting: a replayed verdict is NOT a fresh
+            # profiler measurement — it was counted by the epoch that
+            # performed it (and, resumed-run metrics being merged across
+            # epochs, summing `task.measurements` must not double-count).
+            # `task.measure_replayed` tracks the replay volume instead.
+            self._m_replayed.inc()
             if failure == "incorrect":
                 self.n_incorrect += 1
-                self._m_incorrect.inc()
             elif failure == "crash":
                 self.n_crashes += 1
-                self._m_crashes.inc()
             self.last_failure = failure
             if config_key is not None:
                 self._measure_cache[config_key] = (value, ok, failure)

@@ -34,7 +34,16 @@ from repro.core.result import TuningResult
 from repro.obs.diagnostics import attribution_table, calibration, calibration_table
 from repro.obs.recorder import count_malformed_lines, read_events
 
-__all__ = ["DiffThresholds", "RunData", "analyze_run", "diff_runs", "load_run"]
+__all__ = [
+    "DiffThresholds",
+    "RunData",
+    "analyze_run",
+    "build_checks",
+    "diff_runs",
+    "gate_metrics",
+    "load_run",
+    "resolve_run_dir",
+]
 
 
 @dataclass
@@ -139,11 +148,45 @@ def _load_json(path: Path) -> Dict[str, object]:
         return {}
 
 
-def load_run(run_dir: Union[str, Path]) -> RunData:
-    """Load a run directory's artifacts, tolerating missing/truncated files."""
+def resolve_run_dir(run_dir: Union[str, Path]) -> Path:
+    """Resolve a path to one concrete run directory.
+
+    A directory that itself carries run artifacts (``manifest.json`` or a
+    ``compare.json`` leaderboard, ``.tmp`` recoveries included) resolves
+    to itself.  Otherwise it is treated as a *collection* of runs — the
+    layout CI's ``--trace-out runs/$(date ...)`` style produces — and the
+    child run with the newest manifest timestamp wins, so scripts can say
+    ``repro analyze runs/`` instead of hardcoding directory names."""
     path = Path(run_dir)
     if not path.is_dir():
         raise FileNotFoundError(f"not a run directory: {path}")
+    for name in ("manifest.json", "compare.json"):
+        if (path / name).exists() or (path / (name + ".tmp")).exists():
+            return path
+    candidates = []
+    for child in sorted(path.iterdir()):
+        if not child.is_dir():
+            continue
+        manifest = child / "manifest.json"
+        if not manifest.exists():
+            manifest = child / "manifest.json.tmp"
+            if not manifest.exists():
+                continue
+        candidates.append((manifest.stat().st_mtime, child.name, child))
+    if not candidates:
+        raise FileNotFoundError(
+            f"not a run directory (no manifest.json, and no run "
+            f"subdirectories either): {path}"
+        )
+    return max(candidates)[2]
+
+
+def load_run(run_dir: Union[str, Path]) -> RunData:
+    """Load a run directory's artifacts, tolerating missing/truncated files.
+
+    The path may also be a *collection* directory of runs — see
+    :func:`resolve_run_dir`; the latest run is loaded."""
+    path = resolve_run_dir(run_dir)
     run = RunData(path=path)
     run.manifest = _load_json(path / "manifest.json")
     run.metrics = _load_json(path / "metrics.json")
@@ -151,7 +194,9 @@ def load_run(run_dir: Union[str, Path]) -> RunData:
     run.compare = compare or None
     events_path = path / "events.jsonl"
     if events_path.exists():
-        run.events = read_events(events_path)
+        # the same incremental reader `repro watch` polls with; offset 0
+        # reads the whole complete-line prefix of a possibly-torn file
+        run.events, _ = read_events(events_path, follow=True)
         run.truncated_events = count_malformed_lines(events_path)
     result_data = _load_json(path / "result.json")
     if result_data:
@@ -181,7 +226,10 @@ def _code(text: str) -> List[str]:
 
 
 def _metrics_highlights(metrics: Dict[str, object]) -> str:
-    counters = metrics.get("counters") or {}
+    # resumed runs carry per-epoch snapshots plus merged totals; the
+    # totals are the honest "work performed" view, so they lead
+    source = metrics.get("cumulative") or metrics
+    counters = source.get("counters") or {}
     if not counters:
         return "(no metrics.json)"
     rows = sorted(counters.items())
@@ -197,6 +245,12 @@ def _metrics_highlights(metrics: Dict[str, object]) -> str:
         lines.append(
             f"{'gp refit-vs-extend':{width}s}{int(refits)} refits / "
             f"{int(extends)} extends ({share:.0%} incremental)"
+        )
+    epoch = metrics.get("epoch")
+    if isinstance(epoch, (int, float)) and epoch > 1:
+        lines.append(
+            f"{'(cumulative)':{width}s}merged across {int(epoch)} epochs; "
+            "per-epoch snapshots in metrics.json"
         )
     return "\n".join(lines)
 
@@ -239,6 +293,15 @@ def analyze_run(run_dir: Union[str, Path]) -> str:
                 f"- resumable: `repro tune --resume {run.path}` continues "
                 "the remaining budget bit-identically"
             )
+    epoch = run.metrics.get("epoch")
+    if isinstance(epoch, (int, float)) and epoch > 1:
+        # the epoch boundary: this run was resumed; the events.jsonl ts
+        # clock restarted at each `resume_epoch` marker
+        lines.append(
+            f"- **resumed run**: epoch {int(epoch)} of a resumed session — "
+            "metrics below merge all epochs; per-epoch snapshots are kept "
+            "under `epochs` in metrics.json"
+        )
     lines.append("")
 
     lines.append("## Outcome")
@@ -403,6 +466,55 @@ def _drop_check(
     return check
 
 
+def gate_metrics(run: RunData) -> Dict[str, Optional[float]]:
+    """The four gated quantities of one run, as a plain dict.
+
+    This is the boundary the warehouse reuses: a fleet baseline is just a
+    dict of these keys aggregated over past runs, interchangeable with a
+    live :class:`RunData`'s metrics in :func:`build_checks`."""
+    return {
+        "best_runtime": run.best_runtime(),
+        "wall_seconds": run.wall_seconds(),
+        "cache_hit_rate": run.cache_hit_rate(),
+        "calibration_rmse": run.calibration_rmse(),
+    }
+
+
+def build_checks(
+    a: Dict[str, Optional[float]],
+    b: Dict[str, Optional[float]],
+    thresholds: Optional[DiffThresholds] = None,
+) -> List[Dict[str, object]]:
+    """The four regression checks over two :func:`gate_metrics` dicts."""
+    thresholds = thresholds if thresholds is not None else DiffThresholds()
+    return [
+        _ratio_check(
+            "best_runtime",
+            a.get("best_runtime"),
+            b.get("best_runtime"),
+            thresholds.max_runtime_ratio,
+        ),
+        _ratio_check(
+            "wall_seconds",
+            a.get("wall_seconds"),
+            b.get("wall_seconds"),
+            thresholds.max_wall_ratio,
+        ),
+        _drop_check(
+            "cache_hit_rate",
+            a.get("cache_hit_rate"),
+            b.get("cache_hit_rate"),
+            thresholds.max_cache_hit_drop,
+        ),
+        _ratio_check(
+            "calibration_rmse",
+            a.get("calibration_rmse"),
+            b.get("calibration_rmse"),
+            thresholds.max_calibration_ratio,
+        ),
+    ]
+
+
 def diff_runs(
     run_a: Union[str, Path],
     run_b: Union[str, Path],
@@ -417,31 +529,8 @@ def diff_runs(
     CLI turns into its exit code.  Checks whose inputs are missing on
     either side (no result.json, diagnostics disabled) are *skipped*, not
     failed — an interrupted baseline should not block CI on its own."""
-    thresholds = thresholds if thresholds is not None else DiffThresholds()
     a, b = load_run(run_a), load_run(run_b)
-    checks = [
-        _ratio_check(
-            "best_runtime",
-            a.best_runtime(),
-            b.best_runtime(),
-            thresholds.max_runtime_ratio,
-        ),
-        _ratio_check(
-            "wall_seconds", a.wall_seconds(), b.wall_seconds(), thresholds.max_wall_ratio
-        ),
-        _drop_check(
-            "cache_hit_rate",
-            a.cache_hit_rate(),
-            b.cache_hit_rate(),
-            thresholds.max_cache_hit_drop,
-        ),
-        _ratio_check(
-            "calibration_rmse",
-            a.calibration_rmse(),
-            b.calibration_rmse(),
-            thresholds.max_calibration_ratio,
-        ),
-    ]
+    checks = build_checks(gate_metrics(a), gate_metrics(b), thresholds)
     regressed = [c["name"] for c in checks if not c["ok"]]
     return {
         "run_a": str(a.path),

@@ -1,0 +1,226 @@
+"""Standard-format exporters: Chrome trace events and Prometheus text.
+
+The tracer and metrics registry speak their own compact JSON; the rest of
+the world speaks two lingua francas, and this module translates to both:
+
+* :func:`chrome_trace` — ``events.jsonl`` span/point events as Chrome
+  Trace Event JSON (the ``{"traceEvents": [...]}`` object form).  Load
+  the file in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``
+  and the per-phase nesting, thread lanes, and point events render as a
+  real flame chart.  ``repro analyze RUN --chrome-trace out.json``.
+* :func:`prometheus_text` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot in Prometheus text exposition format (counters as ``_total``,
+  histogram digests as summaries with quantile labels).  This is the
+  scrape payload for the ROADMAP's tuning-as-a-service daemon; until the
+  daemon exists, ``repro analyze RUN --prometheus out.prom`` materializes
+  the same text from a recorded run.
+
+Mapping notes (Chrome):
+
+* closed spans → ``ph: "X"`` complete events (``ts`` start, ``dur``
+  wall, both in microseconds, as the format requires);
+* *unclosed* spans — a killed run's events.jsonl may end with span
+  records that carry ``ts`` but no ``wall`` — → ``ph: "B"`` begin events
+  with no matching end, which trace viewers render as open-ended; the
+  interruption stays visible instead of vanishing;
+* point events → ``ph: "i"`` instants (thread scope);
+* thread names → ``ph: "M"`` metadata, one per lane, so lanes are
+  labeled ``MainThread``/worker names rather than bare tids;
+* resumed runs are spliced onto one monotonic timeline first
+  (:func:`repro.obs.stream.normalize_epochs`) — each process's ts clock
+  restarts at zero, and without the splice every epoch would overdraw
+  the same time range.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import normalize_epochs
+
+__all__ = [
+    "chrome_trace",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_prometheus",
+]
+
+_PID = 1  # one recorded run == one logical process in the trace
+
+
+def _tid(thread: Optional[str], lanes: Dict[str, int]) -> int:
+    name = thread or "MainThread"
+    if name not in lanes:
+        lanes[name] = len(lanes) + 1
+    return lanes[name]
+
+
+def chrome_trace(events: List[Dict[str, object]]) -> Dict[str, object]:
+    """Convert recorded trace events to a Chrome Trace Event object."""
+    out: List[Dict[str, object]] = []
+    lanes: Dict[str, int] = {}
+    for e in normalize_epochs(events):
+        kind = e.get("type")
+        name = str(e.get("name", "?"))
+        ts = e.get("ts")
+        if ts is None:
+            continue
+        tid = _tid(e.get("thread"), lanes)
+        if kind == "span":
+            record: Dict[str, object] = {
+                "name": name,
+                "cat": "span",
+                "ts": float(ts) * 1e6,
+                "pid": _PID,
+                "tid": tid,
+            }
+            wall = e.get("wall")
+            if wall is None:
+                # interrupted run: the span opened but never closed
+                record["ph"] = "B"
+            else:
+                record["ph"] = "X"
+                record["dur"] = float(wall) * 1e6
+            args: Dict[str, object] = {}
+            if e.get("cpu") is not None:
+                args["cpu_seconds"] = e["cpu"]
+            if e.get("attrs"):
+                args.update(e["attrs"])
+            if e.get("error"):
+                args["error"] = e["error"]
+            if args:
+                record["args"] = args
+            out.append(record)
+        elif kind == "event":
+            record = {
+                "name": name,
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": float(ts) * 1e6,
+                "pid": _PID,
+                "tid": tid,
+            }
+            if e.get("attrs"):
+                record["args"] = dict(e["attrs"])
+            out.append(record)
+    metadata: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": "repro"},
+        }
+    ]
+    for lane, tid in sorted(lanes.items(), key=lambda kv: kv[1]):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+    return {"traceEvents": metadata + out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events: List[Dict[str, object]], path: Union[str, Path]
+) -> Dict[str, object]:
+    """Write :func:`chrome_trace` output to ``path``; returns the object."""
+    trace = chrome_trace(events)
+    with open(Path(path), "w") as fh:
+        json.dump(trace, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return trace
+
+
+# -- Prometheus -------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """``engine.cache_hits`` → ``repro_engine_cache_hits`` (spec-legal)."""
+    flat = _NAME_RE.sub("_", f"{prefix}_{name}" if prefix else name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _prom_value(v: object) -> str:
+    try:
+        f = float(v)
+    except (TypeError, ValueError):
+        return "0"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def prometheus_text(
+    source: Union[MetricsRegistry, Dict[str, object]],
+    prefix: str = "repro",
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a registry (or a ``metrics.json`` snapshot dict) as
+    Prometheus text exposition.
+
+    Counters are exposed with the conventional ``_total`` suffix, gauges
+    verbatim, and histogram digests as summaries (``{quantile="0.5"}``
+    series plus ``_sum``/``_count``).  ``labels`` (e.g. ``{"program":
+    "security_sha", "seed": "1"}``) are attached to every sample so a
+    daemon can serve many concurrent tunes from one endpoint."""
+    snap = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    # a resumed run's snapshot nests totals under "cumulative"; a scrape
+    # wants the totals
+    snap = snap.get("cumulative") or snap
+    label_str = ""
+    if labels:
+        pairs = ",".join(
+            f'{_NAME_RE.sub("_", k)}="{str(v)}"' for k, v in sorted(labels.items())
+        )
+        label_str = "{" + pairs + "}"
+    lines: List[str] = []
+    for name, value in sorted((snap.get("counters") or {}).items()):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{label_str} {_prom_value(value)}")
+    for name, value in sorted((snap.get("gauges") or {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{label_str} {_prom_value(value)}")
+    for name, digest in sorted((snap.get("histograms") or {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for q_key, q in (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99")):
+            if q_key not in digest:
+                continue
+            if labels:
+                q_labels = label_str[:-1] + f',quantile="{q}"}}'
+            else:
+                q_labels = f'{{quantile="{q}"}}'
+            lines.append(f"{metric}{q_labels} {_prom_value(digest[q_key])}")
+        lines.append(f"{metric}_sum{label_str} {_prom_value(digest.get('sum', 0))}")
+        lines.append(
+            f"{metric}_count{label_str} {_prom_value(digest.get('count', 0))}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    source: Union[MetricsRegistry, Dict[str, object]],
+    path: Union[str, Path],
+    prefix: str = "repro",
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Write :func:`prometheus_text` to ``path``; returns the text."""
+    text = prometheus_text(source, prefix=prefix, labels=labels)
+    with open(Path(path), "w") as fh:
+        fh.write(text)
+    return text

@@ -33,7 +33,14 @@ import math
 from threading import Lock
 from typing import Dict, List, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "merge_snapshots",
+]
 
 
 class _Instrument:
@@ -246,6 +253,58 @@ class MetricsRegistry(_Instrument):
             for k in ("count", "mean", "p50", "p99"):
                 out[f"{name}.{k}"] = digest[k]
         return out
+
+
+def merge_snapshots(snapshots: List[Dict[str, Dict[str, object]]]) -> Dict[str, Dict[str, object]]:
+    """Merge registry snapshots from successive run *epochs* into totals.
+
+    A resumed run is several processes writing the same run directory;
+    each leaves one snapshot.  The merge semantics are "total work
+    performed across all processes": counters sum, gauges take the last
+    epoch's value, and histograms combine exactly on ``count``/``sum``/
+    ``min``/``max`` (``mean`` recomputed) while the quantile estimates
+    are taken from the epoch with the most observations — per-sample
+    streams are not persisted, so cross-epoch quantiles cannot be
+    reconstructed and an approximation beats dropping epochs.
+    """
+    out: Dict[str, Dict[str, object]] = {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    quantile_src: Dict[str, float] = {}  # per-histogram largest epoch count
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, v in (snap.get("counters") or {}).items():
+            cur = out["counters"].get(name, 0)
+            total = cur + v
+            out["counters"][name] = (
+                int(total) if float(total) == int(total) else total
+            )
+        for name, v in (snap.get("gauges") or {}).items():
+            out["gauges"][name] = v
+        for name, digest in (snap.get("histograms") or {}).items():
+            agg = out["histograms"].get(name)
+            if agg is None:
+                out["histograms"][name] = dict(digest)
+                quantile_src[name] = digest.get("count", 0)
+                continue
+            prev_count = agg["count"]
+            agg["count"] = prev_count + digest["count"]
+            agg["sum"] = agg["sum"] + digest["sum"]
+            if digest["count"]:
+                if prev_count:
+                    agg["min"] = min(agg["min"], digest["min"])
+                    agg["max"] = max(agg["max"], digest["max"])
+                else:
+                    agg["min"], agg["max"] = digest["min"], digest["max"]
+            agg["mean"] = agg["sum"] / agg["count"] if agg["count"] else 0.0
+            if digest.get("count", 0) >= quantile_src.get(name, 0):
+                quantile_src[name] = digest.get("count", 0)
+                for q in ("p50", "p90", "p99"):
+                    agg[q] = digest[q]
+    return out
 
 
 _DEFAULT = MetricsRegistry()

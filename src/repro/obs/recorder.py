@@ -30,6 +30,22 @@ with ``resume=True`` (what ``repro tune --resume`` does) appends to the
 existing event stream instead of truncating it, first terminating any
 torn trailing line so the seam stays parseable, and preserves the
 original manifest.
+
+Resumed runs are **epoch-aware**: each process that writes into the run
+directory is one *epoch*.  A resuming recorder emits a ``resume_epoch``
+marker event into ``events.jsonl`` (consumers use it to re-anchor the
+relative ``ts`` clock, which restarts per process) and folds the prior
+process's ``metrics.json`` into the new snapshot — the top-level
+counters/gauges/histograms stay this epoch's registry (back-compat),
+while ``epoch``/``epochs``/``cumulative`` keys carry the per-epoch
+history and the merged totals (see :meth:`RunRecorder.write_metrics`).
+
+The recorder also accounts for its own cost: wall seconds spent
+serialising events and artifacts accumulate in
+:attr:`RunRecorder.overhead_seconds`, surface as the ``obs.overhead``
+span in the event stream at close, and as the ``obs.overhead_seconds``
+counter — the self-overhead guard (tests assert it stays under 5% of a
+traced tune) reads exactly these.
 """
 
 from __future__ import annotations
@@ -38,10 +54,11 @@ import dataclasses
 import json
 import os
 import subprocess
+import time
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
 from repro.obs.trace import Tracer
 
 __all__ = [
@@ -50,6 +67,7 @@ __all__ = [
     "count_malformed_lines",
     "git_revision",
     "read_events",
+    "tail_jsonl",
 ]
 
 #: fsync ``events.jsonl`` every this many events (always flushed per event).
@@ -154,6 +172,29 @@ class RunRecorder:
         self._metrics_written = False
         self._closed = False
         self._events_since_fsync = 0
+        #: wall seconds this recorder spent serialising events + artifacts
+        self.overhead_seconds = 0.0
+
+        # resume: fold the killed/stopped process's metrics snapshot into
+        # the epoch history so cumulative counts survive the process swap.
+        # (A SIGKILL'd run never wrote metrics.json — then there is simply
+        # no epoch-1 snapshot to preserve, and the WAL remains the honest
+        # progress record.)
+        self._prior_epochs: List[Dict[str, object]] = []
+        #: processes that wrote this run dir before us (0 on a fresh run);
+        #: counted from durable evidence, not metrics snapshots, so a
+        #: SIGKILL'd first epoch still advances the epoch index
+        self._prior_processes = 0
+        if resume:
+            prior = self._load_prior_metrics()
+            if prior:
+                kept = {
+                    k: prior[k]
+                    for k in ("counters", "gauges", "histograms")
+                    if k in prior
+                }
+                self._prior_epochs = list(prior.get("epochs") or []) + [kept]
+            self._prior_processes = 1 + self._count_resume_markers()
 
         manifest_path = self.path / "manifest.json"
         if resume and manifest_path.exists():
@@ -180,6 +221,48 @@ class RunRecorder:
             self._events_file.write("\n")
             self._events_file.flush()
         self.tracer = Tracer(sink=self.write_event, keep=keep)
+        if resume:
+            # seam marker: the relative `ts` clock restarts with this
+            # process, so stream consumers (watch, the Chrome exporter)
+            # re-anchor their epoch offset at this event
+            self.write_event(
+                {"type": "event", "name": "resume_epoch", "epoch": self.epoch}
+            )
+
+    def _load_prior_metrics(self) -> Dict[str, object]:
+        try:
+            with open(self.path / "metrics.json") as fh:
+                prior = json.load(fh)
+            return prior if isinstance(prior, dict) else {}
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def _count_resume_markers(self) -> int:
+        """Prior ``resume_epoch`` seam markers in the existing event log."""
+        markers = 0
+        try:
+            with open(self.path / "events.jsonl", "rb") as fh:
+                for raw in fh:
+                    if b'"resume_epoch"' in raw:
+                        markers += 1
+        except OSError:
+            pass
+        return markers
+
+    @property
+    def epoch(self) -> int:
+        """1-based index of the process writing the run dir right now.
+
+        A graceful predecessor leaves a metrics snapshot per epoch; a
+        SIGKILL'd one leaves only its seam-marker trail — both count."""
+        return max(len(self._prior_epochs), self._prior_processes) + 1
+
+    def _sync_overhead_counter(self, reg: MetricsRegistry) -> None:
+        """Bring ``obs.overhead_seconds`` up to the accumulated total."""
+        counter = reg.counter("obs.overhead_seconds")
+        delta = self.overhead_seconds - counter.value
+        if delta > 0:
+            counter.inc(delta)
 
     # -- streaming --------------------------------------------------------------
     def write_event(self, event: Dict[str, object]) -> None:
@@ -188,12 +271,14 @@ class RunRecorder:
         Flushed per event so a killed run loses no complete events;
         fsync'd every :data:`EVENT_FSYNC_INTERVAL` events to bound what a
         power loss can take without an fsync per span."""
+        t0 = time.perf_counter()
         self._events_file.write(json.dumps(_jsonable(event), sort_keys=True) + "\n")
         self._events_file.flush()
         self._events_since_fsync += 1
         if self._events_since_fsync >= EVENT_FSYNC_INTERVAL:
             os.fsync(self._events_file.fileno())
             self._events_since_fsync = 0
+        self.overhead_seconds += time.perf_counter() - t0
 
     def flush(self) -> None:
         self._events_file.flush()
@@ -209,28 +294,65 @@ class RunRecorder:
 
     # -- artifacts --------------------------------------------------------------
     def write_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
-        """Snapshot ``registry`` (default: the attached one) to metrics.json."""
+        """Snapshot ``registry`` (default: the attached one) to metrics.json.
+
+        The top level keeps this process's registry snapshot (so existing
+        consumers see the shape they always did).  A resumed run
+        additionally records ``epoch`` (1-based process index),
+        ``epochs`` (the prior processes' snapshots, oldest first), and
+        ``cumulative`` (the :func:`~repro.obs.metrics.merge_snapshots`
+        totals across every epoch — true cumulative counts for runs that
+        were stopped and resumed)."""
+        t0 = time.perf_counter()
         reg = registry if registry is not None else self.registry
-        _atomic_write_json(self.path / "metrics.json", reg.snapshot())
+        self._sync_overhead_counter(reg)
+        snap = reg.snapshot()
+        if self._prior_epochs or self.epoch > 1:
+            current = {k: dict(v) for k, v in snap.items()}
+            snap["epoch"] = self.epoch
+            snap["epochs"] = self._prior_epochs
+            snap["cumulative"] = merge_snapshots(self._prior_epochs + [current])
+        _atomic_write_json(self.path / "metrics.json", snap)
         self._metrics_written = True
+        self.overhead_seconds += time.perf_counter() - t0
 
     def write_result(self, result) -> None:
         """Write the final result (a TuningResult, dataclass, or dict)."""
+        t0 = time.perf_counter()
         if hasattr(result, "to_dict"):
             payload = result.to_dict()
         else:
             payload = result
         _atomic_write_json(self.path / "result.json", payload)
+        self.overhead_seconds += time.perf_counter() - t0
 
     # -- lifecycle --------------------------------------------------------------
     def close(self) -> None:
         """Flush, fsync and close the event stream (idempotent); writes
-        the metrics snapshot if the caller never did."""
+        the metrics snapshot if the caller never did.
+
+        Emits the ``obs.overhead`` self-accounting span as the stream's
+        final event: its ``wall`` is every second this recorder spent
+        serialising, flushing, and fsyncing — the cost of observing the
+        run, visible in the same span table as the run itself."""
         if self._closed:
             return
         self._closed = True
+        self._sync_overhead_counter(self.registry)
         if not self._metrics_written:
             self.write_metrics()
+        self.write_event(
+            {
+                "type": "span",
+                "name": "obs.overhead",
+                "ts": time.perf_counter() - self.tracer._epoch,
+                "wall": self.overhead_seconds,
+                "cpu": 0.0,
+                "depth": 1,
+                "parent": None,
+                "thread": "recorder",
+            }
+        )
         self._events_file.flush()
         os.fsync(self._events_file.fileno())
         self._events_file.close()
@@ -242,18 +364,80 @@ class RunRecorder:
         self.close()
 
 
+def tail_jsonl(
+    path: Union[str, Path], offset: int = 0
+) -> Tuple[List[Dict[str, object]], int, int]:
+    """Incrementally read complete JSONL records starting at byte ``offset``.
+
+    Returns ``(records, new_offset, n_malformed)``.  The contract that
+    makes this safe to poll against a *live* writer:
+
+    * only newline-**terminated** lines are consumed — a torn trailing
+      line (the writer flushed mid-record, or the process died there) is
+      left unconsumed, so ``new_offset`` points at its first byte and the
+      next call re-reads it once the writer completes it;
+    * newline-terminated lines that still fail to parse are permanently
+      malformed (e.g. the pre-kill tail a resuming writer newline-
+      terminated): they are skipped, counted in ``n_malformed``, and the
+      offset moves past them;
+    * a missing file reads as ``([], offset, 0)`` — the watcher may start
+      polling before the run's first event.
+
+    Byte offsets (not line numbers) are the resume token: they stay valid
+    across process restarts and never require re-reading the prefix.
+    """
+    p = Path(path)
+    records: List[Dict[str, object]] = []
+    malformed = 0
+    try:
+        fh = open(p, "rb")
+    except OSError:
+        return records, int(offset), malformed
+    with fh:
+        fh.seek(int(offset))
+        pos = int(offset)
+        for raw in fh:
+            if not raw.endswith(b"\n"):
+                break  # torn tail: leave unconsumed for the next poll
+            pos += len(raw)
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line.decode("utf-8", "replace")))
+            except json.JSONDecodeError:
+                malformed += 1
+    return records, pos, malformed
+
+
 def read_events(
-    path: Union[str, Path], strict: bool = False
-) -> List[Dict[str, object]]:
+    path: Union[str, Path],
+    strict: bool = False,
+    follow: bool = False,
+    offset: int = 0,
+):
     """Parse an ``events.jsonl`` back into a list of event dicts.
 
     A run killed mid-write leaves a truncated final line; by default such
     unparseable lines are skipped so an interrupted run still loads (the
     complete-line prefix is exactly what the recorder guarantees).  Pass
     ``strict=True`` to raise on any malformed line instead.  Use
-    :func:`count_malformed_lines` to detect truncation explicitly."""
+    :func:`count_malformed_lines` to detect truncation explicitly.
+
+    ``follow=True`` switches to the incremental-tail contract of
+    :func:`tail_jsonl`: reading starts at byte ``offset``, only complete
+    lines are consumed (a torn tail is *not* skipped-and-passed, it stays
+    unconsumed for the next call), and the return value becomes the pair
+    ``(events, new_offset)`` — feed ``new_offset`` back in to stream a
+    live run without re-reading its prefix.  ``repro watch`` and the run
+    analyzer both read through this path."""
+    if follow:
+        events, new_offset, _ = tail_jsonl(path, offset=offset)
+        return events, new_offset
     events = []
     with open(Path(path)) as fh:
+        if offset:
+            fh.seek(int(offset))
         for line in fh:
             line = line.strip()
             if not line:

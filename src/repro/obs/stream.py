@@ -1,0 +1,426 @@
+"""Live streaming of recorded runs: incremental tailing + ``repro watch``.
+
+Everything a tune writes is streamed durably as it happens — trace events
+to ``events.jsonl`` (flushed per event) and measurement verdicts to the
+write-ahead ``wal.jsonl`` (fsync'd per record).  This module reads those
+streams *incrementally* and keeps a rolling picture of the run:
+
+* :class:`RunWatcher` — owns the byte offsets into both streams
+  (:func:`repro.obs.recorder.tail_jsonl` semantics: torn tails are left
+  unconsumed, so polling a live writer is race-free) and folds every new
+  record into a :class:`WatchState`;
+* :func:`render` — the terminal dashboard: progress, incumbent curve,
+  cache/failure/quarantine/GP-refit counters, ETA;
+* :func:`watch` — the poll loop behind ``repro watch RUN_DIR``.
+
+The same code path serves three run shapes:
+
+* a **live** run — offsets advance as the writer appends; a torn tail is
+  simply not-yet-data;
+* a **killed** run — the streams stop growing, ``result.json`` never
+  appears, and the dashboard reports the WAL-proven progress plus the
+  exact ``--resume`` command;
+* a **resumed** run — the WAL is one continuous log across processes
+  (replayed measurements append nothing), while ``events.jsonl``'s
+  relative ``ts`` clock restarts per process; ``resume_epoch`` marker
+  events let :func:`normalize_epochs` splice the epochs into one
+  monotonic timeline.
+
+No run-side cooperation is needed beyond the artifacts every traced tune
+already writes; the watcher never holds the files open between polls, so
+it can outlive (and predate) the writer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.obs.recorder import tail_jsonl
+
+__all__ = ["RunWatcher", "WatchState", "normalize_epochs", "render", "watch"]
+
+
+def normalize_epochs(events: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Splice per-process event streams into one monotonic timeline.
+
+    Every recorder process stamps events with ``ts`` relative to its own
+    epoch, so a resumed run's stream jumps backwards at the seam.  Each
+    ``resume_epoch`` marker re-anchors the offset at the latest span end
+    seen so far; events after it are shifted forward.  Events whose ``ts``
+    is already monotonic are returned unchanged (same dicts, no copies) —
+    the common single-epoch case costs one pass and no allocation.
+    """
+    offset = 0.0
+    max_end = 0.0
+    shifted: List[Dict[str, object]] = []
+    any_shift = False
+    for e in events:
+        if e.get("name") == "resume_epoch":
+            offset = max_end
+            any_shift = True
+            continue  # the marker itself carries no timing
+        ts = e.get("ts")
+        if ts is None:
+            shifted.append(e)
+            continue
+        if offset:
+            e = dict(e, ts=ts + offset)
+            ts = e["ts"]
+        shifted.append(e)
+        max_end = max(max_end, ts + (e.get("wall") or 0.0))
+    return shifted if any_shift else [e for e in events if e.get("name") != "resume_epoch"]
+
+
+@dataclass
+class WatchState:
+    """One refresh's rolling view of a run directory."""
+
+    path: Path
+    manifest: Dict[str, object] = field(default_factory=dict)
+    #: measurements proven durable by the WAL (continuous across resumes)
+    n_measurements: int = 0
+    #: budget slots the tuner has recorded (<= n_measurements)
+    n_slots: int = 0
+    #: best-so-far runtime after each slot (the incumbent curve)
+    best_history: List[float] = field(default_factory=list)
+    #: last slot's measured runtime (inf when infeasible)
+    last_runtime: float = math.inf
+    #: counts of non-ok slot statuses, e.g. {"crash": 2}
+    failures: Dict[str, int] = field(default_factory=dict)
+    #: -O3 anchor runtime from the WAL anchor record (None before it lands)
+    o3_runtime: Optional[float] = None
+    #: flattened counters, freshest source wins (metrics.json > events)
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: monotonic traced seconds (epoch-normalized last span end)
+    elapsed: float = 0.0
+    #: recorder epoch currently writing (1 = never resumed)
+    epoch: int = 1
+    #: total events parsed so far / permanently malformed lines
+    n_events: int = 0
+    n_malformed: int = 0
+    finished: bool = False
+    interrupted: bool = False
+    result: Dict[str, object] = field(default_factory=dict)
+    #: seconds since the WAL or event stream last grew (None: no file yet)
+    stale_seconds: Optional[float] = None
+
+    @property
+    def budget(self) -> Optional[int]:
+        b = self.manifest.get("budget")
+        return int(b) if isinstance(b, (int, float)) else None
+
+    @property
+    def best_runtime(self) -> Optional[float]:
+        finite = [v for v in self.best_history if math.isfinite(v)]
+        return min(finite) if finite else None
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining-budget estimate at the observed slot rate.
+
+        Right after a resume the estimate runs hot (replay re-covers old
+        slots in near-zero traced time) and converges as live slots
+        accumulate."""
+        budget = self.budget
+        if budget is None or self.n_measurements <= 0 or self.elapsed <= 0:
+            return None
+        remaining = max(0, budget - self.n_measurements)
+        return remaining * (self.elapsed / self.n_measurements)
+
+    @property
+    def resumable(self) -> bool:
+        return (
+            not self.finished
+            and self.n_measurements > 0
+            and self.manifest.get("command") == "tune"
+        )
+
+    def speedup(self, runtime: Optional[float]) -> Optional[float]:
+        if runtime is None or not self.o3_runtime:
+            return None
+        return self.o3_runtime / runtime if runtime > 0 else None
+
+
+class RunWatcher:
+    """Incremental reader of one run directory.
+
+    Construct once, call :meth:`refresh` per poll: each call tails only
+    the bytes appended since the previous one and folds them into the
+    retained :class:`WatchState`.  The watcher is tolerant of every
+    not-yet state — missing directory, missing streams, torn tails — so
+    it can be pointed at a run directory before the tune starts.
+    """
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.path = Path(run_dir)
+        self.state = WatchState(path=self.path)
+        self._events_offset = 0
+        self._wal_offset = 0
+        self._manifest_loaded = False
+
+    # -- one poll ---------------------------------------------------------------
+    def refresh(self) -> WatchState:
+        st = self.state
+        if not self._manifest_loaded:
+            st.manifest = self._load_json(self.path / "manifest.json")
+            self._manifest_loaded = bool(st.manifest)
+        self._consume_wal()
+        self._consume_events()
+        self._read_result()
+        st.stale_seconds = self._staleness()
+        return st
+
+    # -- stream consumption -----------------------------------------------------
+    def _consume_wal(self) -> None:
+        records, self._wal_offset, _ = tail_jsonl(
+            self.path / "wal.jsonl", offset=self._wal_offset
+        )
+        st = self.state
+        for rec in records:
+            kind = rec.get("type")
+            if kind == "measure":
+                st.n_measurements += 1
+            elif kind == "slot":
+                st.n_slots += 1
+                runtime = rec.get("runtime")
+                try:
+                    runtime = float(runtime)
+                except (TypeError, ValueError):
+                    runtime = math.inf
+                st.last_runtime = runtime
+                prev = st.best_history[-1] if st.best_history else math.inf
+                st.best_history.append(min(prev, runtime))
+                status = str(rec.get("status") or "")
+                if status and status != "ok":
+                    st.failures[status] = st.failures.get(status, 0) + 1
+            elif kind == "anchor":
+                o3 = rec.get("o3_runtime")
+                if isinstance(o3, (int, float)) and o3 > 0:
+                    st.o3_runtime = float(o3)
+
+    def _consume_events(self) -> None:
+        events, self._events_offset, malformed = tail_jsonl(
+            self.path / "events.jsonl", offset=self._events_offset
+        )
+        st = self.state
+        st.n_malformed += malformed
+        for e in normalize_epochs(events):
+            st.n_events += 1
+            ts = e.get("ts")
+            if ts is not None:
+                st.elapsed = max(st.elapsed, float(ts) + (e.get("wall") or 0.0))
+            if e.get("name") == "metrics":
+                attrs = e.get("attrs") or {}
+                flat = attrs.get("metrics")
+                if isinstance(flat, dict):
+                    st.counters.update(flat)
+        # the raw (pre-splice) stream carries the epoch markers
+        for e in events:
+            if e.get("name") == "resume_epoch":
+                epoch = e.get("epoch")
+                if isinstance(epoch, (int, float)):
+                    st.epoch = max(st.epoch, int(epoch))
+
+    def _read_result(self) -> None:
+        st = self.state
+        if st.finished:
+            return
+        result = self._load_json(self.path / "result.json")
+        if result:
+            st.finished = True
+            st.result = result
+            extras = result.get("extras") or {}
+            st.interrupted = bool(extras.get("interrupted"))
+            metrics = self._load_json(self.path / "metrics.json")
+            if metrics:
+                # a finished run's snapshot beats any mid-run metrics
+                # event; resumed runs expose merged totals in cumulative
+                source = metrics.get("cumulative") or metrics
+                st.counters.update(source.get("counters") or {})
+                st.epoch = max(st.epoch, int(metrics.get("epoch") or 1))
+
+    # -- helpers ----------------------------------------------------------------
+    @staticmethod
+    def _load_json(path: Path) -> Dict[str, object]:
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            return data if isinstance(data, dict) else {}
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def _staleness(self) -> Optional[float]:
+        newest = None
+        for name in ("wal.jsonl", "events.jsonl"):
+            try:
+                mtime = (self.path / name).stat().st_mtime
+            except OSError:
+                continue
+            newest = mtime if newest is None else max(newest, mtime)
+        return None if newest is None else max(0.0, time.time() - newest)
+
+
+# -- rendering -------------------------------------------------------------------
+
+
+def _fmt_seconds(s: Optional[float]) -> str:
+    if s is None or not math.isfinite(s):
+        return "?"
+    if s < 120:
+        return f"{s:.0f}s"
+    return f"{s / 60:.1f}m"
+
+
+def _progress_bar(done: int, total: Optional[int], width: int = 30) -> str:
+    if not total:
+        return f"[{'?' * width}] {done} measurements"
+    frac = min(1.0, done / total)
+    fill = int(round(frac * width))
+    return f"[{'#' * fill}{'.' * (width - fill)}] {done}/{total}"
+
+
+def _curve(values: List[float], width: int = 58, height: int = 9) -> List[str]:
+    """One-series best-so-far ASCII curve (finite values only)."""
+    from repro.reporting import ascii_series
+
+    return ascii_series(values, width=width, height=height)
+
+
+def _counter(counters: Dict[str, float], name: str) -> float:
+    v = counters.get(name)
+    try:
+        return float(v)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def render(state: WatchState, width: int = 58) -> str:
+    """The dashboard frame for one :class:`WatchState`."""
+    man = state.manifest
+    head = (
+        f"watch {state.path.name} · {man.get('program', '?')} · "
+        f"{man.get('tuner', '?')} · seed {man.get('seed', '?')}"
+    )
+    if state.epoch > 1:
+        head += f" · epoch {state.epoch} (resumed)"
+    lines = [head]
+
+    if state.finished and not state.interrupted:
+        status = "FINISHED"
+    elif state.finished:
+        status = "STOPPED (graceful, resumable)"
+    elif state.n_measurements == 0 and state.n_events == 0:
+        status = "WAITING (no artifacts yet)"
+    elif state.stale_seconds is not None and state.stale_seconds > 15.0:
+        status = f"STALLED? (no writes for {_fmt_seconds(state.stale_seconds)})"
+    else:
+        status = "RUNNING"
+    lines.append(
+        f"state: {status} | {_progress_bar(state.n_measurements, state.budget)}"
+        f" | elapsed {_fmt_seconds(state.elapsed)}"
+        + (
+            f" | eta ~{_fmt_seconds(state.eta_seconds)}"
+            if not state.finished and state.eta_seconds is not None
+            else ""
+        )
+    )
+
+    best = state.best_runtime
+    if best is not None:
+        sp = state.speedup(best)
+        last = state.last_runtime
+        lines.append(
+            f"best: {best * 1e6:.2f} us"
+            + (f" ({sp:.3f}x over -O3)" if sp is not None else "")
+            + (
+                f" | last: {last * 1e6:.2f} us"
+                if math.isfinite(last)
+                else " | last: infeasible"
+            )
+        )
+        # incumbent curve: speedup when the anchor landed, runtime otherwise
+        if state.o3_runtime:
+            values = [
+                state.o3_runtime / v if math.isfinite(v) and v > 0 else math.nan
+                for v in state.best_history
+            ]
+        else:
+            values = [
+                v * 1e6 if math.isfinite(v) else math.nan
+                for v in state.best_history
+            ]
+        lines.extend(_curve(values, width=width))
+    else:
+        lines.append("best: (no feasible measurement yet)")
+
+    c = state.counters
+    hits = _counter(c, "engine.cache_hits")
+    misses = _counter(c, "engine.cache_misses")
+    cache = f"{hits / (hits + misses):.0%} cache hits" if hits + misses else "cache ?"
+    refits = int(_counter(c, "citroen.gp.refits"))
+    extends = int(_counter(c, "citroen.gp.extends"))
+    n_failures = sum(state.failures.values())
+    fail_detail = (
+        " (" + ", ".join(f"{k} {v}" for k, v in sorted(state.failures.items())) + ")"
+        if state.failures
+        else ""
+    )
+    lines.append(
+        f"counters: {cache} · {n_failures} infeasible{fail_detail} · "
+        f"{int(_counter(c, 'engine.quarantine_hits'))} quarantine hits · "
+        f"gp {refits} refits / {extends} extends"
+    )
+    lines.append(
+        f"streams: wal {state.n_measurements} measurements durable · "
+        f"events {state.n_events}"
+        + (f" ({state.n_malformed} torn)" if state.n_malformed else "")
+    )
+    if not state.finished and state.resumable:
+        lines.append(f"resume: python -m repro tune --resume {state.path}")
+    if state.finished:
+        res = state.result
+        n = res.get("n_measurements", state.n_measurements)
+        lines.append(
+            f"result: {n} measurements recorded — "
+            f"python -m repro analyze {state.path}"
+        )
+    return "\n".join(lines)
+
+
+# -- the poll loop ----------------------------------------------------------------
+
+
+def watch(
+    run_dir: Union[str, Path],
+    interval: float = 1.0,
+    once: bool = False,
+    max_frames: Optional[int] = None,
+    out: Callable[[str], None] = print,
+    clear: bool = False,
+) -> WatchState:
+    """Follow a run directory until its run finishes (or forever).
+
+    ``once=True`` renders a single frame and returns — the scriptable
+    mode CI uses.  ``max_frames`` bounds the loop for tests.  ``clear``
+    prepends an ANSI home+clear so a terminal shows a refreshing
+    dashboard rather than a scroll.  Returns the final state.
+    """
+    watcher = RunWatcher(run_dir)
+    frames = 0
+    while True:
+        state = watcher.refresh()
+        frame = render(state)
+        if clear:
+            frame = "\x1b[H\x1b[2J" + frame
+        out(frame)
+        frames += 1
+        if once or state.finished:
+            return state
+        if max_frames is not None and frames >= max_frames:
+            return state
+        time.sleep(max(0.05, float(interval)))

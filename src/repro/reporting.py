@@ -17,6 +17,7 @@ from repro.core.result import TuningResult
 
 __all__ = [
     "ascii_curve",
+    "ascii_series",
     "leaderboard",
     "span_table",
     "stats_table",
@@ -82,6 +83,43 @@ def ascii_curve(
     for ch, name in marks.items():
         lines.append(f"   {ch} = {name}")
     return "\n".join(lines)
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 58,
+    height: int = 9,
+    unit: str = "slots",
+) -> List[str]:
+    """One-series ASCII curve; non-finite values become gaps.
+
+    The single-run counterpart of :func:`ascii_curve`, shared with the live
+    ``repro watch`` dashboard, which streams a best-so-far history that can
+    still contain the ``inf`` infeasibility sentinel.
+    """
+    finite = [(i, v) for i, v in enumerate(values) if np.isfinite(v)]
+    if not finite:
+        return ["(no feasible measurements yet)"]
+    lo = min(v for _, v in finite)
+    hi = max(v for _, v in finite)
+    if hi - lo < 1e-12:
+        hi = lo + 1e-12
+    grid = [[" "] * width for _ in range(height)]
+    n = len(values)
+    for col in range(width):
+        i = min(n - 1, int(col / max(1, width - 1) * (n - 1)))
+        v = float(values[i])
+        if not np.isfinite(v):
+            continue
+        row = int((v - lo) / (hi - lo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    out = []
+    for r, row in enumerate(grid):
+        label = hi - (hi - lo) * r / (height - 1)
+        out.append(f"{label:10.3f} |{''.join(row)}")
+    out.append(" " * 11 + "+" + "-" * width)
+    out.append(" " * 12 + f"1 ... {n} {unit}")
+    return out
 
 
 def leaderboard(results: Dict[str, TuningResult], at: Optional[int] = None) -> str:

@@ -215,7 +215,8 @@ class TestRunRecorder:
             with rec.tracer.span("phase", module="m0"):
                 rec.tracer.event("tick", value=float("inf"))
         events = read_events(tmp_path / "run" / "events.jsonl")
-        assert [e["name"] for e in events] == ["tick", "phase"]
+        # close() appends the recorder's own self-accounting span last
+        assert [e["name"] for e in events] == ["tick", "phase", "obs.overhead"]
         assert events[1]["attrs"] == {"module": "m0"}
         assert events[0]["attrs"]["value"] == "inf"  # non-finite stringified
 
