@@ -8,9 +8,13 @@ Commands
 ``motivate``   print the Table 5.1 motivation rows live
 ``compare``    run several tuners on one program and print the leaderboard
 ``watch``      live terminal dashboard over a (possibly still running)
-               traced run directory
+               traced run directory (``--json`` for a one-shot
+               machine-readable snapshot)
 ``analyze``    render a markdown report from a recorded run directory
                (``--chrome-trace``/``--prometheus`` export standard formats)
+``explain``    replay a recorded run's incumbent configuration with
+               per-pass tracing and attribute its speedup by ablation
+               (leave-one-out + prefix replays; flags no-op passes)
 ``diff``       compare two recorded runs (or two ``repro bench`` JSON
                payloads, or one run against ``--against warehouse:last-N``);
                non-zero exit on regression
@@ -134,6 +138,7 @@ _MANIFEST_ARGS = (
     "metrics_every",
     "tuner",
     "prior_bank",
+    "pipeline_trace",
 )
 
 
@@ -188,6 +193,7 @@ def _make_task(
         metrics=recorder.registry if recorder is not None else None,
         metrics_every=getattr(args, "metrics_every", 0),
         measure_engine=getattr(args, "measure_engine", "bytecode"),
+        pipeline_trace=getattr(args, "pipeline_trace", "off") or "off",
         wal=wal,
         kill_after_iter=getattr(args, "kill_after_iter", None),
     )
@@ -558,9 +564,15 @@ def _write_compare_json(trace_dir: str, args: argparse.Namespace, results) -> No
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
-    from repro.obs.stream import watch
+    from repro.obs.stream import RunWatcher, watch
 
     log = configure_logging(args.log_level)
+    if args.json:
+        # one-shot machine-readable snapshot: the WatchState as JSON on
+        # stdout, same exit-code contract as --once (0 ok, 3 interrupted)
+        state = RunWatcher(args.run_dir).refresh()
+        print(json.dumps(state.to_dict(), indent=1, sort_keys=True))
+        return 3 if state.interrupted else 0
     clear = sys.stdout.isatty() and not args.once
     try:
         state = watch(
@@ -612,6 +624,40 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.explain import explain_run
+    from repro.obs.trace import Tracer
+
+    log = configure_logging(args.log_level)
+    tracer = Tracer(enabled=True) if args.chrome_trace else None
+    try:
+        report = explain_run(
+            args.run_dir,
+            prefixes=not args.no_prefixes,
+            tracer=tracer,
+            write_json=not args.no_json,
+        )
+    except (FileNotFoundError, ValueError, KeyError) as exc:
+        raise SystemExit(str(exc))
+    text = report.render()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+    if args.chrome_trace:
+        from repro.obs.export import write_chrome_trace
+
+        trace = write_chrome_trace(tracer.events(), args.chrome_trace)
+        log.info(
+            f"wrote {args.chrome_trace} "
+            f"({len(trace['traceEvents'])} trace events; load it in "
+            "https://ui.perfetto.dev)"
+        )
+    if not args.no_json:
+        log.info(f"wrote {Path(report.run_dir) / 'explain.json'}")
+    log.info(text.rstrip())
+    return 0
+
+
 def _cmd_obs_index(args: argparse.Namespace) -> int:
     from repro.obs.warehouse import Warehouse
 
@@ -635,14 +681,19 @@ def _cmd_obs_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_history(args: argparse.Namespace) -> int:
-    from repro.obs.warehouse import Warehouse, history_table
+    from repro.obs.warehouse import Warehouse, history_table, pass_history_table
 
     log = configure_logging(args.log_level)
     if not os.path.exists(args.db):
         raise SystemExit(f"no warehouse at {args.db} (run `repro obs index` first)")
     try:
         with Warehouse(args.db) as wh:
-            log.info(history_table(wh, benchmark=args.benchmark).rstrip())
+            if args.passes:
+                log.info(
+                    pass_history_table(wh, benchmark=args.benchmark).rstrip()
+                )
+            else:
+                log.info(history_table(wh, benchmark=args.benchmark).rstrip())
     except ValueError as exc:
         raise SystemExit(str(exc))
     return 0
@@ -870,6 +921,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after N frames even if the run is still going",
     )
     watch.add_argument(
+        "--json", action="store_true",
+        help="print one machine-readable WatchState snapshot as JSON and "
+        "exit (implies --once; exit code 3 when the run ended interrupted)",
+    )
+    watch.add_argument(
         "--log-level", choices=["debug", "info", "warning", "error"], default="info"
     )
     watch.set_defaults(func=_cmd_watch)
@@ -901,6 +957,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", choices=["debug", "info", "warning", "error"], default="info"
     )
     analyze.set_defaults(func=_cmd_analyze)
+
+    explain = sub.add_parser(
+        "explain",
+        help="attribute a recorded run's speedup to individual passes: "
+        "replay the incumbent with per-pass tracing, then measure "
+        "leave-one-out and prefix ablations on the deterministic cost "
+        "model (writes explain.json into the run dir)",
+    )
+    explain.add_argument(
+        "run_dir",
+        help="a --trace-out directory with a result.json (or a directory "
+        "of runs; the latest is selected)",
+    )
+    explain.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the markdown report to FILE",
+    )
+    explain.add_argument(
+        "--chrome-trace", default=None, metavar="FILE",
+        help="also export the replay's pass.* spans as Chrome Trace "
+        "Event JSON",
+    )
+    explain.add_argument(
+        "--no-prefixes", action="store_true",
+        help="skip the prefix-replay curve (faster; leave-one-out "
+        "attribution and no-op detection still run)",
+    )
+    explain.add_argument(
+        "--no-json", action="store_true",
+        help="do not write explain.json into the run directory",
+    )
+    explain.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default="info"
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     obs = sub.add_parser(
         "obs",
@@ -935,6 +1026,13 @@ def build_parser() -> argparse.ArgumentParser:
     obs_history.add_argument(
         "--benchmark", default=None, metavar="PROGRAM",
         help="restrict to one benchmark program (default: all)",
+    )
+    obs_history.add_argument(
+        "--passes", action="store_true",
+        help="aggregate the fleet's per-pass attribution instead: which "
+        "passes appear in winning configurations, how often they change "
+        "the IR, and their marginal runtime contribution (fed by "
+        "explained runs; see `repro explain`)",
     )
     obs_history.add_argument(
         "--db", default="warehouse.sqlite", metavar="FILE",
@@ -1060,6 +1158,16 @@ def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
         help="disable CITROEN's per-iteration decision records and "
         "generator provenance counters (histories are bit-identical "
         "either way; this only drops the introspection data)",
+    )
+    grp.add_argument(
+        "--pipeline-trace", choices=["off", "incumbents", "all"],
+        default="off",
+        help="per-pass compiler observability: after a live measurement, "
+        "recompile its modules with a PassTrace and emit pass.* spans "
+        "(timing, changed flag, stats delta, IR delta per pass). "
+        "'incumbents' traces only best-so-far improvements (bounded "
+        "overhead); 'all' traces every live measurement; tuning "
+        "histories are bit-identical in every mode (needs --trace-out)",
     )
     grp.add_argument(
         "--log-level", choices=["debug", "info", "warning", "error"],

@@ -28,6 +28,8 @@ __all__ = [
     "function_may_write",
     "function_may_read",
     "escaped_allocas",
+    "module_profile",
+    "profile_delta",
     "rpo_order",
 ]
 
@@ -414,3 +416,58 @@ def escaped_allocas(fn: Function) -> Set[str]:
             else:
                 escaped.add(root)
     return escaped
+
+
+def module_profile(module: Module) -> Dict[str, object]:
+    """A cheap IR fingerprint: sizes and the instruction-mix histogram.
+
+    One linear walk over the module — no CFG analyses — so a
+    :class:`~repro.compiler.pass_manager.PassTrace` can afford to take it
+    after *every* pass application.  Returns::
+
+        {"instrs": int, "blocks": int,
+         "functions": {fn_name: n_instrs},
+         "mix": {opcode: count}}
+    """
+    mix: Dict[str, int] = {}
+    functions: Dict[str, int] = {}
+    blocks = 0
+    for fn in module.functions.values():
+        blocks += len(fn.blocks)
+        n = 0
+        for inst in fn.instructions():
+            n += 1
+            mix[inst.op] = mix.get(inst.op, 0) + 1
+        functions[fn.name] = n
+    return {
+        "instrs": sum(functions.values()),
+        "blocks": blocks,
+        "functions": functions,
+        "mix": mix,
+    }
+
+
+def profile_delta(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Non-zero differences between two :func:`module_profile` snapshots.
+
+    Scalar fields (``instrs``/``blocks``) always appear; the ``mix`` and
+    ``functions`` sub-dicts keep only the opcodes/functions whose counts
+    changed, so a no-op pass compresses to ``{"instrs": 0, "blocks": 0}``.
+    """
+    out: Dict[str, object] = {
+        "instrs": int(after["instrs"]) - int(before["instrs"]),
+        "blocks": int(after["blocks"]) - int(before["blocks"]),
+    }
+    for field_name in ("mix", "functions"):
+        b = before[field_name]
+        a = after[field_name]
+        changed = {
+            k: a.get(k, 0) - b.get(k, 0)
+            for k in sorted(set(a) | set(b))
+            if a.get(k, 0) != b.get(k, 0)
+        }
+        if changed:
+            out[field_name] = changed
+    return out

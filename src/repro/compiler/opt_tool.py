@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.compiler import passes as _passes  # noqa: F401  (registers passes)
 from repro.compiler.ir import Module
-from repro.compiler.pass_manager import PassManager, TargetInfo, registry
+from repro.compiler.pass_manager import PassManager, PassTrace, TargetInfo, registry
 from repro.compiler.statistics import StatsCollector
 
 __all__ = ["CompileResult", "run_opt", "available_passes"]
@@ -27,6 +27,8 @@ class CompileResult:
     module: Module
     stats: StatsCollector
     sequence: List[str]
+    #: per-pass application records when the compile was traced
+    trace: Optional[PassTrace] = None
 
     def stats_json(self) -> Dict[str, int]:
         """Flat ``{"pass.Counter": value}`` statistics dict."""
@@ -38,12 +40,17 @@ def run_opt(
     sequence: Sequence[str],
     target: Optional[TargetInfo] = None,
     verify_each: bool = False,
+    trace: Optional[PassTrace] = None,
 ) -> CompileResult:
-    """Apply ``sequence`` to a *clone* of ``module``; the input is untouched."""
+    """Apply ``sequence`` to a *clone* of ``module``; the input is untouched.
+
+    ``trace`` (a :class:`~repro.compiler.pass_manager.PassTrace`) records
+    per-pass timing, statistics deltas, and IR fingerprint deltas without
+    changing the compile's output."""
     work = module.clone()
     pm = PassManager(sequence, target=target, verify_each=verify_each)
-    stats = pm.run(work)
-    return CompileResult(work, stats, list(sequence))
+    stats = pm.run(work, trace=trace)
+    return CompileResult(work, stats, list(sequence), trace=trace)
 
 
 def available_passes() -> List[str]:

@@ -8,8 +8,11 @@ order to a module, collecting statistics, exactly like
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.compiler.analysis import module_profile, profile_delta
 from repro.compiler.ir import Function, Module
 from repro.compiler.statistics import StatsCollector
 from repro.compiler.verify import verify_module
@@ -22,6 +25,8 @@ __all__ = [
     "registry",
     "register",
     "PassManager",
+    "PassTrace",
+    "PassTraceEntry",
     "TargetInfo",
 ]
 
@@ -120,6 +125,98 @@ def register(cls):
     return cls
 
 
+@dataclass
+class PassTraceEntry:
+    """One pass application inside a traced :meth:`PassManager.run`.
+
+    ``offset`` is seconds from the start of the traced run (so entries can
+    be laid out on a timeline); ``stats_delta`` holds the flat
+    :meth:`~repro.compiler.statistics.StatsCollector.diff` of counters the
+    pass bumped; ``ir_before``/``ir_after`` are
+    :func:`~repro.compiler.analysis.module_profile` fingerprints.
+    """
+
+    index: int
+    name: str
+    offset: float
+    wall: float
+    cpu: float
+    changed: bool
+    stats_delta: Dict[str, int]
+    ir_before: Dict[str, object]
+    ir_after: Dict[str, object]
+
+    def ir_delta(self) -> Dict[str, object]:
+        """Compact IR fingerprint delta (non-zero entries only)."""
+        return profile_delta(self.ir_before, self.ir_after)
+
+
+class PassTrace:
+    """Per-pass application records for one :meth:`PassManager.run`.
+
+    Pass an instance via ``PassManager.run(module, trace=...)`` (or
+    ``run_opt(..., trace=...)``) and it fills with one
+    :class:`PassTraceEntry` per pass: wall+CPU time, the ``changed`` flag,
+    the statistics delta, and the IR fingerprint before/after.  Successive
+    entries share fingerprints (pass N's ``ir_after`` is pass N+1's
+    ``ir_before``), so tracing costs one :func:`module_profile` walk per
+    pass, not two.  Consumes no RNG — traced and untraced compiles produce
+    bit-identical modules and statistics.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[PassTraceEntry] = []
+        self._t0 = 0.0
+        self._profile: Optional[Dict[str, object]] = None
+
+    def begin(self, module: Module) -> None:
+        """Start the trace clock and take the initial IR fingerprint."""
+        self._t0 = time.perf_counter()
+        self._profile = module_profile(module)
+
+    def record(
+        self,
+        index: int,
+        name: str,
+        start: float,
+        wall: float,
+        cpu: float,
+        changed: bool,
+        stats_delta: Dict[str, int],
+        module: Module,
+    ) -> None:
+        before = self._profile if self._profile is not None else module_profile(module)
+        after = module_profile(module)
+        self._profile = after
+        self.entries.append(
+            PassTraceEntry(
+                index=index,
+                name=name,
+                offset=start - self._t0,
+                wall=wall,
+                cpu=cpu,
+                changed=changed,
+                stats_delta=stats_delta,
+                ir_before=before,
+                ir_after=after,
+            )
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate view: totals the span/report layers attach."""
+        entries = self.entries
+        return {
+            "passes": len(entries),
+            "n_changed": sum(1 for e in entries if e.changed),
+            "pass_wall": sum(e.wall for e in entries),
+            "instrs_before": entries[0].ir_before["instrs"] if entries else None,
+            "instrs_after": entries[-1].ir_after["instrs"] if entries else None,
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 class PassManager:
     """Applies a named pass sequence to a module.
 
@@ -148,16 +245,50 @@ class PassManager:
         self.target = target if target is not None else TargetInfo()
         self.verify_each = verify_each
 
-    def run(self, module: Module, stats: Optional[StatsCollector] = None) -> StatsCollector:
-        """Apply the sequence to ``module`` in place; returns the statistics."""
+    def run(
+        self,
+        module: Module,
+        stats: Optional[StatsCollector] = None,
+        trace: Optional[PassTrace] = None,
+    ) -> StatsCollector:
+        """Apply the sequence to ``module`` in place; returns the statistics.
+
+        With a :class:`PassTrace`, every pass application additionally
+        records timing, the ``changed`` flag, its statistics delta, and
+        the IR fingerprint delta; the optimised module and statistics are
+        bit-identical with or without the trace.
+        """
         if stats is None:
             stats = StatsCollector()
-        for name in self.sequence:
+        if trace is not None:
+            trace.begin(module)
+        for i, name in enumerate(self.sequence):
             pss = registry.create(name)
-            pss.run_on_module(module, stats, self.target)
+            if trace is None:
+                pss.run_on_module(module, stats, self.target)
+            else:
+                before = stats.snapshot()
+                start = time.perf_counter()
+                cpu0 = time.thread_time()
+                changed = pss.run_on_module(module, stats, self.target)
+                wall = time.perf_counter() - start
+                cpu = time.thread_time() - cpu0
+                trace.record(
+                    i, name, start, wall, cpu,
+                    changed=bool(changed),
+                    stats_delta=stats.diff(before),
+                    module=module,
+                )
             if self.verify_each:
                 try:
                     verify_module(module)
-                except AssertionError as exc:  # pragma: no cover - bug trap
-                    raise AssertionError(f"IR invalid after pass {name!r}: {exc}") from exc
+                except AssertionError as exc:
+                    # repeats are legal, so the name alone is ambiguous:
+                    # report the failing *position* and the exact prefix
+                    # that reproduces the corruption
+                    prefix = " -> ".join(self.sequence[: i + 1])
+                    raise AssertionError(
+                        f"IR invalid after pass {name!r} at position {i} "
+                        f"of {len(self.sequence)} (prefix: {prefix}): {exc}"
+                    ) from exc
         return stats

@@ -11,7 +11,38 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterator, List, Tuple
 
-__all__ = ["StatsCollector"]
+__all__ = ["StatsCollector", "flat_stat_key", "split_stat_key"]
+
+
+def flat_stat_key(pass_name: str, counter: str) -> str:
+    """The flat ``"pass.Counter"`` key of one statistic.
+
+    Dots inside the *pass name* are backslash-escaped (as are literal
+    backslashes), so a parameterized pass like ``"slp-vectorizer.w4"``
+    cannot collide with ``("slp-vectorizer", "w4.Counter")`` once the
+    tuple key is flattened for the vectorizer or the warehouse.  Counter
+    names keep their dots verbatim: :func:`split_stat_key` splits at the
+    first *unescaped* dot.
+    """
+    escaped = pass_name.replace("\\", "\\\\").replace(".", "\\.")
+    return f"{escaped}.{counter}"
+
+
+def split_stat_key(key: str) -> Tuple[str, str]:
+    """Invert :func:`flat_stat_key`: ``"pass.Counter"`` -> ``(pass, counter)``."""
+    out: List[str] = []
+    i = 0
+    while i < len(key):
+        ch = key[i]
+        if ch == "\\" and i + 1 < len(key):
+            out.append(key[i + 1])
+            i += 2
+            continue
+        if ch == ".":
+            return "".join(out), key[i + 1:]
+        out.append(ch)
+        i += 1
+    raise ValueError(f"not a flat pass.Counter key: {key!r}")
 
 
 class StatsCollector:
@@ -36,12 +67,36 @@ class StatsCollector:
         return iter(self._counters.items())
 
     def as_dict(self) -> Dict[str, int]:
-        """Flat ``{"pass.Counter": value}`` dict, like ``-stats-json``."""
-        return {f"{p}.{c}": v for (p, c), v in sorted(self._counters.items())}
+        """Flat ``{"pass.Counter": value}`` dict, like ``-stats-json``.
+
+        Keys come from :func:`flat_stat_key`, so pass names containing
+        ``.`` are escaped rather than silently aliasing another pass's
+        counter (no registered pass carries a dot today, which is why
+        this stays byte-compatible with earlier runs)."""
+        return {
+            flat_stat_key(p, c): v for (p, c), v in sorted(self._counters.items())
+        }
 
     def to_json(self) -> str:
         """JSON rendering of :meth:`as_dict`."""
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def snapshot(self) -> Dict[Tuple[str, str], int]:
+        """A point-in-time copy of the raw counters, for :meth:`diff`."""
+        return dict(self._counters)
+
+    def diff(self, before: Dict[Tuple[str, str], int]) -> Dict[str, int]:
+        """Flat counter deltas accumulated since ``before`` was snapshot.
+
+        Only non-zero deltas are returned — the per-pass statistics delta
+        a :class:`~repro.compiler.pass_manager.PassTrace` records is
+        usually a handful of counters out of hundreds."""
+        out: Dict[str, int] = {}
+        for (p, c), v in sorted(self._counters.items()):
+            d = v - before.get((p, c), 0)
+            if d != 0:
+                out[flat_stat_key(p, c)] = d
+        return out
 
     def merge(self, other: "StatsCollector") -> None:
         """Add every counter of ``other`` into this collector."""

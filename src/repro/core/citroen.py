@@ -555,12 +555,13 @@ class Citroen:
                         status = outcome.status
                     continue
                 compiled[name], stats_all[name] = outcome.value
+        per_module_seqs = {name: tuple(task.decode(seq)) for name, seq in cfg.items()}
         if status == "ok":
             for name, seq in cfg.items():
                 feats_all[name] = self._features_of(
                     name, seq, compiled[name], stats_all[name]
                 )
-            runtime, ok = task.measure(compiled)
+            runtime, ok = task.measure(compiled, sequences=per_module_seqs)
             if not ok:
                 status = task.last_failure or "incorrect"
         else:
@@ -569,7 +570,6 @@ class Citroen:
             runtime, ok = task.penalty_runtime, False
         idx = len(result.measurements)
         changed = module if module is not None else "all"
-        per_module_seqs = {name: tuple(task.decode(seq)) for name, seq in cfg.items()}
         if module is not None:
             seq_names = per_module_seqs[module]
         else:

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.compiler.ir import Module
 from repro.compiler.opt_tool import run_opt
+from repro.compiler.pass_manager import PassTrace
 from repro.compiler.pipelines import SEARCH_PASSES, pipeline
 from repro.core.eval_engine import CompileEngine, CompileOutcome
 from repro.core.faults import FaultInjector, corrupt_module, parse_fault_kinds
@@ -73,6 +74,7 @@ class AutotuningTask:
         metrics: Optional[MetricsRegistry] = None,
         metrics_every: int = 0,
         measure_engine: str = "bytecode",
+        pipeline_trace: str = "off",
         wal: Optional["WriteAheadLog"] = None,  # noqa: F821 (forward ref)
         kill_after_iter: Optional[int] = None,
     ) -> None:
@@ -114,6 +116,18 @@ class AutotuningTask:
         ``"tree"`` runs the reference tree-walking interpreter.  Both are
         bit-identical in results and RNG consumption, so tuner histories do
         not depend on the engine.
+
+        ``pipeline_trace`` samples per-pass compiler observability
+        (``"off"``/``"incumbents"``/``"all"``): after a live measurement,
+        the measured configuration's modules are recompiled once more with
+        a :class:`~repro.compiler.pass_manager.PassTrace` and the per-pass
+        timeline lands in the trace as the ``pass.*`` span family
+        (``pass.trace`` > ``pass.pipeline`` > ``pass.run``).
+        ``"incumbents"`` (the bounded default for traced tunes) traces
+        only measurements that improve the task's best feasible runtime so
+        far; ``"all"`` traces every live measurement.  The replay consumes
+        no RNG and never touches the measurement path, so tuner histories
+        are bit-identical across all three modes.
 
         ``wal`` attaches a :class:`~repro.core.wal.WriteAheadLog`: every
         live measurement appends one fsync'd ``measure`` record (verdict +
@@ -223,6 +237,17 @@ class AutotuningTask:
             metrics=self.metrics,
             tracer=self.tracer,
         )
+
+        # pipeline observability: sampled per-pass trace replays
+        if pipeline_trace not in ("off", "incumbents", "all"):
+            raise ValueError(
+                f"unknown pipeline_trace mode {pipeline_trace!r}; "
+                "expected off, incumbents, or all"
+            )
+        self.pipeline_trace = pipeline_trace
+        self._trace_best = float("inf")
+        self.n_pass_traces = 0
+        self.pass_trace_seconds = 0.0
 
         # bookkeeping / statistics the benches report (Fig 5.12);
         # n_compiles/compile_seconds live in the engine (thread-safe)
@@ -539,7 +564,69 @@ class AutotuningTask:
             get_logger(__name__).debug(
                 "metrics @ %d measurements: %s", self.n_measurements, flat
             )
+        if self.pipeline_trace != "off" and sequences:
+            improved = ok and value < self._trace_best
+            if improved:
+                self._trace_best = value
+            if improved or self.pipeline_trace == "all":
+                self._emit_pass_trace(
+                    sequences, runtime=value,
+                    reason="incumbent" if improved else "all",
+                )
         return value, ok
+
+    def _emit_pass_trace(
+        self,
+        sequences: Dict[str, Tuple[str, ...]],
+        runtime: float,
+        reason: str,
+    ) -> None:
+        """Recompile a just-measured configuration with per-pass tracing.
+
+        Runs *outside* the measurement path, after the verdict (and its
+        WAL record) are final: the compile engine's cache, the profiler's
+        RNG, and the measure cache are untouched, so sampled tracing
+        cannot perturb the search.  Emits one ``pass.trace`` span holding
+        a ``pass.pipeline`` span per module with nested ``pass.run``
+        spans — each carrying the pass's ``changed`` flag, statistics
+        delta, and IR fingerprint delta."""
+        if not self.tracer.enabled:
+            return
+        t0 = time.perf_counter()
+        with self.tracer.span(
+            "pass.trace",
+            n=self.n_measurements,
+            runtime=runtime,
+            reason=reason,
+            modules=len(sequences),
+        ):
+            for name in sorted(sequences):
+                seq_names = list(sequences[name])
+                trace = PassTrace()
+                with self.tracer.span(
+                    "pass.pipeline", module=name, length=len(seq_names)
+                ) as sp:
+                    base = self.tracer.now()
+                    run_opt(
+                        self.program.get_module(name), seq_names,
+                        target=self.target, trace=trace,
+                    )
+                    for e in trace.entries:
+                        self.tracer.span_event(
+                            "pass.run",
+                            wall=e.wall,
+                            cpu=e.cpu,
+                            ts=base + e.offset,
+                            index=e.index,
+                            module=name,
+                            changed=e.changed,
+                            stats_delta=e.stats_delta,
+                            ir_delta=e.ir_delta(),
+                            **{"pass": e.name},
+                        )
+                    sp.set(**trace.summary())
+        self.n_pass_traces += 1
+        self.pass_trace_seconds += time.perf_counter() - t0
 
     def measure_config(self, config: Dict[str, Sequence[int]]) -> Tuple[float, bool]:
         """Compile every module in ``config`` and measure the linked binary.
@@ -616,4 +703,7 @@ class AutotuningTask:
             "measure_engine": self.measure_engine,
             "bytecode_compiles": self.profiler.bytecode_compiles,
             "bytecode_cache_hits": self.profiler.bytecode_cache_hits,
+            "pipeline_trace": self.pipeline_trace,
+            "n_pass_traces": self.n_pass_traces,
+            "pass_trace_seconds": self.pass_trace_seconds,
         }

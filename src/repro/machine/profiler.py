@@ -160,6 +160,23 @@ class Profiler:
         """Noise-free execution (used by differential testing)."""
         return self._execute(modules, entry, keys)
 
+    def deterministic_seconds(
+        self,
+        modules: List[Module],
+        entry: str = "main",
+        keys: Optional[Sequence[object]] = None,
+    ) -> Tuple[float, ExecutionResult]:
+        """Noise-free modeled runtime: cycles through the platform cost
+        model, no Gaussian perturbation, no RNG consumed.
+
+        This is the attribution clock ``repro explain`` replays ablated
+        pipelines on — two binaries with identical block counts get
+        *exactly* equal seconds, so a marginal contribution of 0.0 means
+        the pass truly did nothing to the measured program."""
+        result = self._execute(modules, entry, keys)
+        cycles = estimate_cycles(modules, result.block_counts, self.platform)
+        return cycles / (self.platform.ghz * 1e9), result
+
     # -- perf-like profiling --------------------------------------------------
     def function_profile(self, modules: List[Module], entry: str = "main") -> FunctionProfile:
         """Perf-like self-time profile per function and module."""

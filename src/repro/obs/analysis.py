@@ -255,6 +255,44 @@ def _metrics_highlights(metrics: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _pass_section(run: RunData) -> List[str]:
+    """The per-pass view of a run, best source first.
+
+    An ``explain.json`` (from ``repro explain``) yields the full
+    attribution table per module; otherwise ``pass.run`` spans from a
+    ``--pipeline-trace`` tune yield the aggregate summary.  Untraced,
+    unexplained runs get no section at all — no noise for the common
+    case."""
+    from repro.reporting import pass_attribution_table, pass_span_summary
+
+    explain = _load_json(run.path / "explain.json")
+    lines: List[str] = []
+    if explain.get("modules"):
+        lines.append(
+            f"- attribution from `explain.json`: "
+            f"{_fmt(explain.get('speedup'), '.3f')}x deterministic speedup, "
+            f"{explain.get('n_noop', '?')} no-op pass applications"
+        )
+        lines.append("")
+        for mod in explain["modules"]:
+            lines.append(f"module `{mod.get('module', '?')}`:")
+            lines.append("")
+            lines.extend(_code(pass_attribution_table(mod.get("passes") or [])))
+        return lines
+    if any(
+        e.get("type") == "span" and e.get("name") == "pass.run"
+        for e in run.events
+    ):
+        lines.append(
+            "- per-pass spans from `--pipeline-trace` (run `repro explain` "
+            "for leave-one-out attribution):"
+        )
+        lines.append("")
+        lines.extend(_code(pass_span_summary(run.events)))
+        return lines
+    return []
+
+
 def analyze_run(run_dir: Union[str, Path]) -> str:
     """Render one recorded run (or a ``repro compare`` parent directory)
     as a markdown report."""
@@ -329,6 +367,12 @@ def analyze_run(run_dir: Union[str, Path]) -> str:
     lines.append("## Where did the time go (Fig 5.12)")
     lines.append("")
     lines.extend(_code(span_table(run.events) if run.events else "(no events.jsonl)"))
+
+    pass_section = _pass_section(run)
+    if pass_section:
+        lines.append("## Pass pipeline (repro explain)")
+        lines.append("")
+        lines.extend(pass_section)
 
     diag_source = run.events if run.events else run.result
     lines.append("## Surrogate calibration (Table 5.1 / Fig 5.7)")

@@ -71,9 +71,11 @@ def chrome_trace(events: List[Dict[str, object]]) -> Dict[str, object]:
             continue
         tid = _tid(e.get("thread"), lanes)
         if kind == "span":
+            # the pass.* family (pipeline observability) gets its own
+            # category so viewers can filter per-pass compiler activity
             record: Dict[str, object] = {
                 "name": name,
-                "cat": "span",
+                "cat": "pass" if name.startswith("pass.") else "span",
                 "ts": float(ts) * 1e6,
                 "pid": _PID,
                 "tid": tid,

@@ -145,6 +145,45 @@ class WatchState:
             return None
         return self.o3_runtime / runtime if runtime > 0 else None
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (``repro watch --json``).
+
+        Everything scripts need to poll a run without scraping the
+        dashboard: progress, incumbent, failures, staleness, and the
+        derived quantities (``best_runtime``, ``speedup``, ``eta_seconds``,
+        ``resumable``).  Non-finite floats are stringified the way the
+        recorder serialises them (``"inf"``/``"nan"``), so the output is
+        strict JSON."""
+
+        def _num(v):
+            if isinstance(v, float) and not math.isfinite(v):
+                return repr(v)
+            return v
+
+        return {
+            "path": str(self.path),
+            "manifest": dict(self.manifest),
+            "n_measurements": self.n_measurements,
+            "n_slots": self.n_slots,
+            "budget": self.budget,
+            "best_runtime": _num(self.best_runtime),
+            "best_history": [_num(v) for v in self.best_history],
+            "last_runtime": _num(self.last_runtime),
+            "speedup_vs_o3": _num(self.speedup(self.best_runtime)),
+            "o3_runtime": _num(self.o3_runtime),
+            "failures": dict(self.failures),
+            "counters": {k: _num(v) for k, v in self.counters.items()},
+            "elapsed": self.elapsed,
+            "eta_seconds": _num(self.eta_seconds),
+            "epoch": self.epoch,
+            "n_events": self.n_events,
+            "n_malformed": self.n_malformed,
+            "finished": self.finished,
+            "interrupted": self.interrupted,
+            "resumable": self.resumable,
+            "stale_seconds": self.stale_seconds,
+        }
+
 
 class RunWatcher:
     """Incremental reader of one run directory.

@@ -170,6 +170,46 @@ class Tracer:
             return _NULL_SPAN
         return Span(self, name, attrs)
 
+    def now(self) -> float:
+        """Seconds since the tracer epoch (the ``ts`` clock of events)."""
+        return time.perf_counter() - self._epoch
+
+    def span_event(
+        self,
+        name: str,
+        wall: float,
+        cpu: float = 0.0,
+        ts: Optional[float] = None,
+        **attrs,
+    ) -> None:
+        """Emit a span whose timing was measured *outside* the tracer.
+
+        Retrospective instrumentation: code that already timed a unit of
+        work (e.g. a :class:`~repro.compiler.pass_manager.PassTrace`
+        replay) can inject it as a first-class span — it nests under the
+        calling thread's current live span and renders identically in
+        :func:`repro.reporting.span_table` and the Chrome exporter.
+        ``ts`` is the start time on the epoch clock (see :meth:`now`);
+        when omitted the span is assumed to have just finished.
+        """
+        if not self.enabled:
+            return
+        stack = self._stack()
+        event: Dict[str, object] = {
+            "type": "span",
+            "name": name,
+            "ts": (self.now() - wall) if ts is None else ts,
+            "wall": wall,
+            "cpu": cpu,
+            "id": next(self._ids),
+            "parent": stack[-1].span_id if stack else None,
+            "depth": len(stack),
+            "thread": threading.current_thread().name,
+        }
+        if attrs:
+            event["attrs"] = attrs
+        self._emit(event)
+
     def event(self, name: str, **attrs) -> None:
         """Record an instantaneous point event."""
         if not self.enabled:

@@ -44,9 +44,15 @@ from repro.obs.analysis import (
     resolve_run_dir,
 )
 
-__all__ = ["SCHEMA_VERSION", "Warehouse", "diff_against_warehouse", "history_table"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "Warehouse",
+    "diff_against_warehouse",
+    "history_table",
+    "pass_history_table",
+]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -90,6 +96,21 @@ CREATE TABLE IF NOT EXISTS bench (
     payload_json TEXT,
     UNIQUE (path, git_rev)
 );
+CREATE TABLE IF NOT EXISTS pass_stats (
+    id               INTEGER PRIMARY KEY,
+    run_path         TEXT NOT NULL,
+    program          TEXT,
+    module           TEXT NOT NULL,
+    position         INTEGER NOT NULL,
+    pass             TEXT NOT NULL,
+    wall             REAL,
+    changed          INTEGER NOT NULL DEFAULT 0,
+    noop             INTEGER NOT NULL DEFAULT 0,
+    marginal_seconds REAL,
+    d_instrs         INTEGER,
+    UNIQUE (run_path, module, position)
+);
+CREATE INDEX IF NOT EXISTS pass_stats_pass ON pass_stats (pass, id);
 """
 
 
@@ -114,6 +135,14 @@ class Warehouse:
                 raise ValueError(
                     f"{self.path} was written by warehouse schema "
                     f"{row['value']}; this build reads up to {SCHEMA_VERSION}"
+                )
+            elif int(row["value"]) < SCHEMA_VERSION:
+                # additive migration: the executescript above already
+                # created any missing tables/indexes (v2 adds pass_stats),
+                # so older files upgrade in place — existing rows untouched
+                self._conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (str(SCHEMA_VERSION),),
                 )
 
     def close(self) -> None:
@@ -174,6 +203,7 @@ class Warehouse:
             "manifest_json": json.dumps(man, sort_keys=True),
             "metrics_json": json.dumps(run.metrics, sort_keys=True),
         }
+        pass_rows = _pass_rows(run, row["path"], row["program"])
         cols = ", ".join(row)
         marks = ", ".join(f":{k}" for k in row)
         sets = ", ".join(f"{k} = :{k}" for k in row if k != "path")
@@ -183,6 +213,19 @@ class Warehouse:
                 f"ON CONFLICT (path) DO UPDATE SET {sets}",
                 row,
             )
+            if pass_rows:
+                # refresh wholesale: a re-explained run replaces its rows
+                self._conn.execute(
+                    "DELETE FROM pass_stats WHERE run_path = ?", (row["path"],)
+                )
+                self._conn.executemany(
+                    "INSERT INTO pass_stats (run_path, program, module, "
+                    "position, pass, wall, changed, noop, marginal_seconds, "
+                    "d_instrs) VALUES (:run_path, :program, :module, "
+                    ":position, :pass, :wall, :changed, :noop, "
+                    ":marginal_seconds, :d_instrs)",
+                    pass_rows,
+                )
         return row
 
     def index_bench(self, path: Union[str, Path]) -> Dict[str, object]:
@@ -296,6 +339,61 @@ class Warehouse:
         }
 
 
+def _pass_rows(run, run_path: str, program) -> List[Dict[str, object]]:
+    """Per-pass attribution rows for one run, best source first.
+
+    ``explain.json`` (written by ``repro explain``) carries the full
+    leave-one-out attribution; absent that, ``pass.run`` spans from a
+    ``--pipeline-trace`` tune still yield timing/changed/IR-delta rows
+    (without marginals — those need the ablation replay)."""
+    explain = {}
+    try:
+        with open(run.path / "explain.json") as fh:
+            explain = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        pass
+    rows: List[Dict[str, object]] = []
+    if explain.get("modules"):
+        for mod in explain["modules"]:
+            for p in mod.get("passes") or []:
+                rows.append(
+                    {
+                        "run_path": run_path,
+                        "program": program,
+                        "module": mod.get("module"),
+                        "position": int(p.get("index", 0)),
+                        "pass": p.get("pass"),
+                        "wall": p.get("wall"),
+                        "changed": int(bool(p.get("changed"))),
+                        "noop": int(bool(p.get("noop"))),
+                        "marginal_seconds": _finite(p.get("marginal_seconds")),
+                        "d_instrs": (p.get("ir_delta") or {}).get("instrs", 0),
+                    }
+                )
+        return rows
+    # fallback: the traced tune's retrospective pass.run spans (the last
+    # pass.trace emission per module wins — it is the final incumbent)
+    latest: Dict[tuple, Dict[str, object]] = {}
+    for e in run.events:
+        if e.get("type") != "span" or e.get("name") != "pass.run":
+            continue
+        attrs = e.get("attrs") or {}
+        key = (attrs.get("module"), int(attrs.get("index", 0)))
+        latest[key] = {
+            "run_path": run_path,
+            "program": program,
+            "module": attrs.get("module"),
+            "position": int(attrs.get("index", 0)),
+            "pass": attrs.get("pass"),
+            "wall": e.get("wall"),
+            "changed": int(bool(attrs.get("changed"))),
+            "noop": 0,
+            "marginal_seconds": None,
+            "d_instrs": (attrs.get("ir_delta") or {}).get("instrs", 0),
+        }
+    return [latest[k] for k in sorted(latest, key=lambda kv: (str(kv[0]), kv[1]))]
+
+
 def _finite(value: Optional[float]) -> Optional[float]:
     """sqlite stores inf/nan as-is but medians over them are garbage."""
     if value is None or not math.isfinite(value):
@@ -379,6 +477,65 @@ def history_table(wh: Warehouse, benchmark: Optional[str] = None) -> str:
                 )
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
+
+
+def pass_history_table(wh: Warehouse, benchmark: Optional[str] = None) -> str:
+    """Fleet-wide per-pass attribution: which passes win, which are noise.
+
+    Aggregates the ``pass_stats`` table over every indexed run (optionally
+    one benchmark): appearances in incumbent configurations, how often the
+    pass changed the IR, the no-op share, and the summed marginal runtime
+    contribution from explained runs — the fleet's answer to the paper's
+    "which passes matter" question."""
+    sql = (
+        "SELECT pass, COUNT(*) AS n, SUM(changed) AS changed, "
+        "SUM(noop) AS noop, SUM(marginal_seconds) AS marginal, "
+        "SUM(wall) AS wall, SUM(d_instrs) AS d_instrs, "
+        "COUNT(DISTINCT run_path) AS runs "
+        "FROM pass_stats"
+    )
+    params: List[object] = []
+    if benchmark is not None:
+        sql += " WHERE program = ?"
+        params.append(benchmark)
+    sql += " GROUP BY pass ORDER BY marginal DESC NULLS LAST, n DESC"
+    try:
+        rows = [dict(r) for r in wh._conn.execute(sql, params)]
+    except sqlite3.OperationalError:
+        # older sqlite without NULLS LAST: sort in python instead
+        rows = [
+            dict(r)
+            for r in wh._conn.execute(sql.replace(" NULLS LAST", ""), params)
+        ]
+        rows.sort(
+            key=lambda r: (
+                -(r["marginal"] if r["marginal"] is not None else -math.inf),
+                -r["n"],
+            )
+        )
+    title = benchmark or "all programs"
+    if not rows:
+        return (
+            f"## pass attribution ({title})\n"
+            "  (no pass stats indexed; run `repro explain` on a run "
+            "directory, or tune with --pipeline-trace, then re-index)\n"
+        )
+    lines = [
+        f"## pass attribution ({title})",
+        f"  {'pass':22s}{'uses':>6s}{'runs':>6s}{'changed':>9s}"
+        f"{'no-op':>7s}{'marginal us':>13s}{'d-instr':>9s}",
+    ]
+    for r in rows:
+        marginal = (
+            _fmt(r["marginal"] * 1e6, ".3f") if r["marginal"] is not None else "?"
+        )
+        lines.append(
+            f"  {str(r['pass'] or '?'):22s}{_fmt(r['n'], 'd'):>6s}"
+            f"{_fmt(r['runs'], 'd'):>6s}{_fmt(r['changed'], 'd'):>9s}"
+            f"{_fmt(r['noop'], 'd'):>7s}{marginal:>13s}"
+            f"{_fmt(r['d_instrs'], '+d'):>9s}"
+        )
+    return "\n".join(lines) + "\n"
 
 
 _SPARK = "▁▂▃▄▅▆▇█"

@@ -19,6 +19,8 @@ __all__ = [
     "ascii_curve",
     "ascii_series",
     "leaderboard",
+    "pass_attribution_table",
+    "pass_span_summary",
     "span_table",
     "stats_table",
     "summarize",
@@ -165,6 +167,70 @@ def summarize(result: TuningResult) -> str:
             + ", ".join(result.extras["top_statistics"][:3])
         )
     return "\n".join(lines)
+
+
+def pass_attribution_table(rows: Sequence[Dict]) -> str:
+    """Render ``repro explain``'s per-pass attribution rows.
+
+    Each row is a :meth:`~repro.obs.explain.PassAttribution.to_dict` dict:
+    position, pass name, compile wall, the ``changed`` flag, the net
+    instruction delta (from ``ir_delta``), the leave-one-out marginal
+    runtime contribution, and a ``no-op`` verdict for passes whose removal
+    leaves the final IR identical."""
+    if not rows:
+        return "(no passes)"
+    out = [
+        f"{'#':>3s}  {'pass':22s}{'wall ms':>9s}{'changed':>9s}"
+        f"{'d-instr':>9s}{'marginal us':>13s}  verdict"
+    ]
+    for r in rows:
+        d_instr = (r.get("ir_delta") or {}).get("instrs", 0)
+        verdict = "no-op" if r.get("noop") else ""
+        out.append(
+            f"{r.get('index', 0):>3d}  {str(r.get('pass', '?')):22s}"
+            f"{float(r.get('wall', 0.0)) * 1e3:>9.3f}"
+            f"{'yes' if r.get('changed') else 'no':>9s}"
+            f"{d_instr:>+9d}"
+            f"{float(r.get('marginal_seconds', 0.0)) * 1e6:>13.3f}"
+            f"  {verdict}"
+        )
+    return "\n".join(line.rstrip() for line in out)
+
+
+def pass_span_summary(events, top: Optional[int] = None) -> str:
+    """Aggregate ``pass.run`` spans from a traced tune by pass name.
+
+    The events-only counterpart of :func:`pass_attribution_table`: when a
+    run was traced with ``--pipeline-trace`` but never explained, this
+    still shows which passes ran, how often they changed the IR, and what
+    they did to instruction counts — straight from ``events.jsonl``."""
+    agg: Dict[str, Dict[str, float]] = {}
+    for e in _span_events(events):
+        if e.get("name") != "pass.run":
+            continue
+        attrs = e.get("attrs") or {}
+        name = str(attrs.get("pass", "?"))
+        row = agg.setdefault(
+            name, {"n": 0, "wall": 0.0, "changed": 0, "d_instr": 0}
+        )
+        row["n"] += 1
+        row["wall"] += float(e.get("wall", 0.0))
+        row["changed"] += 1 if attrs.get("changed") else 0
+        row["d_instr"] += int((attrs.get("ir_delta") or {}).get("instrs", 0))
+    if not agg:
+        return "(no pass.run spans; tune with --pipeline-trace)"
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1]["wall"])
+    if top is not None:
+        ranked = ranked[:top]
+    out = [
+        f"{'pass':22s}{'runs':>7s}{'changed':>9s}{'wall ms':>10s}{'d-instr':>9s}"
+    ]
+    for name, row in ranked:
+        out.append(
+            f"{name:22s}{int(row['n']):>7d}{int(row['changed']):>9d}"
+            f"{row['wall'] * 1e3:>10.2f}{int(row['d_instr']):>+9d}"
+        )
+    return "\n".join(out)
 
 
 # -- trace rendering (repro.obs) ------------------------------------------------

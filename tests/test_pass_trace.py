@@ -1,0 +1,254 @@
+"""Pipeline observability tests: PassTrace mechanics, escaped statistics
+keys, verify_each diagnostics, the pass.* span family, and the zero-RNG
+contract (traced and untraced tuning histories are bit-identical)."""
+
+import time
+
+import pytest
+
+from repro.compiler import pass_manager as pm_module
+from repro.compiler.analysis import module_profile, profile_delta
+from repro.compiler.opt_tool import run_opt
+from repro.compiler.pass_manager import PassManager, PassTrace
+from repro.compiler.statistics import StatsCollector, flat_stat_key, split_stat_key
+from repro.compiler.textual import print_module
+from repro.core.task import AutotuningTask
+from repro.core.citroen import Citroen
+from repro.obs.trace import Tracer
+from repro.workloads import cbench_program
+
+SEQ = ["mem2reg", "sroa", "instcombine", "simplifycfg", "gvn", "dse", "adce"]
+
+
+def _module():
+    return cbench_program("security_sha").modules[0]
+
+
+class TestModuleProfile:
+    def test_profile_counts_instrs_blocks_and_mix(self):
+        mod = _module()
+        prof = module_profile(mod)
+        assert prof["instrs"] == sum(prof["functions"].values())
+        assert prof["instrs"] == sum(prof["mix"].values())
+        assert prof["blocks"] >= len(prof["functions"])
+
+    def test_profile_delta_keeps_only_changes(self):
+        mod = _module()
+        before = module_profile(mod)
+        run_opt(mod, SEQ)  # clones; the input module is untouched
+        assert profile_delta(before, module_profile(mod)) == {
+            "instrs": 0,
+            "blocks": 0,
+        }
+        after = module_profile(run_opt(mod, SEQ).module)
+        delta = profile_delta(before, after)
+        assert delta["instrs"] == after["instrs"] - before["instrs"]
+        # every reported mix entry is a real nonzero change
+        for op, d in delta.get("mix", {}).items():
+            assert d != 0
+            assert after["mix"].get(op, 0) - before["mix"].get(op, 0) == d
+
+
+class TestPassTrace:
+    def test_trace_records_one_entry_per_pass(self):
+        trace = PassTrace()
+        cr = run_opt(_module(), SEQ, trace=trace)
+        assert cr.trace is trace
+        assert len(trace) == len(SEQ)
+        assert [e.name for e in trace.entries] == SEQ
+        assert [e.index for e in trace.entries] == list(range(len(SEQ)))
+
+    def test_traced_compile_is_bit_identical_to_untraced(self):
+        mod = _module()
+        plain = run_opt(mod, SEQ)
+        traced = run_opt(mod, SEQ, trace=PassTrace())
+        assert print_module(plain.module) == print_module(traced.module)
+        assert plain.stats_json() == traced.stats_json()
+
+    def test_fingerprints_chain_without_recomputation(self):
+        trace = PassTrace()
+        run_opt(_module(), SEQ, trace=trace)
+        for prev, cur in zip(trace.entries, trace.entries[1:]):
+            assert prev.ir_after is cur.ir_before
+
+    def test_entry_timing_and_offsets_are_sane(self):
+        trace = PassTrace()
+        run_opt(_module(), SEQ, trace=trace)
+        offsets = [e.offset for e in trace.entries]
+        assert offsets == sorted(offsets)
+        assert all(e.wall >= 0 and e.cpu >= 0 for e in trace.entries)
+
+    def test_changed_flag_and_stats_delta_agree(self):
+        trace = PassTrace()
+        run_opt(_module(), SEQ, trace=trace)
+        assert any(e.changed for e in trace.entries)
+        for e in trace.entries:
+            if e.stats_delta:
+                # stats only move when a pass did something
+                assert e.changed
+
+    def test_summary_totals(self):
+        trace = PassTrace()
+        run_opt(_module(), SEQ, trace=trace)
+        s = trace.summary()
+        assert s["passes"] == len(SEQ)
+        assert s["n_changed"] == sum(1 for e in trace.entries if e.changed)
+        assert s["instrs_before"] == trace.entries[0].ir_before["instrs"]
+        assert s["instrs_after"] == trace.entries[-1].ir_after["instrs"]
+        assert s["pass_wall"] == pytest.approx(
+            sum(e.wall for e in trace.entries)
+        )
+        assert PassTrace().summary()["instrs_before"] is None
+
+
+class TestFlatStatKeys:
+    def test_round_trip_plain(self):
+        assert split_stat_key(flat_stat_key("gvn", "NumGVNLoad")) == (
+            "gvn",
+            "NumGVNLoad",
+        )
+
+    def test_pass_names_with_dots_do_not_collide(self):
+        # regression: ("a.b", "c") and ("a", "b.c") used to flatten to the
+        # same "a.b.c" key, silently merging distinct counters
+        k1 = flat_stat_key("a.b", "c")
+        k2 = flat_stat_key("a", "b.c")
+        assert k1 != k2
+        assert split_stat_key(k1) == ("a.b", "c")
+        assert split_stat_key(k2) == ("a", "b.c")
+
+    def test_backslashes_escape_cleanly(self):
+        key = flat_stat_key("we\\ird.pass", "Counter")
+        assert split_stat_key(key) == ("we\\ird.pass", "Counter")
+
+    def test_split_rejects_counterless_key(self):
+        with pytest.raises(ValueError):
+            split_stat_key("no-dot-anywhere")
+
+    def test_as_dict_uses_flat_keys(self):
+        stats = StatsCollector()
+        stats.bump("sroa", "NumPromoted", 2)
+        stats.bump("a.b", "c", 1)
+        flat = stats.as_dict()
+        assert flat[flat_stat_key("sroa", "NumPromoted")] == 2
+        assert flat[flat_stat_key("a.b", "c")] == 1
+        # existing dot-free pass names keep their historical key shape
+        assert "sroa.NumPromoted" in flat
+
+    def test_snapshot_diff(self):
+        stats = StatsCollector()
+        stats.bump("gvn", "NumLoads", 1)
+        before = stats.snapshot()
+        stats.bump("gvn", "NumLoads", 2)
+        stats.bump("dse", "NumDeleted", 5)
+        assert stats.diff(before) == {
+            "gvn.NumLoads": 2,
+            "dse.NumDeleted": 5,
+        }
+        # a snapshot is a copy, not a view
+        assert stats.snapshot() != before
+
+
+class TestVerifyEachDiagnostics:
+    def test_failure_names_position_and_prefix(self, monkeypatch):
+        calls = {"n": 0}
+
+        def explode_on_second(module):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise AssertionError("synthetic corruption")
+
+        monkeypatch.setattr(pm_module, "verify_module", explode_on_second)
+        seq = ["mem2reg", "mem2reg", "mem2reg"]  # repeats: name is ambiguous
+        pm = PassManager(seq, verify_each=True)
+        with pytest.raises(AssertionError) as exc:
+            pm.run(_module().clone())
+        msg = str(exc.value)
+        assert "position 1" in msg
+        assert "of 3" in msg
+        assert "mem2reg -> mem2reg" in msg
+        assert "synthetic corruption" in msg
+
+
+def _tune(pipeline_trace, tracer=None, budget=8, seed=5):
+    program = cbench_program("security_sha")
+    task = AutotuningTask(
+        program,
+        seed=seed,
+        seq_length=8,
+        tracer=tracer,
+        pipeline_trace=pipeline_trace,
+    )
+    try:
+        result = Citroen(task, seed=seed).tune(budget=budget)
+    finally:
+        task.close()
+    return task, result
+
+
+class TestZeroRngContract:
+    def test_histories_bit_identical_across_trace_modes(self):
+        baseline = None
+        for mode in ("off", "incumbents", "all"):
+            tracer = Tracer(enabled=True) if mode != "off" else None
+            _task, result = _tune(mode, tracer=tracer)
+            history = [
+                (m.runtime, m.correct, m.sequence) for m in result.measurements
+            ]
+            if baseline is None:
+                baseline = history
+            else:
+                assert history == baseline, f"mode {mode} diverged"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            AutotuningTask(cbench_program("security_sha"), pipeline_trace="yes")
+
+    def test_incumbents_mode_emits_pass_spans(self):
+        tracer = Tracer(enabled=True)
+        task, _result = _tune("incumbents", tracer=tracer)
+        names = [e["name"] for e in tracer.spans()]
+        assert "pass.trace" in names
+        assert "pass.pipeline" in names
+        assert "pass.run" in names
+        assert task.n_pass_traces > 0
+        # incumbents only: strictly fewer traces than live measurements
+        assert task.n_pass_traces <= task.n_measurements
+        breakdown = task.timing_breakdown()
+        assert breakdown["pipeline_trace"] == "incumbents"
+        assert breakdown["n_pass_traces"] == task.n_pass_traces
+        assert breakdown["pass_trace_seconds"] == task.pass_trace_seconds
+
+    def test_pass_run_spans_nest_under_pipeline(self):
+        tracer = Tracer(enabled=True)
+        _tune("incumbents", tracer=tracer)
+        spans = {e["id"]: e for e in tracer.spans()}
+        for e in spans.values():
+            if e["name"] != "pass.run":
+                continue
+            parent = spans[e["parent"]]
+            assert parent["name"] == "pass.pipeline"
+            attrs = e["attrs"]
+            assert attrs["module"] == parent["attrs"]["module"]
+            assert "pass" in attrs and "changed" in attrs
+            assert "stats_delta" in attrs and "ir_delta" in attrs
+            # retrospective ts lands inside the live pipeline span
+            assert e["ts"] >= parent["ts"] - 1e-6
+            assert e["ts"] + e["wall"] <= parent["ts"] + parent["wall"] + 1e-3
+
+    def test_disabled_tracer_skips_replay_entirely(self):
+        task, _result = _tune("all", tracer=None)  # NULL_TRACER path
+        assert task.n_pass_traces == 0
+        assert task.pass_trace_seconds == 0.0
+
+    def test_incumbents_overhead_is_bounded(self):
+        tracer = Tracer(enabled=True)
+        t0 = time.perf_counter()
+        task, _result = _tune("incumbents", tracer=tracer, budget=12)
+        wall = time.perf_counter() - t0
+        assert task.n_pass_traces > 0
+        # the acceptance bound: sampled tracing stays under 10% of the tune
+        assert task.pass_trace_seconds < 0.10 * wall, (
+            f"pass tracing took {task.pass_trace_seconds:.3f}s of "
+            f"{wall:.3f}s tune wall"
+        )
