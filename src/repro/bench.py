@@ -22,12 +22,20 @@ ratio via :func:`diff_bench`.
 
 A second suite (``repro bench --suite interp``, schema ``bench_interp``)
 times the measurement engine itself: per-opcode-family micro kernels and
-whole cbench workloads run under both the tree-walking interpreter and
-the flat register bytecode VM, plus an end-to-end measurements/sec figure
+whole cbench workloads run under the tree-walking interpreter, the flat
+register bytecode VM, and the VM with fused superblock kernels
+(:mod:`repro.machine.fuse`), plus end-to-end measurements/sec figures
 through :class:`~repro.machine.profiler.Profiler` — the number that
-bounds how many search points a tuner can evaluate per second.  Both
-suites share :func:`diff_bench`/``repro diff`` gating (the interp gate is
-the bytecode end-to-end wall ratio).
+bounds how many search points a tuner can evaluate per second.  The e2e
+scenario rotates through distinct optimisation variants with revisits,
+so the ``bytecode`` engine row exercises the full default path (fusion +
+IR-identity execution memo) while ``bytecode_base`` isolates raw
+dispatch; ``e2e_multi`` drives :meth:`AutotuningTask.measure_batch` at
+several worker counts over one shared artifact store and asserts the
+measured histories are jobs-invariant.  Both suites share
+:func:`diff_bench`/``repro diff`` gating (the interp gates are the
+bytecode end-to-end wall ratio and, when both payloads carry it, the
+multi-worker e2e wall ratio).
 """
 
 from __future__ import annotations
@@ -441,6 +449,88 @@ def _kernel_calls(iters: int):
     return mod
 
 
+def _kernel_fused_chain(iters: int):
+    """one long straight-line int+float ALU chain per iteration — the
+    superblock fusion pass lowers nearly the whole body to one kernel."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import F64, I32, I64, Module
+
+    mod = Module("k_fused_chain")
+    b = FunctionBuilder(mod, "main", [], I64)
+    acc = b.alloca(I64, hint="acc")
+    facc = b.alloca(F64, hint="facc")
+    b.store(c(1, I64), acc)
+    b.store(c(1.0, F64), facc)
+
+    def body(bb, i):
+        t = bb.load(I64, acc)
+        iw = bb.sext(i, I64)
+        for k in range(4):
+            t = bb.add(t, iw, I64)
+            t = bb.mul(t, c(2654435761 + k, I64), I64)
+            t = bb.xor(t, c(0x9E3779B9, I64), I64)
+            t = bb.and_(t, c((1 << 52) - 1, I64), I64)
+            t = bb.sub(t, c(k + 1, I64), I64)
+        f = bb.load(F64, facc)
+        x = bb.sitofp(i, F64)
+        f = bb.fadd(f, bb.fmul(x, c(0.0009765625, F64), F64), F64)
+        f = bb.fsub(f, bb.fmul(f, c(0.000244140625, F64), F64), F64)
+        bb.store(t, acc)
+        bb.store(f, facc)
+
+    b.counted_loop(c(0, I32), c(iters, I32), body)
+    out = b.add(b.load(I64, acc), b.fptosi(b.load(F64, facc), I64), I64)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
+def _kernel_fused_wide(iters: int, lanes: int = 64):
+    """64 independent lanes of identical int ALU work per iteration —
+    wide dependence levels that cross ``NP_MIN_GROUP`` and execute as
+    numpy vector batches inside one fused kernel."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import I32, I64, GlobalVar, Module
+
+    mod = Module("k_fused_wide")
+    mod.add_global(
+        GlobalVar("src", I64, [((k * 2654435761) & ((1 << 63) - 1)) for k in range(lanes)])
+    )
+    b = FunctionBuilder(mod, "main", [], I64)
+    src = b.gaddr("src")
+    acc = b.alloca(I64, count=lanes, hint="acc")
+
+    def init(bb, i):
+        bb.store(c(0, I64), bb.gep(acc, i, I64))
+
+    b.counted_loop(c(0, I32), c(lanes, I32), init, tag="init")
+
+    def body(bb, i):
+        iw = bb.sext(i, I64)
+        vals = [bb.load(I64, bb.gep(src, c(k, I64), I64)) for k in range(lanes)]
+        accs = [bb.load(I64, bb.gep(acc, c(k, I64), I64)) for k in range(lanes)]
+        # three wide dependence levels: one numpy cohort per (level, op)
+        t = [bb.mul(v, c(2654435761, I64), I64) for v in vals]
+        t = [bb.xor(x, iw, I64) for x in t]
+        t = [bb.add(a, x, I64) for a, x in zip(accs, t)]
+        for k, x in enumerate(t):
+            bb.store(x, bb.gep(acc, c(k, I64), I64))
+
+    b.counted_loop(c(0, I32), c(iters, I32), body)
+    total = b.alloca(I64, hint="total")
+    b.store(c(0, I64), total)
+
+    def reduce(bb, i):
+        cur = bb.load(I64, total)
+        bb.store(bb.add(cur, bb.load(I64, bb.gep(acc, i, I64)), I64), total)
+
+    b.counted_loop(c(0, I32), c(lanes, I32), reduce, tag="reduce")
+    out = b.load(I64, total)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
 def _kernel_vector(iters: int):
     """an SLP-vectorized dot-product body (vload/vbinop/vreduce)."""
     from repro.compiler.builder import FunctionBuilder, c
@@ -485,16 +575,31 @@ KERNEL_FAMILIES = {
     "memory": _kernel_memory,
     "calls": _kernel_calls,
     "vector": _kernel_vector,
+    "fused_chain": _kernel_fused_chain,
+    "fused_wide": _kernel_fused_wide,
 }
+
+#: per-family iteration divisors — heavier bodies do fewer trips so every
+#: family interprets a comparable number of steps per run
+_KERNEL_ITER_DIV = {"vector": 8, "fused_chain": 4, "fused_wide": 16}
 
 
 def _time_engines(modules, entry: str, fuel: int, runs: int) -> Dict[str, object]:
-    """Run ``modules`` under both engines, checking parity as we go."""
+    """Run ``modules`` under all three engines, checking parity as we go."""
     from repro.machine.bytecode import BytecodeVM, compile_module
+    from repro.machine.fuse import fuse_module
     from repro.machine.interp import Interpreter
 
     with _Stopwatch() as t_compile:
         bcs = [compile_module(m) for m in modules]
+    kernels = fused_ops = 0
+    with _Stopwatch() as t_fusep:
+        fused_bcs = []
+        for raw in bcs:
+            fbc, stats = fuse_module(raw)
+            fused_bcs.append(fbc)
+            kernels += stats["kernels"]
+            fused_ops += stats["fused_ops"]
     with _Stopwatch() as t_tree:
         for _ in range(runs):
             tree = Interpreter(modules, fuel=fuel).run(entry)
@@ -502,10 +607,20 @@ def _time_engines(modules, entry: str, fuel: int, runs: int) -> Dict[str, object
     with _Stopwatch() as t_bc:
         for _ in range(runs):
             bc = vm.run(entry)
-    if tree.output_signature() != bc.output_signature() or tree.steps != bc.steps:
+    fvm = BytecodeVM(fused_bcs, fuel=fuel)
+    with _Stopwatch() as t_fused:
+        for _ in range(runs):
+            fused = fvm.run(entry)
+    sig = tree.output_signature()
+    if (
+        sig != bc.output_signature()
+        or tree.steps != bc.steps
+        or sig != fused.output_signature()
+        or tree.steps != fused.steps
+    ):
         raise AssertionError(
-            f"engine mismatch on {entry}: tree={tree.output_signature()} "
-            f"bc={bc.output_signature()}"
+            f"engine mismatch on {entry}: tree={sig} "
+            f"bc={bc.output_signature()} fused={fused.output_signature()}"
         )
     speedup = t_tree.wall / t_bc.wall if t_bc.wall > 0 else float("inf")
     return {
@@ -517,7 +632,15 @@ def _time_engines(modules, entry: str, fuel: int, runs: int) -> Dict[str, object
             "cpu": t_bc.cpu,
             "compile_wall": t_compile.wall,
         },
+        "fused": {
+            "wall": t_fused.wall,
+            "cpu": t_fused.cpu,
+            "fuse_wall": t_fusep.wall,
+            "kernels": kernels,
+            "fused_ops": fused_ops,
+        },
         "speedup": speedup,
+        "speedup_fused": t_tree.wall / t_fused.wall if t_fused.wall > 0 else float("inf"),
     }
 
 
@@ -527,8 +650,7 @@ def bench_interp_micro(
     """Per-opcode-family timings, tree walker vs bytecode VM."""
     rows: List[Dict[str, object]] = []
     for family, build in KERNEL_FAMILIES.items():
-        # the vector dot body is ~8x heavier per iteration
-        n = iters // 8 if family == "vector" else iters
+        n = iters // _KERNEL_ITER_DIV.get(family, 1)
         mod = build(n)
         row: Dict[str, object] = {"family": family, "iters": n}
         row.update(_time_engines([mod], "main", fuel=50_000_000, runs=runs))
@@ -571,6 +693,11 @@ def bench_interp_workloads(
     return rows
 
 
+#: optimisation-pipeline prefix lengths (as eighths of -O3) used as the e2e
+#: variant rotation — distinct IR per variant, revisited like a real tune
+_E2E_VARIANTS = 8
+
+
 def bench_interp_e2e(
     program: str = "security_sha",
     n_measurements: int = 40,
@@ -581,9 +708,21 @@ def bench_interp_e2e(
 
     This is the figure that bounds tuner throughput: each measurement is
     one full program execution plus the cycle/noise model, exactly the
-    per-search-point cost inside ``AutotuningTask.measure``.  The bytecode
-    engine path includes its compile cost (first measurement compiles,
-    the rest hit the per-module cache, as in a real tuning run).
+    per-search-point cost inside ``AutotuningTask.measure``.  The schedule
+    round-robins over ``_E2E_VARIANTS`` distinct optimisation variants
+    (prefixes of the -O3 pipeline), so configurations are *revisited* as
+    in a real tuning run.  Three engines share the schedule:
+
+    * ``tree`` — the reference tree walker, execution memo off;
+    * ``bytecode_base`` — raw VM dispatch, fusion and memo off (the PR 6
+      engine, for attribution);
+    * ``bytecode`` — the shipped default path: fused superblock kernels
+      plus the IR-identity execution memo (revisits replay the recorded
+      execution and only re-draw noise).
+
+    Per-variant output signatures are asserted equal across all three
+    engines.  ``steps_per_sec`` credits a memoized measurement at its
+    recorded step count — the interpreted-steps-equivalent throughput.
     """
     from repro.cli import _load_program
     from repro.compiler.opt_tool import run_opt
@@ -594,34 +733,121 @@ def bench_interp_e2e(
     prog = _load_program(program)
     plat = get_platform(platform_name)
     seq = pipeline("-O3")
-    modules = [run_opt(m, seq, target=plat.target_info()).module for m in prog.modules]
-    keys = [("o3", prog.name, m.name) for m in modules]
+    variants = []
+    for v in range(_E2E_VARIANTS):
+        prefix = seq[: (v * len(seq)) // (_E2E_VARIANTS - 1)] if v else []
+        mods = [
+            run_opt(m, prefix, target=plat.target_info()).module for m in prog.modules
+        ]
+        keys = [("v", v, prog.name, m.name) for m in mods]
+        variants.append((mods, keys))
+    schedule = [i % len(variants) for i in range(n_measurements)]
 
+    configs = {
+        "tree": dict(engine="tree", execution_memo=False),
+        "bytecode_base": dict(engine="bytecode", fuse=False, execution_memo=False),
+        "bytecode": dict(engine="bytecode"),
+    }
     out: Dict[str, object] = {
         "program": program,
         "platform": platform_name,
         "n_measurements": n_measurements,
+        "n_variants": len(variants),
         "engines": {},
     }
-    sigs = {}
-    for engine in ("tree", "bytecode"):
-        prof = Profiler(plat, seed=seed, fuel=prog.fuel, engine=engine)
+    sigs: Dict[str, List[object]] = {}
+    for name, kwargs in configs.items():
+        prof = Profiler(plat, seed=seed, fuel=prog.fuel, **kwargs)
+        steps = 0
+        vsigs: List[object] = [None] * len(variants)
         with _Stopwatch() as t:
-            for _ in range(n_measurements):
-                m = prof.measure(modules, entry=prog.entry, keys=keys)
-        sigs[engine] = m.output_signature()
-        out["engines"][engine] = {
+            for v in schedule:
+                mods, keys = variants[v]
+                m = prof.measure(mods, entry=prog.entry, keys=keys)
+                steps += m.result.steps
+                vsigs[v] = m.output_signature()
+        sigs[name] = vsigs
+        out["engines"][name] = {
             "wall": t.wall,
             "cpu": t.cpu,
             "per_sec": n_measurements / t.wall if t.wall > 0 else float("inf"),
+            "steps_per_sec": steps / t.wall if t.wall > 0 else float("inf"),
             "bytecode_compiles": prof.bytecode_compiles,
             "bytecode_cache_hits": prof.bytecode_cache_hits,
+            "execution_memo_hits": prof.execution_memo_hits,
+            "fused_kernels": prof.fused_kernels,
+            "fused_ops": prof.fused_ops,
         }
-    if sigs["tree"] != sigs["bytecode"]:
-        raise AssertionError(f"e2e engine mismatch: {sigs}")
+    for name, vsigs in sigs.items():
+        if vsigs != sigs["tree"]:
+            raise AssertionError(f"e2e engine mismatch: tree vs {name}")
     tree_wall = out["engines"]["tree"]["wall"]
+    base_wall = out["engines"]["bytecode_base"]["wall"]
     bc_wall = out["engines"]["bytecode"]["wall"]
     out["speedup"] = tree_wall / bc_wall if bc_wall > 0 else float("inf")
+    out["speedup_base"] = base_wall / bc_wall if bc_wall > 0 else float("inf")
+    return out
+
+
+def bench_interp_e2e_multi(
+    program: str = "telecom_gsm",
+    n_configs: int = 24,
+    seed: int = 3,
+    seq_length: int = 12,
+    jobs_levels: Sequence[int] = (1, 2, 4),
+) -> Dict[str, object]:
+    """Multi-worker e2e: one :meth:`AutotuningTask.measure_batch` sweep per
+    worker count, full default measurement path (fusion + execution memo +
+    process-shared artifact store).
+
+    The same seeded candidate population is measured at every ``jobs``
+    level; ``histories_identical`` asserts the ``(runtime, ok)`` streams
+    are bit-identical across worker counts — the determinism contract the
+    engine/memo/artifact layers must preserve under parallelism."""
+    from repro.cli import _load_program
+    from repro.core.task import AutotuningTask
+
+    out: Dict[str, object] = {
+        "program": program,
+        "n_configs": n_configs,
+        "seed": seed,
+        "seq_length": seq_length,
+        "jobs": {},
+    }
+    histories: Dict[int, List] = {}
+    for jobs in jobs_levels:
+        rng = np.random.default_rng(seed)
+        with AutotuningTask(
+            _load_program(program),
+            platform="arm-a57",
+            seed=seed,
+            seq_length=seq_length,
+            jobs=jobs,
+        ) as task:
+            mods = [m.name for m in task.program.modules]
+            configs = [
+                {mods[i % len(mods)]: rng.integers(0, task.alphabet, size=seq_length)}
+                for i in range(n_configs)
+            ]
+            with _Stopwatch() as t:
+                results = task.measure_batch(configs)
+            tb = task.timing_breakdown()
+        histories[jobs] = [(float(v), bool(ok)) for v, ok in results]
+        art = tb.get("artifact_store") or {}
+        out["jobs"][str(jobs)] = {
+            "wall": t.wall,
+            "cpu": t.cpu,
+            "per_sec": n_configs / t.wall if t.wall > 0 else float("inf"),
+            "compile_cache_hits": tb["compile_cache_hits"],
+            "execution_memo_hits": tb["execution_memo_hits"],
+            "fused_kernels": tb["fused_kernels"],
+            "artifact_hits": art.get("hits", 0),
+            "artifact_puts": art.get("puts", 0),
+        }
+    first = histories[jobs_levels[0]]
+    out["histories_identical"] = all(histories[j] == first for j in jobs_levels)
+    if not out["histories_identical"]:
+        raise AssertionError("e2e_multi: histories diverged across jobs levels")
     return out
 
 
@@ -646,6 +872,7 @@ def run_interp_bench(
         "e2e": bench_interp_e2e(
             program=program, n_measurements=n_measurements, seed=seed
         ),
+        "e2e_multi": bench_interp_e2e_multi(seed=seed + 2),
     }
 
 
@@ -680,37 +907,76 @@ def diff_bench(
             f"schema mismatch: {path_a} is {a.get('schema')!r}, "
             f"{path_b} is {b.get('schema')!r}"
         )
+
+    def ratio_check(name: str, wall_a: float, wall_b: float) -> Dict[str, object]:
+        ratio = wall_b / wall_a if wall_a > 0 else float("inf")
+        return {
+            "name": name,
+            "a": wall_a,
+            "b": wall_b,
+            "ratio": ratio,
+            "threshold": max_model_ratio,
+            "kind": "ratio",
+            "ok": ratio <= max_model_ratio,
+            "skipped": False,
+        }
+
+    checks: List[Dict[str, object]] = []
     if a.get("schema") == SCHEMA_INTERP:
-        check_name = "e2e_bytecode_wall_seconds"
-        wall_a = a["e2e"]["engines"]["bytecode"]["wall"]
-        wall_b = b["e2e"]["engines"]["bytecode"]["wall"]
+        checks.append(
+            ratio_check(
+                "e2e_bytecode_wall_seconds",
+                a["e2e"]["engines"]["bytecode"]["wall"],
+                b["e2e"]["engines"]["bytecode"]["wall"],
+            )
+        )
+        # multi-worker gate: highest jobs level both payloads measured;
+        # payloads predating e2e_multi yield a skipped (non-gating) row
+        ma, mb = a.get("e2e_multi"), b.get("e2e_multi")
+        common = (
+            sorted(set(ma["jobs"]) & set(mb["jobs"]), key=int) if ma and mb else []
+        )
+        if common:
+            j = common[-1]
+            checks.append(
+                ratio_check(
+                    f"e2e_multi_wall_seconds_jobs{j}",
+                    ma["jobs"][j]["wall"],
+                    mb["jobs"][j]["wall"],
+                )
+            )
+        else:
+            checks.append(
+                {
+                    "name": "e2e_multi_wall_seconds",
+                    "a": None,
+                    "b": None,
+                    "ratio": None,
+                    "threshold": max_model_ratio,
+                    "kind": "ratio",
+                    "ok": True,
+                    "skipped": True,
+                }
+            )
     else:
-        check_name = "model_wall_seconds"
-        wall_a = a["tune"]["fast"]["model_wall_seconds"]
-        wall_b = b["tune"]["fast"]["model_wall_seconds"]
-    ratio = wall_b / wall_a if wall_a > 0 else float("inf")
-    ok = ratio <= max_model_ratio
+        checks.append(
+            ratio_check(
+                "model_wall_seconds",
+                a["tune"]["fast"]["model_wall_seconds"],
+                b["tune"]["fast"]["model_wall_seconds"],
+            )
+        )
+    regressions = [c["name"] for c in checks if not c["ok"]]
     return {
         "kind": "bench",
         "schema": a.get("schema"),
         "run_a": path_a,
         "run_b": path_b,
         "git_rev": {"a": a.get("git_rev"), "b": b.get("git_rev")},
-        "checks": [
-            {
-                "name": check_name,
-                "a": wall_a,
-                "b": wall_b,
-                "ratio": ratio,
-                "threshold": max_model_ratio,
-                "kind": "ratio",
-                "ok": ok,
-                "skipped": False,
-            }
-        ],
-        "regressions": [] if ok else [check_name],
-        "regressed": not ok,
-        "ok": ok,
+        "checks": checks,
+        "regressions": regressions,
+        "regressed": bool(regressions),
+        "ok": not regressions,
     }
 
 
@@ -753,35 +1019,77 @@ def summary_table(payload: Dict[str, object]) -> str:
 
 
 def _interp_summary_table(payload: Dict[str, object]) -> str:
+    def _engine_row(row: Dict[str, object]) -> str:
+        fused = row.get("fused")
+        fused_ms = f"{fused['wall'] * 1e3:>9.1f}" if fused else f"{'-':>9s}"
+        fused_x = (
+            f"{row.get('speedup_fused', 0.0):>7.1f}x" if fused else f"{'-':>8s}"
+        )
+        return (
+            f"{row['steps']:>9d} {row['tree']['wall'] * 1e3:>9.1f} "
+            f"{row['bytecode']['wall'] * 1e3:>12.1f} {fused_ms} "
+            f"{row['speedup']:>7.1f}x {fused_x}"
+        )
+
+    header = (
+        f"{'steps':>9s} {'tree ms':>9s} {'bytecode ms':>12s} {'fused ms':>9s} "
+        f"{'speedup':>8s} {'fused x':>8s}"
+    )
     lines = [
         f"interp bench @ {str(payload.get('git_rev', '?'))[:12]}",
         "",
-        f"{'kernel':<16s} {'steps':>9s} {'tree ms':>9s} {'bytecode ms':>12s} {'speedup':>8s}",
+        f"{'kernel':<16s} {header}",
     ]
     for row in payload["micro"]:
-        lines.append(
-            f"{row['family']:<16s} {row['steps']:>9d} "
-            f"{row['tree']['wall'] * 1e3:>9.1f} "
-            f"{row['bytecode']['wall'] * 1e3:>12.1f} {row['speedup']:>7.1f}x"
-        )
+        lines.append(f"{row['family']:<16s} {_engine_row(row)}")
     lines.append("")
-    lines.append(
-        f"{'workload':<22s} {'steps':>9s} {'tree ms':>9s} {'bytecode ms':>12s} {'speedup':>8s}"
-    )
+    lines.append(f"{'workload':<22s} {header}")
     for row in payload["workloads"]:
         label = f"{row['program']} {row['level']}"
-        lines.append(
-            f"{label:<22s} {row['steps']:>9d} "
-            f"{row['tree']['wall'] * 1e3:>9.1f} "
-            f"{row['bytecode']['wall'] * 1e3:>12.1f} {row['speedup']:>7.1f}x"
-        )
+        lines.append(f"{label:<22s} {_engine_row(row)}")
     e2e = payload["e2e"]
-    tree = e2e["engines"]["tree"]
-    bc = e2e["engines"]["bytecode"]
+    engines = e2e["engines"]
+    tree = engines["tree"]
+    bc = engines["bytecode"]
     lines.append("")
     lines.append(
-        f"end-to-end ({e2e['program']}, {e2e['n_measurements']} measurements): "
-        f"tree {tree['per_sec']:.1f}/s, bytecode {bc['per_sec']:.1f}/s "
-        f"-> {e2e['speedup']:.1f}x"
+        f"end-to-end ({e2e['program']}, {e2e['n_measurements']} measurements"
+        + (
+            f" over {e2e['n_variants']} variants"
+            if "n_variants" in e2e
+            else ""
+        )
+        + "):"
     )
+    for name in ("tree", "bytecode_base", "bytecode"):
+        eng = engines.get(name)
+        if eng is None:
+            continue
+        steps_s = eng.get("steps_per_sec")
+        extra = f", {steps_s / 1e6:.1f}M steps/s" if steps_s else ""
+        memo = eng.get("execution_memo_hits", 0)
+        extra += f", {memo} memo hits" if memo else ""
+        lines.append(f"   {name:<14s} {eng['per_sec']:>8.1f} measurements/s{extra}")
+    lines.append(
+        f"   -> {e2e['speedup']:.1f}x vs tree"
+        + (
+            f", {e2e['speedup_base']:.1f}x vs unfused/unmemoized VM"
+            if "speedup_base" in e2e
+            else ""
+        )
+    )
+    multi = payload.get("e2e_multi")
+    if multi:
+        lines.append("")
+        lines.append(
+            f"multi-worker e2e ({multi['program']}, {multi['n_configs']} configs, "
+            f"histories identical: {multi['histories_identical']}):"
+        )
+        for jobs in sorted(multi["jobs"], key=int):
+            row = multi["jobs"][jobs]
+            lines.append(
+                f"   jobs={jobs}: {row['per_sec']:>6.1f} configs/s "
+                f"({row['execution_memo_hits']} memo hits, "
+                f"{row['artifact_hits']} artifact hits)"
+            )
     return "\n".join(lines)

@@ -139,6 +139,10 @@ _MANIFEST_ARGS = (
     "tuner",
     "prior_bank",
     "pipeline_trace",
+    "fuse",
+    "execution_memo",
+    "shared_artifacts",
+    "artifact_store",
 )
 
 
@@ -196,6 +200,10 @@ def _make_task(
         pipeline_trace=getattr(args, "pipeline_trace", "off") or "off",
         wal=wal,
         kill_after_iter=getattr(args, "kill_after_iter", None),
+        fuse=getattr(args, "fuse", True),
+        execution_memo=getattr(args, "execution_memo", True),
+        shared_artifacts=getattr(args, "shared_artifacts", True),
+        artifact_spill_dir=getattr(args, "artifact_store", None),
     )
 
 
@@ -865,6 +873,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="measurement backend: the flat register-bytecode VM (default) "
         "or the reference tree-walking interpreter; results are "
         "bit-identical either way",
+    )
+    tune.add_argument(
+        "--no-fuse", dest="fuse", action="store_false", default=True,
+        help="disable fused superblock kernels in the bytecode VM "
+        "(measurements are bit-identical either way)",
+    )
+    tune.add_argument(
+        "--no-execution-memo", dest="execution_memo", action="store_false",
+        default=True,
+        help="disable the IR-identity execution memo (byte-identical final "
+        "IR re-executes instead of replaying the recorded execution; "
+        "measured values are bit-identical either way)",
+    )
+    tune.add_argument(
+        "--no-shared-artifacts", dest="shared_artifacts", action="store_false",
+        default=True,
+        help="disable the process-shared bytecode artifact cache",
+    )
+    tune.add_argument(
+        "--artifact-store", default=None, metavar="DIR",
+        help="spill compiled bytecode artifacts to DIR so resumed/daemon "
+        "sessions start warm (implies shared artifacts)",
     )
     _add_fault_flags(tune)
     _add_obs_flags(tune)

@@ -157,11 +157,19 @@ class TuningResult:
         result.best_config = {
             m: tuple(s) for m, s in (data.get("best_config") or {}).items()
         }
-        # timing is mostly numeric, but carries the odd annotation string
-        # (e.g. ``measure_engine``) — keep those verbatim
+        # timing is mostly numeric, but carries annotation strings
+        # (e.g. ``measure_engine``), toggle bools, and nested stats dicts
+        # (``artifact_store``) — only numerics and the stringified
+        # non-finite floats are coerced; everything else stays verbatim
+        def _timing_value(v):
+            if isinstance(v, str):
+                return _float(v) if v in ("inf", "-inf", "nan") else v
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                return v
+            return _float(v)
+
         result.timing = {
-            k: v if isinstance(v, str) and v not in ("inf", "-inf", "nan") else _float(v)
-            for k, v in (data.get("timing") or {}).items()
+            k: _timing_value(v) for k, v in (data.get("timing") or {}).items()
         }
         result.extras = dict(data.get("extras") or {})
         for m in data.get("measurements") or []:

@@ -27,6 +27,7 @@ import signal
 import threading
 import time
 from collections import deque
+from functools import partial
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,12 +42,25 @@ from repro.machine.interp import InterpError
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.machine.artifacts import ArtifactStore, harvest_compile_result
 from repro.machine.platforms import Platform, get_platform
 from repro.machine.profiler import Profiler
 from repro.utils.rng import SeedLike, as_generator
 from repro.workloads.program import Program
 
 __all__ = ["AutotuningTask"]
+
+
+def _harvest_value(store: ArtifactStore, value) -> list:
+    """Serial/thread-executor ``artifact_fn``: compile straight into the
+    task's own store (same process, so no pickling and no merge step)."""
+    module = getattr(value, "module", None)
+    if module is None and isinstance(value, (tuple, list)) and value:
+        module = value[0]
+    if not isinstance(module, Module):
+        return []
+    store.harvest([module])
+    return []
 
 
 class AutotuningTask:
@@ -77,6 +91,10 @@ class AutotuningTask:
         pipeline_trace: str = "off",
         wal: Optional["WriteAheadLog"] = None,  # noqa: F821 (forward ref)
         kill_after_iter: Optional[int] = None,
+        fuse: bool = True,
+        execution_memo: bool = True,
+        shared_artifacts: bool = True,
+        artifact_spill_dir: Optional[str] = None,
     ) -> None:
         """``objective``: ``"runtime"`` (the paper's focus) or ``"codesize"``
         (the simpler static objective discussed in §1 — evaluated without
@@ -136,7 +154,18 @@ class AutotuningTask:
         --resume`` replays through :meth:`start_replay`.  ``kill_after_iter``
         is the chaos-test hook: SIGKILL this process the moment the Nth
         *live* measurement's WAL record is durable (so the harness kills at
-        a point the log provably covers)."""
+        a point the log provably covers).
+
+        ``fuse``/``execution_memo``/``shared_artifacts`` are the measurement
+        throughput toggles: superblock-fused bytecode kernels, the
+        IR-identity execution memo (skip re-executing byte-identical final
+        IR; noise is still drawn exactly as live, so histories are
+        bit-identical with each toggle on or off), and the content-addressed
+        :class:`~repro.machine.artifacts.ArtifactStore` shared between the
+        profiler and the compile engine's pool workers.
+        ``artifact_spill_dir`` persists store entries on disk (one pickle
+        per IR fingerprint) so ``--resume`` and daemon sessions start
+        warm."""
         if objective not in ("runtime", "codesize"):
             raise ValueError(f"unknown objective {objective!r}")
         self.objective = objective
@@ -144,11 +173,22 @@ class AutotuningTask:
         self.platform: Platform = get_platform(platform)
         self.target = self.platform.target_info()
         self.measure_engine = measure_engine
+        self.fuse = bool(fuse)
+        self.execution_memo = bool(execution_memo)
+        # a spill dir implies the shared store: spilling IS sharing (on disk)
+        self.artifacts: Optional[ArtifactStore] = (
+            ArtifactStore(spill_dir=artifact_spill_dir)
+            if shared_artifacts or artifact_spill_dir
+            else None
+        )
         self.profiler = Profiler(
             self.platform,
             seed=as_generator(seed),
             fuel=program.fuel,
             engine=measure_engine,
+            fuse=self.fuse,
+            execution_memo=self.execution_memo,
+            artifacts=self.artifacts,
         )
         self.passes: List[str] = list(passes) if passes is not None else list(SEARCH_PASSES)
         self.seq_length = seq_length
@@ -219,12 +259,24 @@ class AutotuningTask:
         self._m_replayed = self.metrics.counter("task.measure_replayed")
         self._m_crashes = self.metrics.counter("task.measure_crashes")
         self._m_incorrect = self.metrics.counter("task.measure_incorrect")
+        self._m_memo_hits = self.metrics.counter("task.execution_memo_hits")
+        self._m_artifact_hits = self.metrics.counter("task.artifact_hits")
         self._m_measure_hist = self.metrics.histogram("task.measure_seconds")
 
         # compile engine: parallel workers + bounded LRU compilation cache.
         # Keyed by the decoded pass-name tuple so distinct index encodings of
         # the same pipeline share one cache entry.
         self.jobs = int(jobs)
+        artifact_fn = None
+        if self.artifacts is not None:
+            # Process pools need a picklable module-level fn harvesting into
+            # the worker's own store (fresh artifacts ride back with the
+            # batch result); serial/thread workers share our store directly.
+            artifact_fn = (
+                harvest_compile_result
+                if executor == "process"
+                else partial(_harvest_value, self.artifacts)
+            )
         self.engine = CompileEngine(
             compile_fn,
             jobs=self.jobs,
@@ -236,6 +288,8 @@ class AutotuningTask:
             retry_backoff=retry_backoff,
             metrics=self.metrics,
             tracer=self.tracer,
+            shared_artifacts=self.artifacts,
+            artifact_fn=artifact_fn,
         )
 
         # pipeline observability: sampled per-pass trace replays
@@ -505,6 +559,8 @@ class AutotuningTask:
             ]
             keys = self._bytecode_keys(compiled, sequences)
             failure = ""
+            memo0 = self.profiler.execution_memo_hits
+            art0 = self.artifacts.hits if self.artifacts is not None else 0
             try:
                 if self.objective == "codesize":
                     value = float(sum(mod.num_instrs() for mod in linked))
@@ -526,7 +582,17 @@ class AutotuningTask:
                 value, ok, failure = self.penalty_runtime, False, "crash"
                 self.n_crashes += 1
                 self._m_crashes.inc()
-            sp.set(status=failure or "ok")
+            # deltas span the crash path too: a memoized crash is still a
+            # memo hit, and the counters must say so
+            memo_d = self.profiler.execution_memo_hits - memo0
+            if memo_d:
+                self._m_memo_hits.inc(memo_d)
+            art_d = (
+                self.artifacts.hits - art0 if self.artifacts is not None else 0
+            )
+            if art_d:
+                self._m_artifact_hits.inc(art_d)
+            sp.set(status=failure or "ok", memo_hits=memo_d)
         dt = time.perf_counter() - t0
         self.n_measurements += 1
         self.measure_seconds += dt
@@ -703,6 +769,15 @@ class AutotuningTask:
             "measure_engine": self.measure_engine,
             "bytecode_compiles": self.profiler.bytecode_compiles,
             "bytecode_cache_hits": self.profiler.bytecode_cache_hits,
+            "fuse": self.fuse,
+            "execution_memo": self.execution_memo,
+            "shared_artifacts": self.artifacts is not None,
+            "execution_memo_hits": self.profiler.execution_memo_hits,
+            "fused_kernels": self.profiler.fused_kernels,
+            "fused_ops": self.profiler.fused_ops,
+            "artifact_store": (
+                self.artifacts.stats() if self.artifacts is not None else None
+            ),
             "pipeline_trace": self.pipeline_trace,
             "n_pass_traces": self.n_pass_traces,
             "pass_trace_seconds": self.pass_trace_seconds,

@@ -57,6 +57,8 @@ __all__ = [
     "BytecodeFunction",
     "BytecodeModule",
     "BytecodeVM",
+    "READ_FIELDS",
+    "TUPLE_READ_FIELDS",
     "compile_module",
     "run_bytecode",
 ]
@@ -130,6 +132,41 @@ OP_INSERT = 64
 OP_REDUCE = 65
 OP_MEMSET = 66
 OP_MEMCPY = 67
+OP_FUSED = 68
+
+# -- operand-role tables (used by the superblock fusion pass) ---------------
+# READ_FIELDS[op] lists the instruction fields holding *register reads*;
+# TUPLE_READ_FIELDS[op] lists fields holding tuples of register reads.
+# Mask/sign/period/offset fields are deliberately absent.
+READ_FIELDS: Dict[int, tuple] = {
+    OP_LOAD: (2,),
+    OP_STORE: (1, 2),
+    OP_BR: (1,),
+    OP_EDGE1: (1,),
+    OP_OUTPUT: (1,),
+    OP_RET: (1,),
+    OP_SELECT: (2, 3, 4),
+    OP_COPY: (2,),
+    OP_WRAP: (2,),
+    OP_SITOFP: (2,),
+    OP_FPTOSI: (2,),
+    OP_VLOAD: (2,),
+    OP_VSTORE: (1, 2),
+    OP_BROADCAST: (2,),
+    OP_REDUCE: (2,),
+    OP_INSERT: (2, 3, 4),
+    OP_MEMSET: (1, 2, 3),
+    OP_MEMCPY: (1, 2, 3),
+}
+for _binop in (OP_ADD, OP_SUB, OP_MUL, OP_AND, OP_OR, OP_XOR, OP_SHL, OP_ASHR,
+               OP_LSHR, OP_SDIV, OP_SREM, OP_UDIV, OP_UREM, OP_FADD, OP_FSUB,
+               OP_FMUL, OP_FDIV, OP_GEP, OP_SLT, OP_EQ, OP_NE, OP_SLE, OP_SGT,
+               OP_SGE, OP_ULT, OP_ULE, OP_UGT, OP_UGE, OP_FEQ, OP_FNE, OP_FLT,
+               OP_FLE, OP_FGT, OP_FGE, OP_ICMP_GEN, OP_FCMP_GEN, OP_VBIN_I,
+               OP_VBIN_F, OP_EXTRACT):
+    READ_FIELDS[_binop] = (2, 3)
+del _binop
+TUPLE_READ_FIELDS: Dict[int, tuple] = {OP_CALL: (4,), OP_EDGE: (1,)}
 
 _INT_BIN_OPS = frozenset(
     {"add", "sub", "mul", "sdiv", "srem", "udiv", "urem", "and", "or", "xor", "shl", "ashr", "lshr"}
@@ -645,7 +682,10 @@ class BytecodeVM:
         the same dispatch loop; whichever of a semantic error or the fuel trap
         the tree-walker would hit first, this hits too.
         """
-        snippet = list(code[start:start + trip])
+        # expand fused kernels back to per-op dispatch: the head carries its
+        # original instruction at ins[3]; padding positions are original code
+        snippet = [ins[3] if ins[0] == OP_FUSED else ins
+                   for ins in code[start:start + trip]]
         snippet.append((OP_FUEL_TRAP, fname))
         self._run(snippet, regs, depth, 0)
         raise FuelExhausted(f"fuel exhausted in @{fname}")
@@ -662,6 +702,11 @@ class BytecodeVM:
             if op == OP_LOAD:
                 regs[ins[1]] = mem_get(regs[ins[2]], 0)
                 pc += 1
+            elif op == OP_FUSED:
+                # (OP_FUSED, kernel, span, original_first_ins): the kernel
+                # covers this and the next span-1 (padding) positions
+                ins[1](regs)
+                pc += ins[2]
             elif op == OP_ADD:
                 v = (regs[ins[2]] + regs[ins[3]]) & ins[4]
                 regs[ins[1]] = v - ins[6] if v >= ins[5] else v
@@ -976,7 +1021,13 @@ class BytecodeVM:
 
 
 def run_bytecode(
-    modules: List[Module], entry: str = "main", fuel: int = 2_000_000
+    modules: List[Module], entry: str = "main", fuel: int = 2_000_000,
+    fuse: bool = False,
 ) -> ExecutionResult:
     """Convenience wrapper: compile ``modules`` and run ``entry`` once."""
-    return BytecodeVM([compile_module(m) for m in modules], fuel=fuel).run(entry)
+    bms = [compile_module(m) for m in modules]
+    if fuse:
+        from repro.machine.fuse import fuse_module
+
+        bms = [fuse_module(bm)[0] for bm in bms]
+    return BytecodeVM(bms, fuel=fuel).run(entry)

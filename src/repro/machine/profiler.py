@@ -21,9 +21,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.compiler.ir import Module
+from repro.machine.artifacts import ArtifactStore, ir_fingerprint
 from repro.machine.bytecode import BytecodeModule, BytecodeVM, compile_module
 from repro.machine.cost_model import block_cycles, estimate_cycles
-from repro.machine.interp import ExecutionResult, Interpreter
+from repro.machine.fuse import fuse_module
+from repro.machine.interp import ExecutionResult, InterpError, Interpreter
 from repro.machine.platforms import Platform
 from repro.utils.rng import SeedLike, as_generator
 
@@ -84,6 +86,10 @@ class Profiler:
         fuel: int = 5_000_000,
         engine: str = "bytecode",
         bytecode_cache_size: int = 256,
+        fuse: bool = True,
+        execution_memo: bool = True,
+        execution_memo_size: int = 1024,
+        artifacts: Optional[ArtifactStore] = None,
     ) -> None:
         if engine not in MEASURE_ENGINES:
             raise ValueError(f"unknown measure engine {engine!r}, expected one of {MEASURE_ENGINES}")
@@ -91,31 +97,74 @@ class Profiler:
         self.rng = as_generator(seed)
         self.fuel = fuel
         self.engine = engine
-        # key -> (module strong ref, compiled form); the strong reference
-        # keeps id()-derived fallback keys from aliasing after GC
-        self._bc_cache: "OrderedDict[object, Tuple[Module, BytecodeModule]]" = OrderedDict()
+        self.fuse = fuse
+        self.execution_memo = execution_memo
+        self.artifacts = artifacts
+        # IR fingerprint -> executable (fused when fuse=True) compiled form
+        self._bc_cache: "OrderedDict[str, BytecodeModule]" = OrderedDict()
         self._bc_cache_size = bytecode_cache_size
+        # compile-config key -> fingerprint: revisited configs skip rehashing
+        self._fp_alias: "OrderedDict[object, str]" = OrderedDict()
+        self._fp_alias_size = max(4 * bytecode_cache_size, 64)
+        # (entry, fuel, fingerprints) -> recorded execution outcome
+        self._memo: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._memo_size = execution_memo_size
         self.bytecode_compiles = 0
         self.bytecode_cache_hits = 0
+        self.execution_memo_hits = 0
+        self.fused_kernels = 0
+        self.fused_ops = 0
 
     # -- bytecode compilation cache -------------------------------------------
-    def bytecode_for(self, module: Module, key: object = None) -> BytecodeModule:
-        """Compiled form of ``module``, cached under ``key``.
+    def _fingerprint(self, module: Module, key: object = None) -> str:
+        """IR fingerprint of ``module``, via the config alias map if keyed.
 
         Callers that compile modules per pass-sequence (the autotuning task)
-        pass the PR 1 config signature ``(module name, decoded sequence)`` so
-        re-measured configurations skip recompilation; with no key the cache
-        falls back to object identity.
+        pass the PR 1 config signature ``(module name, decoded sequence)``;
+        revisited configs then skip rehashing while keeping counters exact.
         """
-        k = key if key is not None else ("id", id(module))
-        entry = self._bc_cache.get(k)
-        if entry is not None:
-            self._bc_cache.move_to_end(k)
+        if key is not None:
+            fp = self._fp_alias.get(key)
+            if fp is not None:
+                self._fp_alias.move_to_end(key)
+                return fp
+        fp = ir_fingerprint(module)
+        if key is not None:
+            self._fp_alias[key] = fp
+            while len(self._fp_alias) > self._fp_alias_size:
+                self._fp_alias.popitem(last=False)
+        return fp
+
+    def bytecode_for(self, module: Module, key: object = None) -> BytecodeModule:
+        """Executable compiled form of ``module``, content-addressed.
+
+        The local LRU is keyed by IR fingerprint, so distinct configs that
+        lower to byte-identical IR share one artifact.  On a local miss the
+        process-shared :class:`ArtifactStore` (unfused artifacts) is
+        consulted before compiling; fusion is applied on the way into the
+        local cache.
+        """
+        fp = self._fingerprint(module, key)
+        bc = self._bc_cache.get(fp)
+        if bc is not None:
+            self._bc_cache.move_to_end(fp)
             self.bytecode_cache_hits += 1
-            return entry[1]
-        bc = compile_module(module)
-        self.bytecode_compiles += 1
-        self._bc_cache[k] = (module, bc)
+            return bc
+        base = None
+        if self.artifacts is not None:
+            base = self.artifacts.get(fp)
+        if base is None:
+            base = compile_module(module)
+            self.bytecode_compiles += 1
+            if self.artifacts is not None:
+                self.artifacts.put(fp, base)
+        if self.fuse:
+            bc, stats = fuse_module(base)
+            self.fused_kernels += stats["kernels"]
+            self.fused_ops += stats["fused_ops"]
+        else:
+            bc = base
+        self._bc_cache[fp] = bc
         while len(self._bc_cache) > self._bc_cache_size:
             self._bc_cache.popitem(last=False)
         return bc
@@ -142,14 +191,50 @@ class Profiler:
         entry: str = "main",
         keys: Optional[Sequence[object]] = None,
     ) -> Measurement:
-        """Run the program and return an averaged noisy runtime."""
-        result = self._execute(modules, entry, keys)
+        """Run the program and return an averaged noisy runtime.
+
+        With ``execution_memo`` on, byte-identical final IR (same entry and
+        fuel) skips re-execution: the recorded cycles/result — or the
+        recorded :class:`InterpError` — are replayed.  Noise is still drawn
+        exactly as for a live run (a crash raises before any draw, live or
+        memoized), so the seeded value stream, and therefore every tuning
+        history, is bit-identical with the memo on or off.
+        """
+        if not self.execution_memo:
+            result = self._execute(modules, entry, keys)
+            cycles = estimate_cycles(modules, result.block_counts, self.platform)
+            return self._noisy(cycles, result, repeats)
+        mkey = (entry, self.fuel, tuple(
+            self._fingerprint(m, keys[i] if keys is not None else None)
+            for i, m in enumerate(modules)
+        ))
+        hit = self._memo.get(mkey)
+        if hit is not None:
+            self._memo.move_to_end(mkey)
+            self.execution_memo_hits += 1
+            if hit[0] == "err":
+                raise hit[1](hit[2])
+            return self._noisy(hit[1], hit[2], repeats)
+        try:
+            result = self._execute(modules, entry, keys)
+        except InterpError as exc:
+            self._memo_put(mkey, ("err", type(exc), str(exc)))
+            raise
         cycles = estimate_cycles(modules, result.block_counts, self.platform)
+        self._memo_put(mkey, ("ok", cycles, result))
+        return self._noisy(cycles, result, repeats)
+
+    def _noisy(self, cycles: float, result: ExecutionResult, repeats: int) -> Measurement:
         base_seconds = cycles / (self.platform.ghz * 1e9)
         samples = base_seconds * (
             1.0 + self.platform.noise * self.rng.standard_normal(max(1, repeats))
         )
         return Measurement(float(np.mean(np.abs(samples))), cycles, result)
+
+    def _memo_put(self, mkey: tuple, entry: tuple) -> None:
+        self._memo[mkey] = entry
+        while len(self._memo) > self._memo_size:
+            self._memo.popitem(last=False)
 
     def execute(
         self,

@@ -1,0 +1,353 @@
+"""Artifact store, IR-identity execution memo, and their determinism contract.
+
+Three layers under test:
+
+* :mod:`repro.machine.artifacts` — content-addressed fingerprints, the
+  process-shared store, disk spill, worker seeding;
+* :class:`repro.machine.profiler.Profiler` — the execution memo replays
+  recorded executions (including crashes) while drawing noise exactly as
+  live, so measured values are bit-identical with the memo on or off;
+* :class:`repro.core.task.AutotuningTask` — seeded tuning histories are
+  bit-identical across every toggle combination and jobs level, and a
+  killed run resumes through memo hits.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import cbench_program
+from repro.cli import main
+from repro.compiler.opt_tool import run_opt
+from repro.compiler.pipelines import pipeline
+from repro.core.task import AutotuningTask
+from repro.baselines.random_tuner import RandomSearchTuner
+from repro.machine.artifacts import (
+    ArtifactStore,
+    harvest_compile_result,
+    ir_fingerprint,
+    local_store,
+    seed_worker_store,
+    set_local_store,
+)
+from repro.machine.bytecode import BytecodeVM, compile_module
+from repro.machine.interp import FuelExhausted
+from repro.machine.platforms import get_platform
+from repro.machine.profiler import Profiler
+
+
+def _mod(iters=50):
+    from repro.bench import _kernel_int_alu
+
+    return _kernel_int_alu(iters)
+
+
+# -- fingerprints -------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert ir_fingerprint(_mod()) == ir_fingerprint(_mod())
+
+    def test_clone_matches_and_recomputes(self):
+        m = _mod()
+        fp = ir_fingerprint(m)
+        clone = m.clone()
+        # the memo attribute must not leak onto the (mutable) clone
+        assert not hasattr(clone, "_repro_ir_fp")
+        assert ir_fingerprint(clone) == fp
+
+    def test_distinct_ir_distinct_fp(self):
+        a = _mod(iters=50)
+        b = _mod(iters=51)
+        assert ir_fingerprint(a) != ir_fingerprint(b)
+
+    def test_configs_lowering_to_same_ir_share_fp(self):
+        base = _mod()
+        # two different sequences that are IR no-ops on this kernel
+        a = run_opt(base.clone(), ["dce", "dce"]).module
+        b = run_opt(base.clone(), ["dce"]).module
+        assert ir_fingerprint(a) == ir_fingerprint(b)
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class TestArtifactStore:
+    def test_compile_through_dedups(self):
+        store = ArtifactStore()
+        m = _mod()
+        fp1, bc1, compiled1 = store.bytecode_for(m)
+        fp2, bc2, compiled2 = store.bytecode_for(_mod())
+        assert (compiled1, compiled2) == (True, False)
+        assert fp1 == fp2 and bc1 is bc2
+        assert store.stats()["hits"] == 1
+
+    def test_lru_bounded(self):
+        store = ArtifactStore(max_entries=2)
+        for i in range(4):
+            store.bytecode_for(_mod(iters=10 + i))
+        assert len(store) == 2
+
+    def test_harvest_returns_only_fresh(self):
+        store = ArtifactStore()
+        m = _mod()
+        assert len(store.harvest([m])) == 1
+        assert store.harvest([_mod()]) == []
+
+    def test_spill_roundtrip(self, tmp_path):
+        spill = str(tmp_path / "artifacts")
+        a = ArtifactStore(spill_dir=spill)
+        fp, bc, _ = a.bytecode_for(_mod())
+        assert a.stats()["spill_writes"] == 1
+        # a fresh store over the same dir loads from disk, not recompiles
+        b = ArtifactStore(spill_dir=spill)
+        got = b.get(fp)
+        assert got is not None and b.stats()["spill_hits"] == 1
+        # the loaded artifact actually runs
+        out = BytecodeVM([got], fuel=1_000_000).run("main")
+        ref = BytecodeVM([compile_module(_mod())], fuel=1_000_000).run("main")
+        assert out.output_signature() == ref.output_signature()
+
+    def test_corrupt_spill_is_recompiled(self, tmp_path):
+        spill = str(tmp_path / "artifacts")
+        a = ArtifactStore(spill_dir=spill)
+        fp, _, _ = a.bytecode_for(_mod())
+        path = next(Path(spill).glob("*.bc.pkl"))
+        path.write_bytes(b"garbage")
+        b = ArtifactStore(spill_dir=spill)
+        assert b.get(fp) is None  # miss, caller recompiles
+        assert b.stats()["misses"] == 1
+
+    def test_absorb_merges_and_counts(self):
+        a = ArtifactStore()
+        a.bytecode_for(_mod())
+        entries = a.warm_entries()
+        b = ArtifactStore()
+        assert b.absorb(entries) == 1
+        assert b.absorb(entries) == 0  # already present
+
+    def test_worker_seeding(self):
+        prev = local_store(create=False)
+        try:
+            a = ArtifactStore()
+            m = _mod()
+            a.bytecode_for(m)
+            seed_worker_store(a.warm_entries())
+            ws = local_store()
+            assert ws is not None and len(ws) == 1
+            # counters were zeroed after seeding
+            assert ws.stats()["puts"] == 0
+            # module-level artifact_fn: warm module is not "fresh"
+            assert harvest_compile_result((m, {})) == []
+            assert len(harvest_compile_result((_mod(iters=7), {}))) == 1
+        finally:
+            set_local_store(prev)
+
+
+# -- the execution memo -------------------------------------------------------
+
+
+class TestExecutionMemo:
+    def _profiler(self, **kw):
+        return Profiler(get_platform("arm-a57"), seed=5, fuel=5_000_000, **kw)
+
+    def test_memo_values_match_live(self):
+        mods = [_mod()]
+        on = self._profiler(execution_memo=True)
+        off = self._profiler(execution_memo=False)
+        for _ in range(4):
+            a = on.measure(mods, entry="main")
+            b = off.measure(mods, entry="main")
+            assert (a.seconds, a.cycles) == (b.seconds, b.cycles)
+            assert a.output_signature() == b.output_signature()
+        assert on.execution_memo_hits == 3 and off.execution_memo_hits == 0
+
+    def test_memoized_crash_reraises(self):
+        mods = [_mod(iters=10_000)]
+        prof = Profiler(get_platform("arm-a57"), seed=5, fuel=100)
+        state0 = json.dumps(prof.rng.bit_generator.state, default=str)
+        with pytest.raises(FuelExhausted):
+            prof.measure(mods, entry="main")
+        with pytest.raises(FuelExhausted):
+            prof.measure(mods, entry="main")
+        assert prof.execution_memo_hits == 1
+        # a crash raises before any noise draw, live or memoized
+        assert json.dumps(prof.rng.bit_generator.state, default=str) == state0
+
+    def test_memo_spans_configs_with_identical_ir(self):
+        base = _mod()
+        a = run_opt(base.clone(), ["dce", "dce"]).module
+        b = run_opt(base.clone(), ["dce"]).module
+        prof = self._profiler()
+        prof.measure([a], entry="main", keys=[("cfg", "m", ("dce", "dce"))])
+        prof.measure([b], entry="main", keys=[("cfg", "m", ("dce",))])
+        assert prof.execution_memo_hits == 1
+        assert prof.bytecode_compiles == 1  # fingerprint-keyed cache dedups
+
+
+# -- task-level determinism ---------------------------------------------------
+
+
+def _history(jobs=1, budget=10, **task_kw):
+    task = AutotuningTask(
+        cbench_program("telecom_gsm"), seed=7, jobs=jobs, seq_length=10, **task_kw
+    )
+    with task:
+        res = RandomSearchTuner(task, seed=11).tune(budget)
+        tb = task.timing_breakdown()
+    hist = tuple(
+        (m.module, m.sequence, m.runtime, m.correct, m.status)
+        for m in res.measurements
+    )
+    return hist, tb
+
+
+class TestTaskDeterminism:
+    def test_toggles_and_jobs_bit_identical(self):
+        base, base_tb = _history()
+        combos = [
+            dict(fuse=False),
+            dict(execution_memo=False),
+            dict(shared_artifacts=False),
+            dict(fuse=False, execution_memo=False, shared_artifacts=False),
+            dict(jobs=2),
+            dict(jobs=4, fuse=False),
+        ]
+        for kw in combos:
+            hist, _ = _history(**kw)
+            assert hist == base, f"history diverged with {kw}"
+        assert base_tb["fuse"] and base_tb["execution_memo"]
+        assert base_tb["shared_artifacts"]
+
+    def test_breakdown_reports_new_counters(self):
+        _, tb = _history(budget=16)
+        assert tb["fused_kernels"] > 0
+        assert tb["artifact_store"]["puts"] > 0
+        assert "execution_memo_hits" in tb
+
+    def test_spill_dir_implies_store_and_warms_resume(self, tmp_path):
+        spill = str(tmp_path / "spill")
+        _, tb1 = _history(shared_artifacts=False, artifact_spill_dir=spill)
+        assert tb1["shared_artifacts"]  # spill dir implies the store
+        assert tb1["artifact_store"]["spill_writes"] > 0
+        _, tb2 = _history(artifact_spill_dir=spill)
+        assert tb2["artifact_store"]["spill_hits"] > 0
+
+
+# -- process pools ------------------------------------------------------------
+
+
+def _compile_kernel(name, seq):
+    """Module-level (picklable) compile fn: seq[0] is the iteration count."""
+    from repro.bench import _kernel_int_alu
+
+    return (_kernel_int_alu(int(seq[0])), {"iters": int(seq[0])})
+
+
+class TestProcessPoolArtifacts:
+    def test_process_workers_ship_artifacts_back(self):
+        from repro.core.eval_engine import CompileEngine
+
+        store = ArtifactStore()
+        store.bytecode_for(_mod(iters=30))  # pre-warm: rides the initializer
+        engine = CompileEngine(
+            _compile_kernel,
+            jobs=2,
+            executor="process",
+            shared_artifacts=store,
+            artifact_fn=harvest_compile_result,
+        )
+        try:
+            items = [("m", (30,)), ("m", (31,)), ("m", (32,))]
+            results = engine.compile_batch(items)
+            assert len(results) == 3
+        finally:
+            engine.close()
+        # fresh worker-compiled artifacts rode back and were absorbed;
+        # the pre-warmed one was seeded into workers, so it is not fresh
+        assert len(store) == 3
+
+
+# -- CLI toggles + kill/resume through memo hits ------------------------------
+
+
+def _tune(run_dir, *extra, program="telecom_gsm", budget=14, seed=4):
+    return main(
+        [
+            "tune",
+            program,
+            "--budget",
+            str(budget),
+            "--seed",
+            str(seed),
+            "--seq-length",
+            "8",
+            "--trace-out",
+            str(run_dir),
+            "--log-level",
+            "warning",
+            *extra,
+        ]
+    )
+
+
+def _result_sans_timing(run_dir):
+    data = json.loads((Path(run_dir) / "result.json").read_text())
+    data.pop("timing", None)
+    return data
+
+
+class TestCliTogglesAndResume:
+    def test_cli_toggles_bit_identical(self, tmp_path):
+        control = tmp_path / "control"
+        assert _tune(control) == 0
+        for flags in (
+            ("--no-fuse",),
+            ("--no-execution-memo",),
+            ("--no-shared-artifacts",),
+            ("--no-fuse", "--no-execution-memo", "--no-shared-artifacts"),
+        ):
+            out = tmp_path / ("run" + "".join(flags).replace("-", ""))
+            assert _tune(out, *flags) == 0
+            assert _result_sans_timing(out) == _result_sans_timing(control)
+
+    def test_kill_resume_replays_through_memo_hits(self, tmp_path):
+        import shutil
+
+        control = tmp_path / "control"
+        assert _tune(control, budget=18) == 0
+        timing = json.loads((control / "result.json").read_text())["timing"]
+        assert timing["execution_memo_hits"] > 0, (
+            "control run exercised no memo hits; enlarge the budget"
+        )
+        killed = tmp_path / "killed"
+        shutil.copytree(control, killed)
+        (killed / "result.json").unlink()
+        (killed / "metrics.json").unlink()
+        wal_path = killed / "wal.jsonl"
+        kept, measures = [], 0
+        for line in wal_path.read_text().splitlines():
+            rec = json.loads(line)
+            if rec.get("type") == "measure":
+                if measures >= 7:
+                    break
+                measures += 1
+            elif rec.get("type") == "slot" and measures >= 7:
+                break
+            kept.append(line)
+        wal_path.write_text("\n".join(kept) + "\n")
+        assert main(["tune", "--resume", str(killed), "--log-level", "warning"]) == 0
+        assert _result_sans_timing(killed) == _result_sans_timing(control)
+
+    def test_artifact_store_flag_spills(self, tmp_path):
+        store = tmp_path / "store"
+        run = tmp_path / "run"
+        assert _tune(run, "--artifact-store", str(store), budget=6) == 0
+        assert list(store.glob("*.bc.pkl")), "no artifacts spilled"
+        # identical history with the spill enabled
+        control = tmp_path / "control"
+        assert _tune(control, budget=6) == 0
+        assert _result_sans_timing(run) == _result_sans_timing(control)

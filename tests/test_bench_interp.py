@@ -19,21 +19,30 @@ def test_micro_covers_all_families_with_parity():
     assert {r["family"] for r in rows} == set(KERNEL_FAMILIES)
     for row in rows:
         # _time_engines raises on any engine divergence, so reaching here
-        # means every family ran bit-identically on both engines
+        # means every family ran bit-identically on all three engines
         assert row["steps"] > 0
         assert row["tree"]["wall"] >= 0.0
         assert row["bytecode"]["wall"] >= 0.0
+        assert row["fused"]["wall"] >= 0.0
     vec_row = next(r for r in rows if r["family"] == "vector")
     assert vec_row["vector_instrs"] > 0  # the SLP kernel really vectorized
+    for family in ("fused_chain", "fused_wide"):
+        frow = next(r for r in rows if r["family"] == family)
+        assert frow["fused"]["kernels"] > 0  # fusion really fired
 
 
-def _interp_payload(bc_wall):
-    return {
+def _interp_payload(bc_wall, multi_wall=None):
+    payload = {
         "schema": SCHEMA_INTERP,
         "schema_version": 1,
         "git_rev": "test",
         "e2e": {"engines": {"bytecode": {"wall": bc_wall}}},
     }
+    if multi_wall is not None:
+        payload["e2e_multi"] = {
+            "jobs": {"1": {"wall": multi_wall * 2}, "4": {"wall": multi_wall}}
+        }
+    return payload
 
 
 def test_diff_gates_on_bytecode_e2e_wall(tmp_path):
@@ -44,11 +53,31 @@ def test_diff_gates_on_bytecode_e2e_wall(tmp_path):
     verdict = diff_bench(str(a), str(b), max_model_ratio=1.5)
     assert verdict["ok"] and not verdict["regressed"]
     assert verdict["checks"][0]["name"] == "e2e_bytecode_wall_seconds"
+    # payloads predating e2e_multi: a skipped, non-gating row
+    skipped = verdict["checks"][1]
+    assert skipped["name"] == "e2e_multi_wall_seconds" and skipped["skipped"]
 
     b.write_text(json.dumps(_interp_payload(2.0)))
     verdict = diff_bench(str(a), str(b), max_model_ratio=1.5)
     assert verdict["regressed"]
     assert verdict["regressions"] == ["e2e_bytecode_wall_seconds"]
+
+
+def test_diff_gates_on_multi_worker_wall(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(_interp_payload(1.0, multi_wall=1.0)))
+    b.write_text(json.dumps(_interp_payload(1.0, multi_wall=1.2)))
+    verdict = diff_bench(str(a), str(b), max_model_ratio=1.5)
+    assert verdict["ok"]
+    # gates on the highest jobs level measured by both payloads
+    assert verdict["checks"][1]["name"] == "e2e_multi_wall_seconds_jobs4"
+    assert not verdict["checks"][1]["skipped"]
+
+    b.write_text(json.dumps(_interp_payload(1.0, multi_wall=2.0)))
+    verdict = diff_bench(str(a), str(b), max_model_ratio=1.5)
+    assert verdict["regressed"]
+    assert verdict["regressions"] == ["e2e_multi_wall_seconds_jobs4"]
 
 
 def test_diff_rejects_schema_mismatch(tmp_path):
@@ -81,3 +110,6 @@ def test_committed_payload_loads():
     payload = load_bench(path)
     assert payload["schema"] == SCHEMA_INTERP
     assert payload["e2e"]["speedup"] >= 3.0
+    # the full default path (fusion + memo) clears 2x over raw dispatch
+    assert payload["e2e"]["speedup_base"] >= 2.0
+    assert payload["e2e_multi"]["histories_identical"] is True
