@@ -44,29 +44,46 @@ __all__ = [
 _FP_ATTR = "_repro_ir_fp"
 
 
+def _module_shape(module: Module) -> Tuple[int, int]:
+    """Cheap ``(blocks, instrs)`` mutation signal guarding the memo."""
+    blocks = 0
+    instrs = 0
+    for fn in module.functions.values():
+        blocks += len(fn.blocks)
+        for blk in fn.blocks.values():
+            instrs += len(blk.instrs)
+    return blocks, instrs
+
+
 def ir_fingerprint(module: Module) -> str:
     """Stable content digest of a module's final IR.
 
     Memoized on the module object: compiled modules are immutable by
     contract, and :meth:`Module.clone` rebuilds from constructors so the
-    memo never leaks onto a mutable copy.
+    memo never leaks onto a mutable copy.  The contract is not blindly
+    trusted — the memo is stored with a ``(blocks, instrs)`` shape guard and
+    recomputed if a pass mutated the module in place after fingerprinting
+    (a stale fingerprint would silently alias artifact-store and
+    execution-memo entries).
     """
-    fp = getattr(module, _FP_ATTR, None)
-    if fp is None:
-        prof = module_profile(module)
-        summary = "{}|{}|{}|{}".format(
-            prof["instrs"], prof["blocks"],
-            sorted(prof["functions"].items()), sorted(prof["mix"].items()),
-        )
-        h = hashlib.blake2b(digest_size=20)
-        h.update(summary.encode())
-        h.update(b"\x00")
-        h.update(print_module(module).encode())
-        fp = h.hexdigest()
-        try:
-            setattr(module, _FP_ATTR, fp)
-        except AttributeError:  # slotted/immutable module variants
-            pass
+    shape = _module_shape(module)
+    memo = getattr(module, _FP_ATTR, None)
+    if memo is not None and memo[0] == shape:
+        return memo[1]
+    prof = module_profile(module)
+    summary = "{}|{}|{}|{}".format(
+        prof["instrs"], prof["blocks"],
+        sorted(prof["functions"].items()), sorted(prof["mix"].items()),
+    )
+    h = hashlib.blake2b(digest_size=20)
+    h.update(summary.encode())
+    h.update(b"\x00")
+    h.update(print_module(module).encode())
+    fp = h.hexdigest()
+    try:
+        setattr(module, _FP_ATTR, (shape, fp))
+    except AttributeError:  # slotted/immutable module variants
+        pass
     return fp
 
 
@@ -212,7 +229,8 @@ class ArtifactStore:
             with open(tmp, "wb") as fh:
                 pickle.dump(bc, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-            self.spill_writes += 1
+            with self._lock:
+                self.spill_writes += 1
         except Exception:
             try:
                 os.unlink(tmp)

@@ -27,8 +27,12 @@ Lowering rules
   or float (``fadd/fsub/fmul``) ops at one level execute as a single int64 /
   float64 vector op (int64 two's-complement wrap matches the VM's
   mask/sign/period canonicalisation; sub-64-bit widths re-mask the vector).
-  Batched ops never raise, so emitting the batch at its last member's
-  program position is unobservable.
+  Batched ops never raise, but a batch executes at its *anchor* — the last
+  member's program position — so cohorts are refined to a fixpoint first:
+  any member with an in-run consumer emitted before the anchor, or an
+  in-run operand producer emitted after it, is demoted to scalar emission
+  (program order can interleave levels arbitrarily, so neither holds by
+  construction).
 
 Fused code holds function objects and is **not picklable**; the shared
 artifact store ships unfused modules and fusion is re-applied on retrieval.
@@ -205,12 +209,46 @@ def _gen_source(run: Tuple[tuple, ...], const_lits: Dict[int, str],
             groups.setdefault(key, []).append(i)
     groups = {key: members for key, members in groups.items()
               if len(members) >= NP_MIN_GROUP}
+
+    # A batch is emitted at its anchor (last member's program position), so
+    # emission order matches data dependences only if every member's in-run
+    # consumers emit strictly after the anchor and every in-run operand
+    # producer emits strictly before it.  Neither holds by construction —
+    # program order can interleave a level-2 consumer between level-1 batch
+    # members, and a lower-level group's anchor can trail a higher-level
+    # member that reads its output.  Demote violating members to scalar
+    # emission until a fixpoint (demotions move anchors, which can expose
+    # further violations and disband sub-threshold groups).
     batch_of: Dict[int, tuple] = {}
-    anchors: Dict[int, tuple] = {}
-    for key, members in groups.items():
-        for i in members:
-            batch_of[i] = key
-        anchors[members[-1]] = key
+    while True:
+        batch_of = {i: key for key, members in groups.items() for i in members}
+        anchor_pos = {key: members[-1] for key, members in groups.items()}
+
+        def emit_pos(j: int) -> int:
+            gk = batch_of.get(j)
+            return j if gk is None else anchor_pos[gk]
+
+        demoted = False
+        for key, members in list(groups.items()):
+            anchor = members[-1]
+            keep = [
+                i for i in members
+                if all(emit_pos(j) > anchor for j in consumers[i])
+                and all(
+                    producer_of.get(r) is None or emit_pos(producer_of[r]) < anchor
+                    for r in _reads_of(run[i])
+                )
+            ]
+            if len(keep) == len(members):
+                continue
+            demoted = True
+            if len(keep) >= NP_MIN_GROUP:
+                groups[key] = keep
+            else:
+                del groups[key]
+        if not demoted:
+            break
+    anchors: Dict[int, tuple] = {members[-1]: key for key, members in groups.items()}
 
     # -- mask deferral ------------------------------------------------------
     deferred = [False] * k
@@ -238,6 +276,15 @@ def _gen_source(run: Tuple[tuple, ...], const_lits: Dict[int, str],
         lit = const_lits.get(reg)
         if lit is not None:
             return lit
+        p = producer_of.get(reg)
+        if p is not None and p in batch_of:
+            # The in-run producer is batched but not yet emitted; gathering
+            # R[reg] here would read the stale pre-kernel value.  Cohort
+            # refinement above must make this unreachable — fail loudly
+            # rather than miscompile.
+            raise AssertionError(
+                f"fuse: operand r{reg} read before its batched producer emits"
+            )
         got = gathers.get(reg)
         if got is None:
             got = f"g{reg}"

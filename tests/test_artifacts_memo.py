@@ -59,6 +59,17 @@ class TestFingerprint:
         assert not hasattr(clone, "_repro_ir_fp")
         assert ir_fingerprint(clone) == fp
 
+    def test_in_place_mutation_invalidates_memo(self):
+        # modules are immutable by contract once fingerprinted, but the memo
+        # carries a (blocks, instrs) shape guard so a contract violation
+        # recomputes instead of silently aliasing store/memo entries
+        m = _mod()
+        fp = ir_fingerprint(m)
+        fn = next(iter(m.functions.values()))
+        blk = next(b for b in fn.blocks.values() if len(b.instrs) > 1)
+        blk.instrs.pop(0)
+        assert ir_fingerprint(m) != fp
+
     def test_distinct_ir_distinct_fp(self):
         a = _mod(iters=50)
         b = _mod(iters=51)

@@ -88,6 +88,93 @@ def test_fused_wide_uses_numpy_batches():
     )
 
 
+# -- batch-cohort emission order ---------------------------------------------
+#
+# A numpy batch executes at its anchor (last member's position).  Program
+# order can place a consumer of an early batch member *before* that anchor,
+# or invert two groups' anchors relative to a cross-group dependence; both
+# shapes once made the kernel gather a stale pre-kernel register value.  The
+# cohort refinement must demote such members to scalar emission and stay
+# bit-exact.
+
+
+def _interleaved_consumer_module():
+    """NP_MIN_GROUP independent level-1 adds with a level-2 consumer of the
+    first add interleaved right after it — far before the group's anchor."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import I32, I64, Module
+
+    mod = Module("m_interleaved")
+    b = FunctionBuilder(mod, "main", [], I64)
+    acc = b.alloca(I64, hint="acc")
+    b.store(c(0, I64), acc)
+
+    def body(bb, i):
+        iw = bb.sext(i, I64)
+        lanes = []
+        consumer = None
+        for k in range(NP_MIN_GROUP):
+            lanes.append(bb.add(iw, c(k + 1, I64), I64))
+            if k == 0:
+                consumer = bb.add(lanes[0], lanes[0], I64)
+        t = consumer
+        for x in lanes:
+            t = bb.add(t, x, I64)
+        cur = bb.load(I64, acc)
+        bb.store(bb.add(cur, t, I64), acc)
+
+    b.counted_loop(c(0, I32), c(3, I32), body)
+    out = b.load(I64, acc)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
+def _anchor_inversion_module():
+    """A level-2 add group whose anchor precedes the level-1 mul group's
+    anchor: a trailing consumer-free mul pushes the mul anchor past every
+    add, so the adds' operand producers would emit after the adds."""
+    from repro.compiler.builder import FunctionBuilder, c
+    from repro.compiler.ir import I32, I64, Module
+
+    mod = Module("m_inverted")
+    b = FunctionBuilder(mod, "main", [], I64)
+    acc = b.alloca(I64, hint="acc")
+    b.store(c(0, I64), acc)
+
+    def body(bb, i):
+        iw = bb.sext(i, I64)
+        muls, adds = [], []
+        for k in range(NP_MIN_GROUP):
+            muls.append(bb.mul(iw, c(2 * k + 1, I64), I64))
+            if k >= 1:
+                adds.append(bb.add(muls[k - 1], c(7, I64), I64))
+        adds.append(bb.add(muls[-1], c(7, I64), I64))
+        extra = bb.mul(iw, c(9999, I64), I64)
+        t = extra
+        for x in adds:
+            t = bb.add(t, x, I64)
+        cur = bb.load(I64, acc)
+        bb.store(bb.add(cur, t, I64), acc)
+
+    b.counted_loop(c(0, I32), c(3, I32), body)
+    out = b.load(I64, acc)
+    b.output(out)
+    b.ret(out)
+    return mod
+
+
+@pytest.mark.parametrize(
+    "build", [_interleaved_consumer_module, _anchor_inversion_module],
+    ids=["interleaved-consumer", "anchor-inversion"],
+)
+def test_batch_cohort_emission_order_bit_exact(build):
+    mod = build()
+    fused_bcs = _tri_engine_check([mod], "main")
+    # the body must still fuse (scalar demotion, not fusion bail-out)
+    assert fused_stats(fused_bcs[0])["kernels"] >= 1
+
+
 # -- fuel exhaustion at every segment boundary -------------------------------
 
 
